@@ -1,0 +1,67 @@
+"""F2 (slide 26): the degree-threshold curve d(p).
+
+The slide plots, for IN = 100 billion tuples, the largest value degree d
+for which the hash-partition load stays within 30% of IN/p with
+probability 95% — d(100) ≈ 4 million, falling as p grows ("as the number
+of servers grows, it is more likely that we observe the effects of
+skew"). The curve is analytic (closed form from the slide-25 bound); we
+regenerate it exactly and validate the bound empirically at laptop scale.
+"""
+
+import pytest
+
+from repro.theory import (
+    degree_threshold,
+    empirical_overload_probability,
+    threshold_curve,
+)
+
+from common import print_table
+
+IN_SIZE = 100e9  # 100 billion tuples, as in the slide
+P_VALUES = [50, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]
+
+
+def run_experiment():
+    return threshold_curve(IN_SIZE, P_VALUES, delta=0.3, confidence=0.95)
+
+
+def test_f2_threshold_curve(benchmark):
+    curve = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "F2 degree threshold d(p) — IN=100e9, ≤30% overload w.p. 95% (slide 26)",
+        ["p", "d threshold (millions)"],
+        [(p, d / 1e6) for p, d in curve],
+    )
+    values = dict(curve)
+    # Slide annotation: p = 100 → d ≈ 4,000,000.
+    assert 3e6 < values[100] < 5e6
+    # Monotonically decreasing in p (the slide's main message).
+    ds = [d for _, d in curve]
+    assert ds == sorted(ds, reverse=True)
+    # Super-linear decay: d(1000) < d(100)/10.
+    assert values[1000] < values[100] / 10
+
+
+def test_f2_empirical_validation(benchmark):
+    """Small-scale check that the analytic threshold is conservative."""
+
+    def measure():
+        in_small, p = 40_000, 16
+        d_safe = max(1, int(degree_threshold(in_small, p, delta=0.5, confidence=0.95)))
+        prob = empirical_overload_probability(
+            n_keys=in_small // d_safe, degree=d_safe, p=p, delta=0.5, trials=60
+        )
+        return d_safe, prob
+
+    d_safe, prob = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\n  empirical overload prob at threshold degree d={d_safe}: {prob:.3f}")
+    assert prob <= 0.05 + 0.05  # bound holds with slack for trial noise
+
+
+if __name__ == "__main__":
+    print_table(
+        "F2 degree threshold d(p)",
+        ["p", "d threshold (millions)"],
+        [(p, d / 1e6) for p, d in run_experiment()],
+    )

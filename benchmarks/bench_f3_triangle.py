@@ -1,0 +1,69 @@
+"""F3 (slides 34–36): HyperCube computes triangles in one round.
+
+Theorem (slide 36): HyperCube's load is O(N/p^{2/3}) on skew-free input,
+and *every* one-round algorithm needs Ω(N/p^{2/3}) — hashing by a single
+key cannot do better than N/p^{1/2}-style partitioning. We sweep p over
+perfect cubes and compare the measured load with N/p^{2/3}, alongside
+the two-round binary plan baseline.
+"""
+
+import pytest
+
+from repro.data import count_triangles, random_edges, triangle_relations
+from repro.multiway import binary_join_plan, triangle_hypercube
+from repro.query import triangle_query
+
+from common import print_table
+
+N = 4000
+
+
+def run_experiment(n=N):
+    edges = random_edges(n, n // 2, seed=1)
+    truth = count_triangles(edges)
+    r, s, t = triangle_relations(edges)
+    rows = []
+    for p in (1, 8, 27, 64):
+        hc = triangle_hypercube(r, s, t, p=p)
+        bj = binary_join_plan(triangle_query(), {"R": r, "S": s, "T": t}, p=p)
+        assert len(hc.output) == truth == len(bj.output)
+        rows.append(
+            (
+                p,
+                round(3 * n / p ** (2 / 3), 1),
+                hc.load,
+                hc.rounds,
+                bj.load,
+                bj.rounds,
+            )
+        )
+    return truth, rows
+
+
+def test_f3_triangle_hypercube(benchmark):
+    truth, rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        f"F3 triangle join, N={N} edges per relation, OUT={truth}",
+        ["p", "IN/p^(2/3)", "HyperCube L", "HC r", "binary-plan L", "BJ r"],
+        rows,
+    )
+    # One round at every scale.
+    assert all(row[3] == 1 for row in rows)
+    assert all(row[5] == 2 for row in rows[1:])
+    # Load tracks N/p^(2/3): each 8x p step cuts L by ~4.
+    loads = [row[2] for row in rows]
+    assert loads[1] < loads[0] / 2.5
+    assert loads[2] < loads[1] / 2
+    assert loads[3] < loads[2] / 1.4
+    # Measured within a constant factor of the prediction IN/p^(2/3).
+    for p, predicted, load, *_ in rows:
+        assert load <= 1.5 * predicted
+
+
+if __name__ == "__main__":
+    truth, rows = run_experiment()
+    print_table(
+        f"F3 triangle join (OUT={truth})",
+        ["p", "IN/p^(2/3)", "HyperCube L", "HC r", "binary-plan L", "BJ r"],
+        rows,
+    )

@@ -1,0 +1,60 @@
+"""F4 (slide 45): HyperCube speedup degrades from share-LP to p^{1/τ*}.
+
+The speedup of the one-round triangle join relative to a single server:
+ideally load shrinks as p^{2/3} (τ* = 3/2). For small p, integral share
+rounding wastes servers (e.g. p = 10 can only use a 2×2×2 cube), so the
+realized speedup stair-steps below the ideal curve — the slide's
+"speedup degrades" message.
+"""
+
+import pytest
+
+from repro.data import random_edges, triangle_relations
+from repro.multiway import triangle_hypercube
+
+from common import print_table
+
+N = 3000
+
+
+def run_experiment(n=N):
+    edges = random_edges(n, n // 2, seed=2)
+    r, s, t = triangle_relations(edges)
+    base = triangle_hypercube(r, s, t, p=1).load
+    rows = []
+    for p in (1, 8, 10, 27, 30, 64):
+        run = triangle_hypercube(r, s, t, p=p)
+        ideal = p ** (2 / 3)
+        measured = base / run.load
+        shares = run.details["shares"]
+        used = shares["x"] * shares["y"] * shares["z"]
+        rows.append((p, used, round(ideal, 2), round(measured, 2)))
+    return rows
+
+
+def test_f4_speedup(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        f"F4 HyperCube speedup vs ideal p^(2/3) (N={N})",
+        ["p", "servers used", "ideal speedup", "measured speedup"],
+        rows,
+    )
+    by_p = {row[0]: row for row in rows}
+    # Non-cube p wastes servers: p=10 and p=27 use the same 2x2x2 / 3x3x3.
+    assert by_p[10][1] == by_p[8][1] == 8
+    assert by_p[30][1] == by_p[27][1] == 27
+    # Speedup grows with p but stays below the perfect-p envelope by a
+    # bounded factor.
+    speedups = [row[3] for row in rows]
+    assert speedups == sorted(speedups)
+    for p, _used, ideal, measured in rows[1:]:
+        assert measured >= ideal / 4
+        assert measured <= 2 * ideal
+
+
+if __name__ == "__main__":
+    print_table(
+        "F4 HyperCube speedup",
+        ["p", "servers used", "ideal speedup", "measured speedup"],
+        run_experiment(),
+    )

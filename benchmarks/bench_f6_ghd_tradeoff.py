@@ -1,0 +1,100 @@
+"""F6 (slides 79–95): GYM round/load trade-offs across GHD shapes.
+
+Two experiments:
+
+1. Vanilla vs optimized GYM on the 4-star (slides 80–94): one semijoin
+   or join per round (~9 rounds) vs level-packed rounds (~4).
+2. The slide-95 trade-off on the path query: chain GHD (w=1, d=n),
+   flat GHD (w≈n/2, d=1), balanced GHD (w=3, d=log n) — rounds follow
+   depth, loads follow the IN^w bag-materialization term.
+"""
+
+import pytest
+
+from repro.data import uniform_relation
+from repro.multiway import gym
+from repro.query import (
+    path_balanced_ghd,
+    path_chain_ghd,
+    path_flat_ghd,
+    path_query,
+    star_query,
+)
+
+from common import print_table
+
+P = 8
+
+
+def star_experiment():
+    q = star_query(4)
+    rels = {
+        f"R{i}": uniform_relation(f"R{i}", ["A0", f"A{i}"], 400, 120, seed=i)
+        for i in range(1, 5)
+    }
+    vanilla = gym(q, rels, p=P, variant="vanilla")
+    optimized = gym(q, rels, p=P, variant="optimized")
+    assert sorted(vanilla.output.rows()) == sorted(optimized.output.rows())
+    return [
+        ("vanilla", vanilla.rounds, vanilla.load, vanilla.stats.total_communication),
+        ("optimized", optimized.rounds, optimized.load, optimized.stats.total_communication),
+    ]
+
+
+def path_experiment():
+    n = 6
+    q = path_query(n)
+    rels = {
+        f"R{i}": uniform_relation(f"R{i}", [f"A{i-1}", f"A{i}"], 60, 25, seed=i)
+        for i in range(1, n + 1)
+    }
+    shapes = [
+        ("chain (w=1, d=n-1)", path_chain_ghd(n)),
+        ("balanced (w≤3, d≈log n)", path_balanced_ghd(n)),
+        ("flat (w≈n/2, d=1)", path_flat_ghd(n)),
+    ]
+    rows = []
+    outputs = []
+    for label, ghd in shapes:
+        run = gym(q, rels, p=P, ghd=ghd, variant="optimized")
+        outputs.append(set(run.output.rows()))
+        rows.append(
+            (label, ghd.width, ghd.depth, run.rounds, run.load,
+             run.stats.total_communication)
+        )
+    assert outputs[0] == outputs[1] == outputs[2]
+    return rows
+
+
+def test_f6_star_vanilla_vs_optimized(benchmark):
+    rows = benchmark.pedantic(star_experiment, rounds=1, iterations=1)
+    print_table(
+        f"F6a GYM on star-4 (p={P}, slides 80–94)",
+        ["variant", "rounds", "L", "C"],
+        rows,
+    )
+    vanilla, optimized = rows
+    assert vanilla[1] >= 2 * optimized[1]  # slides: 9 vs 4
+    assert optimized[1] <= 4
+
+
+def test_f6_path_ghd_tradeoff(benchmark):
+    rows = benchmark.pedantic(path_experiment, rounds=1, iterations=1)
+    print_table(
+        f"F6b path-6 GHD shapes under optimized GYM (p={P}, slide 95)",
+        ["GHD", "width", "depth", "rounds", "L", "C"],
+        rows,
+    )
+    chain, balanced, flat = rows
+    # Rounds track depth…
+    assert flat[3] <= balanced[3] <= chain[3]
+    # …while load tracks width (the IN^w bag joins).
+    assert flat[4] >= chain[4]
+    assert flat[1] > balanced[1] > chain[1]
+
+
+if __name__ == "__main__":
+    print_table("F6a star-4", ["variant", "r", "L", "C"], star_experiment())
+    print_table(
+        "F6b path GHD shapes", ["GHD", "w", "d", "r", "L", "C"], path_experiment()
+    )

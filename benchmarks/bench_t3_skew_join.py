@@ -1,0 +1,87 @@
+"""T3 (slides 27–31): two-way joins under skew.
+
+Slide 27: on single-join-value data the parallel hash join pays L = IN;
+the join degenerates to a Cartesian product where the grid algorithm
+pays 2√(|R||S|/p). Slides 29–31: the heavy/light skew join and the
+parallel sort join both achieve L = O(√(OUT/p) + IN/p) on *any* input.
+We run all three plus the naive hash join across skew levels.
+"""
+
+import math
+
+import pytest
+
+from repro.data import single_value_relation, skewed_relation, uniform_relation
+from repro.joins import parallel_hash_join, skew_join, sort_join
+
+from common import print_table
+
+N = 3000
+P = 16
+
+
+def workloads():
+    yield "uniform", (
+        uniform_relation("R", ["x", "y"], N, 2 * N, seed=1),
+        uniform_relation("S", ["y", "z"], N, 2 * N, seed=2),
+    )
+    yield "zipf s=1.2", (
+        skewed_relation("R", ["x", "y"], N, "y", universe=N // 4, s=1.2, seed=3),
+        skewed_relation("S", ["y", "z"], N, "y", universe=N // 4, s=1.2, seed=4),
+    )
+    yield "single value", (
+        single_value_relation("R", ["x", "y"], N // 4, "y"),
+        single_value_relation("S", ["y", "z"], N // 4, "y"),
+    )
+
+
+def run_experiment():
+    rows = []
+    for label, (r, s) in workloads():
+        in_size = len(r) + len(s)
+        hash_run = parallel_hash_join(r, s, p=P)
+        skew_run = skew_join(r, s, p=P)
+        sort_run = sort_join(r, s, p=P)
+        out = len(hash_run.output)
+        optimal = math.sqrt(out / P) + in_size / P
+        assert len(skew_run.output) == out and len(sort_run.output) == out
+        rows.append(
+            (
+                label,
+                in_size,
+                out,
+                round(optimal, 1),
+                hash_run.load,
+                skew_run.load,
+                sort_run.load,
+            )
+        )
+    return rows
+
+
+def test_t3_skew_join(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        f"T3 two-way joins under skew (p={P})",
+        ["workload", "IN", "OUT", "sqrt(OUT/p)+IN/p", "hash L", "skew L", "sort L"],
+        rows,
+    )
+    uniform, zipf, single = rows
+    # Uniform: all three are within a small factor of IN/p.
+    assert uniform[4] < 3 * uniform[1] / P
+    # Extreme skew: hash join collapses to L = IN…
+    assert single[4] == single[1]
+    # …while skew-aware algorithms track the optimal bound.
+    for load in (single[5], single[6]):
+        assert load <= 5 * single[3]
+        assert load < single[4] / 2
+    # Zipf: skew-aware beats naive hashing.
+    assert zipf[5] < zipf[4]
+
+
+if __name__ == "__main__":
+    print_table(
+        f"T3 two-way joins under skew (p={P})",
+        ["workload", "IN", "OUT", "optimal bound", "hash L", "skew L", "sort L"],
+        run_experiment(),
+    )

@@ -1,0 +1,93 @@
+"""T4 (slides 42–44): the unequal-size triangle load table.
+
+For Δ = R ⋈ S ⋈ T with arbitrary sizes, the optimal one-round load is
+the max over edge packings of four candidates:
+
+  (1/2,1/2,1/2) → (|R||S||T|)^{1/3} / p^{2/3}   (balanced sizes)
+  (1,0,0)       → |R| / p                        (R dominates, p_z = 1)
+  (0,1,0)       → |S| / p
+  (0,0,1)       → |T| / p
+
+We compute the winning packing and predicted load per size profile, run
+HyperCube with optimized shares, and check share degeneration (slide 44:
+a small relation forces its private variable's share to 1).
+"""
+
+import pytest
+
+from repro.data import uniform_relation
+from repro.multiway import hypercube_join
+from repro.query import maximal_load_over_packings, optimal_shares, triangle_query
+
+from common import print_table
+
+P = 64
+
+
+def make_triangle(r_size, s_size, t_size, universe, seed=0):
+    return {
+        "R": uniform_relation("R", ["x", "y"], r_size, universe, seed=seed),
+        "S": uniform_relation("S", ["y", "z"], s_size, universe, seed=seed + 1),
+        "T": uniform_relation("T", ["z", "x"], t_size, universe, seed=seed + 2),
+    }
+
+
+def run_experiment():
+    q = triangle_query()
+    profiles = [
+        ("balanced", 2000, 2000, 2000),
+        ("R heavy", 8000, 500, 500),
+        ("S heavy", 500, 8000, 500),
+        ("T heavy", 500, 500, 8000),
+    ]
+    rows = []
+    for label, r_size, s_size, t_size in profiles:
+        sizes = {"R": r_size, "S": s_size, "T": t_size}
+        predicted, packing = maximal_load_over_packings(q, sizes, P)
+        assignment = optimal_shares(q, sizes, P)
+        rels = make_triangle(r_size, s_size, t_size, universe=4000, seed=hash(label) % 100)
+        run = hypercube_join(q, rels, p=P)
+        packing_str = "(" + ",".join(f"{packing[a]:.2g}" for a in ("R", "S", "T")) + ")"
+        shares_str = "x".join(str(assignment.integral[v]) for v in ("x", "y", "z"))
+        # Expected *total* per-server load: sum over atoms of
+        # |S_j| / prod of the shares of the atom's variables.
+        expected_total = sum(
+            sizes[a.name]
+            / (assignment.integral[a.variables[0]] * assignment.integral[a.variables[1]])
+            for a in q.atoms
+        )
+        rows.append(
+            (label, packing_str, shares_str, round(predicted, 1),
+             round(expected_total, 1), run.load)
+        )
+    return rows
+
+
+def test_t4_unequal_sizes(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        f"T4 unequal-size triangle (p={P}, slide 42–44)",
+        ["sizes", "winning packing u", "integral shares", "max-atom L",
+         "expected total L", "measured L"],
+        rows,
+    )
+    balanced, r_heavy, s_heavy, t_heavy = rows
+    # Balanced sizes pick the all-halves packing and a cube grid.
+    assert balanced[1] == "(0.5,0.5,0.5)"
+    assert balanced[2] == "4x4x4"
+    # A dominant relation wins with its singleton packing, and the
+    # variable it lacks degenerates to share 1 (slide 44).
+    assert r_heavy[1] == "(1,0,0)"
+    assert r_heavy[2].endswith("x1")  # p_z = 1
+    assert s_heavy[2].startswith("1x")  # p_x = 1
+    # Measured loads track the expected per-server total within noise.
+    for row in rows:
+        assert 0.5 * row[4] <= row[5] <= 2.5 * row[4]
+
+
+if __name__ == "__main__":
+    print_table(
+        f"T4 unequal-size triangle (p={P})",
+        ["sizes", "packing", "shares", "max-atom L", "expected L", "measured L"],
+        run_experiment(),
+    )

@@ -1,0 +1,95 @@
+"""T5 (slides 47–51): the SkewHC residual-query table for the triangle.
+
+For each heavy/light pattern of Δ's variables the residual query, its
+τ*, and the load N/p^{1/τ*} it is evaluated at (slides 48–50):
+
+  (l,l,l) → R(x,y) ⋈ S(y,z) ⋈ T(z,x)   τ* = 3/2   N/p^{2/3}
+  (l,l,h) → R(x,y) ⋈ S(y) ⋈ T(x)       τ* = 2     N/p^{1/2}
+  (l,h,h) → R(x) ⋈ T(x)                τ* = 1     N/p
+
+ψ*(Δ) = 2 — the worst row — so SkewHC guarantees N/p^{1/2} on any input.
+We print the analytic table and then run SkewHC vs plain HyperCube on a
+z-skewed instance.
+"""
+
+import itertools
+
+import pytest
+
+from repro.data import Relation, uniform_relation
+from repro.multiway import skewhc_join, triangle_hypercube
+from repro.query import psi_star, tau_star, triangle_query
+
+from common import print_table
+
+N = 420
+P = 16
+
+
+def residual_table(p=P, n=N):
+    q = triangle_query()
+    rows = []
+    for pattern in itertools.product("lh", repeat=3):
+        bound = [v for v, tag in zip(("x", "y", "z"), pattern) if tag == "h"]
+        if len(bound) == 3:
+            rows.append(("h,h,h", "(membership test)", "-", "-"))
+            continue
+        residual = q.residual(bound) if bound else q
+        tau = tau_star(residual)
+        load = n / p ** (1 / tau)
+        rows.append(
+            (",".join(pattern), str(residual), round(tau, 2), round(load, 1))
+        )
+    return rows
+
+
+def run_measurement(n=N, p=P):
+    q = triangle_query()
+    r = uniform_relation("R", ["x", "y"], n, 40, seed=1)
+    s_rows = [(i % 40, 0) for i in range(n - 60)] + [
+        (i % 40, 1 + i % 25) for i in range(60)
+    ]
+    t_rows = [(0, i % 40) for i in range(n - 60)] + [
+        (1 + i % 25, i % 40) for i in range(60)
+    ]
+    s = Relation("S", ["y", "z"], s_rows)
+    t = Relation("T", ["z", "x"], t_rows)
+    hc = triangle_hypercube(r, s, t, p=p)
+    shc = skewhc_join(q, {"R": r, "S": s, "T": t}, p=p)
+    return hc, shc
+
+
+def test_t5_residual_table(benchmark):
+    rows = benchmark.pedantic(residual_table, rounds=1, iterations=1)
+    print_table(
+        f"T5 SkewHC residual queries for Δ (N={N}, p={P}, slides 48–51)",
+        ["x,y,z pattern", "residual query", "tau*", "L = N/p^(1/tau*)"],
+        rows,
+    )
+    by_pattern = {row[0]: row for row in rows}
+    assert by_pattern["l,l,l"][2] == pytest.approx(1.5)
+    assert by_pattern["l,l,h"][2] == pytest.approx(2.0)
+    assert by_pattern["l,h,h"][2] == pytest.approx(1.0)
+    # ψ* is the max τ* over residuals: 2 for the triangle (slide 51).
+    assert psi_star(triangle_query()) == pytest.approx(2.0)
+
+
+def test_t5_skewhc_vs_hypercube(benchmark):
+    hc, shc = benchmark.pedantic(run_measurement, rounds=1, iterations=1)
+    print(
+        f"\n  z-skewed instance: HyperCube L={hc.load}, SkewHC L={shc.load} "
+        f"(ψ* bound N/p^(1/2) = {N / P ** 0.5:.0f})"
+    )
+    assert sorted(shc.output.rows()) == sorted(hc.output.rows())
+    assert shc.load < hc.load  # SkewHC handles the heavy hub
+    assert shc.load <= 5 * N / P**0.5  # within a constant of N/p^(1/ψ*)
+
+
+if __name__ == "__main__":
+    print_table(
+        f"T5 SkewHC residual queries (N={N}, p={P})",
+        ["pattern", "residual", "tau*", "load"],
+        residual_table(),
+    )
+    hc, shc = run_measurement()
+    print(f"HyperCube L={hc.load}  SkewHC L={shc.load}")

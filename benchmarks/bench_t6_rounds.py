@@ -1,0 +1,109 @@
+"""T6 (slides 51–54): one-round vs multi-round loads for three queries.
+
+The summary table of the multi-round section: for the triangle, the
+two-way join R(x,y) ⋈ S(y,z), and the intersection path
+R(x) ⋈ S(x,y) ⋈ T(y):
+
+  query      τ* (no-skew 1rd)  ψ* (skew 1rd)  multi-round no-skew
+  triangle   3/2 → IN/p^{2/3}  2 → IN/p^{1/2}  IN/p
+  2-way join 1   → IN/p        2 → IN/p^{1/2}  IN/p
+  2-path     2   → IN/p^{1/2}  2 → IN/p^{1/2}  IN/p
+
+We print the analytic exponents (computed by the LPs, not hard-coded)
+and measure the 2-path's skewed case: a 1-round HyperCube pays
+~IN/p^{1/2} while the 2-round semijoin plan stays at IN/p (slide 58).
+"""
+
+import pytest
+
+from repro.data import Relation, single_value_relation
+from repro.multiway import hypercube_join, two_path_semijoin_plan
+from repro.query import (
+    Atom,
+    ConjunctiveQuery,
+    psi_star,
+    tau_star,
+    triangle_query,
+    two_path_query,
+)
+
+from common import print_table
+
+P = 16
+
+
+def analytic_table():
+    queries = [
+        ("triangle", triangle_query()),
+        ("2-way join", ConjunctiveQuery([Atom("R", ["x", "y"]), Atom("S", ["y", "z"])])),
+        ("2-path R,S,T", two_path_query()),
+    ]
+    rows = []
+    for label, q in queries:
+        tau = tau_star(q)
+        psi = psi_star(q)
+        rows.append(
+            (
+                label,
+                round(tau, 2),
+                f"IN/p^{1/tau:.2f}",
+                round(psi, 2),
+                f"IN/p^{1/psi:.2f}",
+                "IN/p",
+            )
+        )
+    return rows
+
+
+def run_two_path_measurement(p=P):
+    n = 800
+    r = Relation("R", ["x"], [(0,)])
+    s = single_value_relation("S", ["x", "y"], n, "x", value=0)
+    t = Relation("T", ["y"], [(s.rows()[i][1],) for i in range(0, n, 2)])
+    in_size = len(r) + len(s) + len(t)
+
+    one_round = hypercube_join(two_path_query(), {"R": r, "S": s, "T": t}, p=p)
+    multi_round = two_path_semijoin_plan(r, s, t, p=p)
+    assert sorted(multi_round.output.rows()) == sorted(
+        one_round.output.project(["x", "y"]).rows()
+    )
+    return in_size, one_round, multi_round
+
+
+def test_t6_analytic_table(benchmark):
+    rows = benchmark.pedantic(analytic_table, rounds=1, iterations=1)
+    print_table(
+        "T6 one-round vs multi-round loads (slides 51–54)",
+        ["query", "tau*", "no-skew 1-round L", "psi*", "skew 1-round L",
+         "multi-round no-skew L"],
+        rows,
+    )
+    triangle, join2, path2 = rows
+    assert triangle[1] == pytest.approx(1.5) and triangle[3] == pytest.approx(2.0)
+    assert join2[1] == pytest.approx(1.0) and join2[3] == pytest.approx(2.0)
+    assert path2[1] == pytest.approx(2.0) and path2[3] == pytest.approx(2.0)
+
+
+def test_t6_two_path_rounds_beat_one_round(benchmark):
+    in_size, one_round, multi_round = benchmark.pedantic(
+        run_two_path_measurement, rounds=1, iterations=1
+    )
+    print(
+        f"\n  2-path, skewed (IN={in_size}, p={P}): 1-round L={one_round.load} "
+        f"(bound IN/sqrt(p)={in_size / P ** 0.5:.0f}), "
+        f"2-round semijoin L={multi_round.load} (bound IN/p={in_size / P:.0f})"
+    )
+    assert multi_round.rounds == 2
+    # Multi-round escapes the ψ* barrier (slides 53–54).
+    assert multi_round.load < one_round.load
+    assert multi_round.load <= 4 * in_size / P
+
+
+if __name__ == "__main__":
+    print_table(
+        "T6 one-round vs multi-round",
+        ["query", "tau*", "1rd no-skew", "psi*", "1rd skew", "multi-rd"],
+        analytic_table(),
+    )
+    in_size, one, multi = run_two_path_measurement()
+    print(f"2-path skewed: 1-round L={one.load}, semijoin plan L={multi.load}")

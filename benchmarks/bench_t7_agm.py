@@ -1,0 +1,97 @@
+"""T7 (slide 55): the AGM output bound |OUT| ≤ IN^{ρ*}.
+
+For the slide's example R(x) ⋈ S(x,y) ⋈ T(y): ρ* = 1 (cover S alone), so
+|OUT| ≤ IN. For the triangle ρ* = 3/2 and for the pure 2-way join ρ* = 2.
+We evaluate random and adversarial (worst-case) instances and report
+observed |OUT| against the bound, confirming tightness on the
+adversarial inputs.
+"""
+
+import pytest
+
+from repro.data import (
+    Relation,
+    random_edges,
+    single_value_relation,
+    triangle_relations,
+    uniform_relation,
+)
+from repro.query import (
+    Atom,
+    ConjunctiveQuery,
+    agm_bound,
+    rho_star,
+    triangle_query,
+    two_path_query,
+    two_way_join,
+)
+
+from common import print_table
+
+
+def run_experiment():
+    rows = []
+
+    # 2-path, random: ρ* = 1.
+    q = two_path_query()
+    r = Relation("R", ["x"], [(i,) for i in range(0, 200, 2)])
+    s = uniform_relation("S", ["x", "y"], 400, 200, seed=1)
+    t = Relation("T", ["y"], [(i,) for i in range(0, 200, 3)])
+    out = len(q.evaluate({"R": r, "S": s, "T": t}))
+    sizes = {"R": len(r), "S": len(s), "T": len(t)}
+    rows.append(("2-path random", rho_star(q), out, agm_bound(q, sizes)))
+
+    # Triangle, random graph: ρ* = 3/2.
+    q = triangle_query()
+    edges = random_edges(400, 60, seed=2)
+    tr, ts, tt = triangle_relations(edges)
+    out = len(q.evaluate({"R": tr, "S": ts, "T": tt}))
+    sizes = {"R": 400, "S": 400, "T": 400}
+    rows.append(("triangle random", rho_star(q), out, agm_bound(q, sizes)))
+
+    # Triangle, complete bipartite-ish worst case: K_m as a directed
+    # clique maximizes triangles at m³ = N^{3/2} for N = m² edges.
+    m = 14
+    clique = Relation("E", ["u", "v"], [(a, b) for a in range(m) for b in range(m)])
+    cr, cs, ct = triangle_relations(clique)
+    out = len(q.evaluate({"R": cr, "S": cs, "T": ct}))
+    n = len(clique)
+    rows.append(("triangle clique (tight)", rho_star(q), out, agm_bound(q, {"R": n, "S": n, "T": n})))
+
+    # 2-way join, single-value worst case: tight at N².
+    q2 = two_way_join()
+    n = 60
+    wr = single_value_relation("R", ["x", "y"], n, "y")
+    ws = single_value_relation("S", ["y", "z"], n, "y")
+    out = len(q2.evaluate({"R": wr, "S": ws}))
+    rows.append(("2-way single-value (tight)", rho_star(q2), out, agm_bound(q2, {"R": n, "S": n})))
+
+    return rows
+
+
+def test_t7_agm(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "T7 AGM bound |OUT| ≤ Π|Sj|^wj (slide 55)",
+        ["instance", "rho*", "observed OUT", "AGM bound"],
+        rows,
+    )
+    for _label, _rho, out, bound in rows:
+        assert out <= bound + 0.5  # the bound always holds
+    # Tight instances achieve the bound exactly.
+    clique = rows[2]
+    assert clique[2] == pytest.approx(clique[3], rel=1e-9)
+    single = rows[3]
+    assert single[2] == pytest.approx(single[3], rel=1e-9)
+    # ρ* values match the slide.
+    assert rows[0][1] == pytest.approx(1.0)
+    assert rows[1][1] == pytest.approx(1.5)
+    assert rows[3][1] == pytest.approx(2.0)
+
+
+if __name__ == "__main__":
+    print_table(
+        "T7 AGM bound",
+        ["instance", "rho*", "OUT", "bound"],
+        run_experiment(),
+    )

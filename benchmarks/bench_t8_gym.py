@@ -1,0 +1,92 @@
+"""T8 (slide 78): GYM vs one-round HyperCube — the OUT crossover.
+
+GYM's load is O((IN + OUT)/p); HyperCube's is IN/p^{1/τ*} (skew-free).
+Equating them gives the slide's crossover: GYM wins while
+
+    OUT < p^{1 − 1/τ*} · IN,
+
+so larger p lets GYM tolerate larger outputs. We use the acyclic path-4
+query (τ* = 2) over skew-free regular-degree data: raising the per-value
+degree d grows OUT ≈ N·d³ without creating heavy hitters, sweeping the
+output across the crossover.
+"""
+
+import pytest
+
+from repro.data import Relation
+from repro.multiway import gym, hypercube_join
+from repro.query import path_query, tau_star
+
+from common import print_table
+
+P = 16
+N = 1024
+
+
+def regular_path_relations(degree, n=N, seed=0):
+    """Four path relations where every value occurs exactly ``degree`` times.
+
+    Both columns of every R_i take each value in [0, n/degree) exactly
+    ``degree`` times, via a fixed stride permutation — no heavy hitters
+    as long as degree ≪ n/p.
+    """
+    universe = n // degree
+    rels = {}
+    for atom_index in range(1, 5):
+        rows = []
+        for serial in range(n):
+            left = (serial + 13 * atom_index) % universe
+            right = (serial * 7 + atom_index) % universe
+            rows.append((left, right))
+        rels[f"R{atom_index}"] = Relation(
+            f"R{atom_index}", [f"A{atom_index - 1}", f"A{atom_index}"], rows
+        )
+    return rels
+
+
+def run_experiment():
+    q = path_query(4)
+    tau = tau_star(q)
+    rows = []
+    for degree in (1, 2, 4, 8):
+        rels = regular_path_relations(degree)
+        in_size = sum(len(r) for r in rels.values())
+        hc = hypercube_join(q, rels, p=P)
+        gym_run = gym(q, rels, p=P, variant="optimized")
+        out = len(hc.output)
+        assert sorted(gym_run.output.rows()) == sorted(hc.output.rows())
+        winner = "GYM" if gym_run.load < hc.load else "HyperCube"
+        rows.append((degree, out, in_size, gym_run.load, gym_run.rounds, hc.load, winner))
+    crossover = P ** (1 - 1 / tau) * 4 * N
+    return tau, crossover, rows
+
+
+def test_t8_gym_crossover(benchmark):
+    tau, crossover, rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        f"T8 GYM vs HyperCube on path-4 (p={P}, τ*={tau:.1f}, crossover "
+        f"OUT ≈ p^(1-1/τ*)·IN = {crossover:.0f})",
+        ["degree d", "OUT", "IN", "GYM L", "GYM r", "HyperCube L", "lower load"],
+        rows,
+    )
+    # Small OUT: GYM's (IN+OUT)/p beats IN/p^(1/2).
+    assert rows[0][6] == "GYM"
+    # Past the crossover the one-round algorithm wins.
+    assert rows[-1][6] == "HyperCube"
+    # GYM's load grows with OUT; HyperCube's stays comparatively flat.
+    gym_loads = [row[3] for row in rows]
+    assert gym_loads == sorted(gym_loads)
+    hc_loads = [row[5] for row in rows]
+    assert max(hc_loads) < 4 * min(hc_loads)
+    # The flip happens near the analytic crossover (same order of magnitude).
+    flip_out = next(row[1] for row in rows if row[6] == "HyperCube")
+    assert crossover / 20 < flip_out < crossover * 20
+
+
+if __name__ == "__main__":
+    tau, crossover, rows = run_experiment()
+    print_table(
+        f"T8 GYM vs HyperCube (crossover ≈ {crossover:.0f})",
+        ["d", "OUT", "IN", "GYM L", "GYM r", "HC L", "winner"],
+        rows,
+    )

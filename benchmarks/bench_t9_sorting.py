@@ -1,0 +1,123 @@
+"""T9 (slides 100–106): parallel sorting.
+
+Three parts:
+
+1. PSRS (slides 100–102): loads track N/p while p ≪ N^{1/3}; the
+   sample-gather round costs p(p−1), which overtakes N/p past that point.
+2. Multi-round sorting (slides 103–105): with a per-round load cap L the
+   round count follows Θ(log_L N) — more servers do *not* reduce rounds.
+3. The slide-106 Sort Benchmark history, reproduced as recorded data
+   (external contest results are not re-runnable; the table is the
+   figure's content).
+"""
+
+import numpy as np
+import pytest
+
+from repro.sorting import expected_rounds, multiround_sort, psrs_sort
+from repro.theory import sort_rounds_lower_bound
+
+from common import print_table
+
+N = 8192
+
+# Slide 106, verbatim: year, winner, time, machines (memory/processor).
+SORT_BENCHMARK_HISTORY = [
+    (2016, "Tencent Sort", "134s", "512 (512GB)"),
+    (2015, "FuxiSort", "377s", "3134 (96GB) + 243 (128GB)"),
+    (2014, "TritonSort", "1378s", "186 (244GB)"),
+    (2014, "Apache Spark", "1406s", "207 (244GB)"),
+    (2013, "Hadoop", "4328s", "2100 (64GB)"),
+    (2011, "TritonSort", "8274s", "52 (24GB)"),
+]
+
+
+def psrs_experiment(n=N):
+    rng = np.random.default_rng(0)
+    items = rng.integers(0, 10**9, size=n).tolist()
+    rows = []
+    for p in (2, 4, 8, 16, 32):
+        out, stats = psrs_sort(items, p=p)
+        assert out == sorted(items)
+        rows.append(
+            (
+                p,
+                round(n / p, 1),
+                stats.load_of("psrs-partition"),
+                p * (p - 1),
+                stats.load_of("psrs-sample-gather"),
+                stats.num_rounds,
+            )
+        )
+    return rows
+
+
+def multiround_experiment(n=4096):
+    rng = np.random.default_rng(1)
+    items = rng.integers(0, 10**9, size=n).tolist()
+    rows = []
+    for load_cap, p in ((16, 256), (64, 64), (256, 16), (1024, 4)):
+        out, stats = multiround_sort(items, p=p, load_cap=load_cap)
+        assert out == sorted(items)
+        rows.append(
+            (
+                load_cap,
+                p,
+                stats.num_rounds,
+                round(expected_rounds(n, load_cap), 2),
+                round(sort_rounds_lower_bound(n, load_cap), 2),
+            )
+        )
+    return rows
+
+
+def test_t9_psrs(benchmark):
+    rows = benchmark.pedantic(psrs_experiment, rounds=1, iterations=1)
+    print_table(
+        f"T9a PSRS (N={N}, slides 100–102)",
+        ["p", "N/p", "partition L", "p(p-1)", "sample L", "rounds"],
+        rows,
+    )
+    for p, ideal, partition_load, _pp, _sample, rounds in rows:
+        assert rounds == 3
+        assert partition_load < 2.5 * ideal
+    # Sample-gather load grows as p², foreshadowing the p ~ N^(1/3) wall.
+    samples = [row[4] for row in rows]
+    assert samples == sorted(samples)
+    assert samples[-1] == 32 * 31
+
+
+def test_t9_multiround(benchmark):
+    rows = benchmark.pedantic(multiround_experiment, rounds=1, iterations=1)
+    print_table(
+        "T9b multi-round sort (N=4096, slides 103–105)",
+        ["load cap L", "p", "measured rounds", "log_L N", "LB Ω(log_L N)"],
+        rows,
+    )
+    measured = [row[2] for row in rows]
+    # Rounds decrease as the load cap grows (log_L N shrinks).
+    assert measured == sorted(measured, reverse=True)
+    # Never below the lower bound.
+    for _cap, _p, r, _exp, lb in rows:
+        assert r >= lb - 1e-9
+
+
+def test_t9_history_table(benchmark):
+    rows = benchmark.pedantic(lambda: SORT_BENCHMARK_HISTORY, rounds=1, iterations=1)
+    print_table(
+        "T9c Sort Benchmark winners (slide 106, recorded history)",
+        ["year", "winner", "time", "p and memory/processor"],
+        rows,
+    )
+    times = [float(row[2].rstrip("s")) for row in rows]
+    # The slide's story: times fall year over year (rows are most-recent first).
+    assert times == sorted(times)
+
+
+if __name__ == "__main__":
+    print_table("T9a PSRS", ["p", "N/p", "partition L", "p(p-1)", "sample L", "r"],
+                psrs_experiment())
+    print_table("T9b multi-round", ["L", "p", "rounds", "log_L N", "LB"],
+                multiround_experiment())
+    print_table("T9c history", ["year", "winner", "time", "machines"],
+                SORT_BENCHMARK_HISTORY)

@@ -1,0 +1,190 @@
+"""X1 — extension results beyond the core tables.
+
+Covers the tutorial's "Other Results" pointers (slide 127) and the
+practice-oriented machinery a downstream user gets:
+
+- non-square matrix multiplication (one-round rectangular blocks);
+- sparse inputs through the SQL-on-MPC view (communication scales with
+  the number of partial products, not n³);
+- the cost-based planner: across a workload mix it must always land
+  within a small factor of the best algorithm on the menu;
+- GROUP BY with combiners (slide 52's workload) under customer skew.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import Relation, skewed_relation, uniform_relation
+from repro.data.generators import single_value_relation
+from repro.joins import parallel_hash_join, skew_join, sort_join
+from repro.matmul import (
+    balanced_groups,
+    rectangular_block_matmul,
+    rectangular_costs,
+    sql_matmul,
+)
+from repro.multiway.aggregate import group_by, two_phase_group_by
+from repro.multiway.hypercube import hypercube_join
+from repro.multiway.reduced import reduced_hypercube
+from repro.query import path_query
+from repro.planner import execute_two_way_join
+
+from common import print_table
+
+
+def rectangular_experiment():
+    rng = np.random.default_rng(1)
+    rows = []
+    for n1, n2, n3, p in ((32, 8, 32, 16), (8, 32, 8, 16), (64, 4, 16, 16)):
+        a = rng.random((n1, n2))
+        b = rng.random((n2, n3))
+        k1, k3 = balanced_groups(n1, n3, p)
+        c, stats = rectangular_block_matmul(a, b, k1, k3)
+        assert np.allclose(c, a @ b)
+        predicted = rectangular_costs(n1, n2, n3, k1, k3)
+        rows.append(
+            (f"{n1}x{n2} · {n2}x{n3}", f"{k1}x{k3}", stats.max_load,
+             predicted["load"], stats.num_rounds)
+        )
+    return rows
+
+
+def sparse_experiment():
+    rng = np.random.default_rng(2)
+    n = 32
+    rows = []
+    for density in (1.0, 0.25, 0.05):
+        a = rng.random((n, n)) * (rng.random((n, n)) < density)
+        b = rng.random((n, n)) * (rng.random((n, n)) < density)
+        c, stats = sql_matmul(a, b, p=16)
+        assert np.allclose(c, a @ b)
+        nnz = int((a != 0).sum() + (b != 0).sum())
+        rows.append((f"{density:.0%}", nnz, stats.total_communication))
+    return rows
+
+
+def planner_experiment():
+    workloads = [
+        ("uniform", uniform_relation("R", ["x", "y"], 600, 1200, seed=3),
+         uniform_relation("S", ["y", "z"], 600, 1200, seed=4)),
+        ("zipf", skewed_relation("R", ["x", "y"], 600, "y", 120, 1.4, seed=5),
+         skewed_relation("S", ["y", "z"], 600, "y", 120, 1.4, seed=6)),
+        ("single-value", single_value_relation("R", ["x", "y"], 150, "y"),
+         single_value_relation("S", ["y", "z"], 150, "y")),
+        ("tiny-left", Relation("R", ["x", "y"], [(1, 2), (3, 4)]),
+         uniform_relation("S", ["y", "z"], 1000, 60, seed=7)),
+    ]
+    rows = []
+    for label, r, s in workloads:
+        plan, run = execute_two_way_join(r, s, p=16)
+        menu = {
+            "hash": parallel_hash_join(r, s, p=16).load,
+            "skew": skew_join(r, s, p=16).load,
+            "sort": sort_join(r, s, p=16).load,
+        }
+        best = min(menu.values())
+        rows.append((label, plan.algorithm, run.load, best, round(run.load / best, 2)))
+    return rows
+
+
+def groupby_experiment():
+    rel = skewed_relation(
+        "Orders", ["price", "cust"], 8000, "cust", universe=200, s=1.5, seed=8
+    )
+    p = 16
+    one, one_stats = group_by(rel, ["cust"], "price", sum, p=p)
+    two, two_stats = two_phase_group_by(rel, ["cust"], "price", sum, sum, p=p)
+    assert sorted(one.rows()) == sorted(two.rows())
+    return [
+        ("one-phase shuffle", one_stats.max_load, one_stats.total_communication),
+        ("two-phase (combiner)", two_stats.max_load, two_stats.total_communication),
+    ]
+
+
+def reduced_experiment():
+    """Slide 63's upshot: semijoin reduction collapses the one-round load
+    on selective queries."""
+    q = path_query(3)
+    rels = {}
+    for i in range(1, 4):
+        joining = [(j % 12, j % 12) for j in range(40)]
+        filler = [(1000 * i + j, 2000 * i + j) for j in range(360)]
+        rels[f"R{i}"] = Relation(f"R{i}", [f"A{i-1}", f"A{i}"], joining + filler)
+    p = 16
+    plain = hypercube_join(q, rels, p=p)
+    hybrid = reduced_hypercube(q, rels, p=p)
+    assert sorted(plain.output.rows()) == sorted(hybrid.output.rows())
+    hc_round = max(r.max_load for r in hybrid.stats.rounds if r.label == "hypercube")
+    return [
+        ("plain HyperCube", plain.load, plain.rounds, "-"),
+        ("reduce + HyperCube", hybrid.load, hybrid.rounds,
+         f"final round L={hc_round}"),
+    ], hc_round, plain.load
+
+
+def test_x1_reduced_hypercube(benchmark):
+    rows, hc_round, plain_load = benchmark.pedantic(
+        reduced_experiment, rounds=1, iterations=1
+    )
+    print_table(
+        "X1e semijoin reduction before HyperCube (slide 63 upshot)",
+        ["plan", "L", "r", "notes"],
+        rows,
+    )
+    assert hc_round < plain_load / 2
+
+
+def test_x1_rectangular(benchmark):
+    rows = benchmark.pedantic(rectangular_experiment, rounds=1, iterations=1)
+    print_table(
+        "X1a non-square matmul (slide 127 'other results')",
+        ["shapes", "grid", "measured L", "predicted L", "rounds"],
+        rows,
+    )
+    for _shapes, _grid, load, predicted, rounds in rows:
+        assert rounds == 1
+        assert load == predicted
+
+
+def test_x1_sparse(benchmark):
+    rows = benchmark.pedantic(sparse_experiment, rounds=1, iterations=1)
+    print_table(
+        "X1b sparse inputs via SQL-on-MPC",
+        ["density", "nnz(A)+nnz(B)", "total C"],
+        rows,
+    )
+    comms = [row[2] for row in rows]
+    # Communication falls superlinearly with density (products ~ density²).
+    assert comms[1] < comms[0] / 3
+    assert comms[2] < comms[1] / 10
+
+
+def test_x1_planner(benchmark):
+    rows = benchmark.pedantic(planner_experiment, rounds=1, iterations=1)
+    print_table(
+        "X1c planner vs best-of-menu (p=16)",
+        ["workload", "chosen", "chosen L", "best menu L", "ratio"],
+        rows,
+    )
+    for _label, _chosen, _load, _best, ratio in rows:
+        assert ratio <= 2.0
+
+
+def test_x1_groupby(benchmark):
+    rows = benchmark.pedantic(groupby_experiment, rounds=1, iterations=1)
+    print_table(
+        "X1d GROUP BY under customer skew (slide 52 workload)",
+        ["strategy", "L", "C"],
+        rows,
+    )
+    one, two = rows
+    assert two[1] < one[1] / 2  # combiners neutralize the whale customer
+
+
+if __name__ == "__main__":
+    print_table("X1a rectangular", ["shapes", "grid", "L", "pred L", "r"],
+                rectangular_experiment())
+    print_table("X1b sparse", ["density", "nnz", "C"], sparse_experiment())
+    print_table("X1c planner", ["workload", "chosen", "L", "best", "ratio"],
+                planner_experiment())
+    print_table("X1d groupby", ["strategy", "L", "C"], groupby_experiment())

@@ -1,0 +1,122 @@
+"""X2 — the open-problem and limitation slides (60–63).
+
+Not tables in the evaluation sense, but quantitative claims we can
+execute:
+
+- slide 61's "difficult query" (the spider): its exponents ρ* = 2,
+  ψ* = 3 quantify the gap the open problem asks about — we compute them
+  by LP and measure the one-round algorithms' loads on skewed data;
+- slide 62's scalability warning: with τ* = 10 (the 20-atom path), a 2×
+  speedup needs 1024× more processors — the p-for-speedup table;
+- slide 63's intermediate blow-up: an iterative binary plan on a dense
+  cyclic query materializes |T_i| ≫ p·IN, at which point one-round
+  replication is cheaper — we measure the actual intermediate sizes.
+"""
+
+import pytest
+
+from repro.data import random_edges, triangle_relations
+from repro.multiway import binary_join_plan, hypercube_join
+from repro.query import (
+    path_query,
+    psi_star,
+    rho_star,
+    spider_query,
+    tau_star,
+    triangle_query,
+)
+from repro.theory import required_processors_for_speedup
+
+from common import print_table
+
+
+def spider_exponents():
+    q = spider_query()
+    return [(str(q), tau_star(q), rho_star(q), psi_star(q))]
+
+
+def scalability_table():
+    rows = []
+    for label, query in (
+        ("triangle", triangle_query()),
+        ("path-4", path_query(4)),
+        ("path-20", path_query(20)),
+    ):
+        tau = tau_star(query)
+        rows.append(
+            (
+                label,
+                round(tau, 2),
+                round(required_processors_for_speedup(2.0, tau), 2),
+                round(required_processors_for_speedup(4.0, tau), 2),
+            )
+        )
+    return rows
+
+
+def blowup_experiment():
+    p = 8
+    edges = random_edges(500, 25, seed=1)  # dense: average degree 20
+    r, s, t = triangle_relations(edges)
+    rels = {"R": r, "S": s, "T": t}
+    bj = binary_join_plan(triangle_query(), rels, p=p)
+    hc = hypercube_join(triangle_query(), rels, p=p)
+    assert sorted(bj.output.rows()) == sorted(hc.output.rows())
+    in_size = 3 * len(edges)
+    max_intermediate = max(bj.details["intermediate_sizes"])
+    return [
+        ("binary plan", max_intermediate, bj.load, bj.rounds),
+        ("one-round HyperCube", 0, hc.load, hc.rounds),
+    ], in_size, p
+
+
+def test_x2_spider_exponents(benchmark):
+    rows = benchmark.pedantic(spider_exponents, rounds=1, iterations=1)
+    print_table(
+        "X2a the slide-61 difficult query",
+        ["query", "tau*", "rho*", "psi*"],
+        rows,
+    )
+    _q, tau, rho, psi = rows[0]
+    assert rho == pytest.approx(2.0)   # slide 61
+    assert psi == pytest.approx(3.0)   # slide 61
+    assert tau == pytest.approx(3.0)
+    # The open problem: can L = IN/p^(1/rho*) be achieved in O(1) rounds?
+    # Known one-round algorithms only reach IN/p^(1/psi*): a p^(1/6) gap.
+    assert psi > rho
+
+
+def test_x2_scalability(benchmark):
+    rows = benchmark.pedantic(scalability_table, rounds=1, iterations=1)
+    print_table(
+        "X2b processors needed for a given speedup (slide 62)",
+        ["query", "tau*", "p for 2x", "p for 4x"],
+        rows,
+    )
+    by_label = {row[0]: row for row in rows}
+    assert by_label["path-20"][1] == pytest.approx(10.0)
+    assert by_label["path-20"][2] == pytest.approx(1024.0)
+    assert by_label["triangle"][2] == pytest.approx(2 ** 1.5, abs=0.01)
+
+
+def test_x2_intermediate_blowup(benchmark):
+    rows, in_size, p = benchmark.pedantic(blowup_experiment, rounds=1, iterations=1)
+    print_table(
+        f"X2c intermediate blow-up on a dense triangle (IN={in_size}, p={p}, "
+        f"slide 63's p·IN = {p * in_size})",
+        ["plan", "max |T_i|", "L", "r"],
+        rows,
+    )
+    binary, hypercube = rows
+    # The intermediate dwarfs the input…
+    assert binary[1] > 5 * in_size
+    # …and once |T_i| ≳ p·IN, one-round replication is the cheaper plan.
+    if binary[1] > p * in_size:
+        assert hypercube[2] < binary[2]
+
+
+if __name__ == "__main__":
+    print_table("X2a spider", ["query", "tau*", "rho*", "psi*"], spider_exponents())
+    print_table("X2b scalability", ["query", "tau*", "2x", "4x"], scalability_table())
+    rows, in_size, p = blowup_experiment()
+    print_table(f"X2c blow-up (IN={in_size})", ["plan", "max |T_i|", "L", "r"], rows)

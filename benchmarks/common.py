@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` file reproduces one table or figure of the tutorial:
+it computes the same rows/series the paper reports, prints them (visible
+with ``pytest -s`` or by running the file directly), and asserts the
+qualitative *shape* — who wins, how costs scale — since absolute numbers
+depend on the simulated substrate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> None:
+    """Print an aligned text table (the bench's paper-facing output)."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n== {title}")
+    print("  " + "  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    for row in str_rows:
+        print("  " + "  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 10_000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def geometric_ratio(series: Sequence[float]) -> list[float]:
+    """Successive ratios of a series — for eyeballing scaling exponents."""
+    return [b / a for a, b in zip(series, series[1:]) if a]

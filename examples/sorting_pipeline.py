@@ -1,0 +1,46 @@
+"""Parallel sorting: PSRS vs the multi-round algorithm (slides 99–106).
+
+Sorts the same keys two ways and shows the regimes: PSRS is optimal
+while p ≪ N^(1/3) (one splitter exchange, one partition); when the
+per-round load must shrink below that, the round count grows as
+Θ(log_L N) — and no number of extra servers helps (slide 105).
+
+Run:  python examples/sorting_pipeline.py
+"""
+
+import numpy as np
+
+from repro.sorting import multiround_sort, psrs_sort
+from repro.theory import sort_rounds_lower_bound
+
+
+def main() -> None:
+    n = 16384
+    rng = np.random.default_rng(4)
+    items = rng.integers(0, 10**9, size=n).tolist()
+    print(f"Sorting N = {n} random keys\n")
+
+    print("PSRS (coarse-grained parallelism, p << N^(1/3)):")
+    print(f"  {'p':>4} {'partition L':>12} {'N/p':>8} {'sample L':>9} {'rounds':>7}")
+    for p in (4, 8, 16):
+        out, stats = psrs_sort(items, p=p)
+        assert out == sorted(items)
+        print(
+            f"  {p:>4} {stats.load_of('psrs-partition'):>12} {n // p:>8} "
+            f"{stats.load_of('psrs-sample-gather'):>9} {stats.num_rounds:>7}"
+        )
+
+    print("\nMulti-round sort (fine-grained: load capped, p = N/L):")
+    print(f"  {'L cap':>6} {'p':>5} {'rounds':>7} {'lower bound':>12}")
+    for load_cap in (32, 128, 512):
+        p = max(4, n // (load_cap * 4))
+        out, stats = multiround_sort(items, p=p, load_cap=load_cap)
+        assert out == sorted(items)
+        lb = sort_rounds_lower_bound(n, load_cap)
+        print(f"  {load_cap:>6} {p:>5} {stats.num_rounds:>7} {lb:>12.2f}")
+
+    print("\n(slide 105: rounds = Ω(log_L N), independent of the server count)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Triangle counting three ways: HyperCube vs binary plan vs HL+semijoin.
+
+The tutorial's central multiway example (slides 34–59). On a random
+graph all three algorithms return the same triangles; their costs differ:
+
+- HyperCube: 1 round, load ~ N/p^(2/3);
+- iterative binary plan: 2 rounds, intermediate R ⋈ S can dwarf IN;
+- heavy-light + semijoin: 2 rounds, worst-case optimal even under skew.
+
+Run:  python examples/triangle_counting.py
+"""
+
+from repro.data import count_triangles, power_law_edges, random_edges, triangle_relations
+from repro.multiway import binary_join_plan, triangle_hl_semijoin, triangle_hypercube
+from repro.query import triangle_query
+
+
+def report(name: str, run, truth: int) -> None:
+    ok = "ok" if len(run.output) == truth else "MISMATCH"
+    print(
+        f"  {name:<22} rounds={run.rounds:<3} L={run.load:<8} "
+        f"C={run.stats.total_communication:<9} triangles={len(run.output)} [{ok}]"
+    )
+
+
+def main() -> None:
+    p = 27
+    for label, edges in [
+        ("uniform graph", random_edges(3000, 400, seed=1)),
+        ("power-law graph", power_law_edges(3000, 400, s=1.4, seed=2)),
+    ]:
+        truth = count_triangles(edges)
+        r, s, t = triangle_relations(edges)
+        print(f"{label}: {len(edges)} edges, {truth} closed triples, p={p}")
+
+        report("HyperCube (1 round)", triangle_hypercube(r, s, t, p=p), truth)
+        report(
+            "binary plan",
+            binary_join_plan(triangle_query(), {"R": r, "S": s, "T": t}, p=p),
+            truth,
+        )
+        report("HL + semijoin", triangle_hl_semijoin(r, s, t, p=p), truth)
+
+        n = len(edges)
+        print(f"  theory: one-round optimum N/p^(2/3) = {n / p ** (2 / 3):.0f}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim for environments without the `wheel` package (legacy editable installs)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""repro — a reproduction of "Algorithmic Aspects of Parallel Query Processing".
+
+The library simulates the Massively Parallel Communication (MPC) model and
+implements the tutorial's algorithms on top of it:
+
+- ``repro.data`` — relations and synthetic workload generators;
+- ``repro.mpc`` — the cluster simulator (servers, rounds, load accounting);
+- ``repro.query`` — conjunctive queries, hypergraph LPs (τ*, ρ*), AGM
+  bound, shares optimization, hypertree decompositions;
+- ``repro.joins`` — two-way joins (hash, broadcast, Cartesian grid,
+  skew-aware, sort-based);
+- ``repro.multiway`` — HyperCube/Shares, SkewHC, binary plans, semijoins,
+  Yannakakis and GYM;
+- ``repro.sorting`` — PSRS, sample sort, multi-round sort;
+- ``repro.matmul`` — MPC matrix multiplication;
+- ``repro.theory`` — the analytic formulas behind the tutorial's figures.
+"""
+
+from repro.data import Relation, Schema
+from repro.engine import Engine, QueryResult
+from repro.mpc import Cluster, RunStats
+from repro.query.parser import parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "Engine",
+    "QueryResult",
+    "Relation",
+    "RunStats",
+    "Schema",
+    "__version__",
+    "parse_query",
+]

@@ -1,0 +1,46 @@
+"""Data substrate: schemas, relations, and synthetic workload generators."""
+
+from repro.data.generators import (
+    matching_relation,
+    regular_degree_relation,
+    relation_with_planted_output,
+    single_value_relation,
+    skewed_relation,
+    uniform_relation,
+)
+from repro.data.io import read_csv, write_csv
+from repro.data.graphs import (
+    count_triangles,
+    planted_triangles,
+    power_law_edges,
+    random_edges,
+    triangle_relations,
+)
+from repro.data.relation import Relation, union_all
+from repro.data.warehouse import Warehouse, make_warehouse
+from repro.data.schema import Schema
+from repro.data.zipf import ZipfSampler, degree_sequence, zipf_values
+
+__all__ = [
+    "Relation",
+    "Schema",
+    "Warehouse",
+    "ZipfSampler",
+    "count_triangles",
+    "degree_sequence",
+    "make_warehouse",
+    "matching_relation",
+    "planted_triangles",
+    "power_law_edges",
+    "random_edges",
+    "read_csv",
+    "regular_degree_relation",
+    "relation_with_planted_output",
+    "single_value_relation",
+    "skewed_relation",
+    "triangle_relations",
+    "uniform_relation",
+    "write_csv",
+    "union_all",
+    "zipf_values",
+]

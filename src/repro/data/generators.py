@@ -1,0 +1,156 @@
+"""Synthetic relation generators for the tutorial's workloads.
+
+Every generator is seeded and deterministic. The tutorial's analyses are
+parameterized by the *degree* of join values (frequency of each value),
+so the generators give precise control over degrees:
+
+- :func:`uniform_relation` — attributes drawn uniformly from a universe;
+- :func:`matching_relation` — every join value occurs *exactly once*
+  (the "no skew" case of slide 24);
+- :func:`regular_degree_relation` — every join value occurs exactly ``d``
+  times (slide 25's analysis);
+- :func:`skewed_relation` — Zipf-distributed join values;
+- :func:`single_value_relation` — the extreme-skew case of slide 27 where
+  the join degenerates to a Cartesian product.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.data.relation import Relation
+from repro.data.zipf import ZipfSampler
+
+
+def uniform_relation(
+    name: str,
+    attributes: Sequence[str],
+    n: int,
+    universe: int,
+    seed: int = 0,
+) -> Relation:
+    """``n`` tuples with each attribute i.i.d. uniform over ``[0, universe)``."""
+    rng = np.random.default_rng(seed)
+    columns = [rng.integers(0, universe, size=n) for _ in attributes]
+    rows = list(zip(*(c.tolist() for c in columns))) if attributes else []
+    return Relation(name, attributes, rows)
+
+
+def matching_relation(name: str, attributes: Sequence[str], n: int) -> Relation:
+    """``n`` tuples ``(i, i, ..., i)`` — every value occurs exactly once.
+
+    This is the tutorial's skew-free extreme: iterative binary joins never
+    grow intermediate results on such data (slide 57).
+    """
+    rows = [tuple([i] * len(attributes)) for i in range(n)]
+    return Relation(name, attributes, rows)
+
+
+def regular_degree_relation(
+    name: str,
+    attributes: Sequence[str],
+    n: int,
+    key_attribute: str,
+    degree: int,
+    seed: int = 0,
+) -> Relation:
+    """``n`` tuples where every value of ``key_attribute`` occurs exactly ``degree`` times.
+
+    Other attributes carry distinct serial values so tuples are unique.
+    ``n`` must be divisible by ``degree``.
+    """
+    if degree <= 0:
+        raise ValueError("degree must be positive")
+    if n % degree:
+        raise ValueError(f"n={n} must be a multiple of degree={degree}")
+    rng = np.random.default_rng(seed)
+    n_keys = n // degree
+    keys = rng.permutation(n_keys)
+    key_pos = list(attributes).index(key_attribute)
+    rows = []
+    serial = 0
+    for key in keys.tolist():
+        for _ in range(degree):
+            row = []
+            for pos, _attr in enumerate(attributes):
+                if pos == key_pos:
+                    row.append(key)
+                else:
+                    row.append(serial)
+                    serial += 1
+            rows.append(tuple(row))
+    return Relation(name, attributes, rows)
+
+
+def skewed_relation(
+    name: str,
+    attributes: Sequence[str],
+    n: int,
+    key_attribute: str,
+    universe: int,
+    s: float,
+    seed: int = 0,
+) -> Relation:
+    """``n`` tuples with Zipf(s) values on ``key_attribute``; others uniform."""
+    rng = np.random.default_rng(seed + 1)
+    key_pos = list(attributes).index(key_attribute)
+    keys = ZipfSampler(universe, s, seed).sample(n)
+    columns = []
+    for pos, _attr in enumerate(attributes):
+        if pos == key_pos:
+            columns.append(keys)
+        else:
+            columns.append(rng.integers(0, universe, size=n))
+    rows = list(zip(*(c.tolist() for c in columns)))
+    return Relation(name, attributes, rows)
+
+
+def single_value_relation(
+    name: str,
+    attributes: Sequence[str],
+    n: int,
+    key_attribute: str,
+    value: int = 0,
+) -> Relation:
+    """All ``n`` tuples share one value on ``key_attribute`` (slide 27's extreme)."""
+    key_pos = list(attributes).index(key_attribute)
+    rows = []
+    for i in range(n):
+        row = [value if pos == key_pos else (i * len(attributes) + pos)
+               for pos in range(len(attributes))]
+        rows.append(tuple(row))
+    return Relation(name, attributes, rows)
+
+
+def relation_with_planted_output(
+    r_name: str,
+    s_name: str,
+    join_attribute: str,
+    n: int,
+    out_pairs: int,
+    seed: int = 0,
+) -> tuple[Relation, Relation]:
+    """Two binary relations R(x, y), S(y, z) with a controlled join size.
+
+    Both relations have ``n`` tuples. A single *heavy* value on ``y`` gets
+    ``isqrt(out_pairs)`` tuples on each side, producing roughly
+    ``out_pairs`` output tuples, while all remaining tuples use fresh,
+    non-joining values. Useful for sweeping OUT independently of IN
+    (the GYM-vs-HyperCube crossover of slide 78).
+    """
+    import math
+
+    d = math.isqrt(out_pairs)
+    if d > n:
+        raise ValueError(f"cannot plant {out_pairs} outputs in relations of size {n}")
+    heavy = -1  # a value no generator below produces
+    r_rows = [(i, heavy) for i in range(d)]
+    s_rows = [(heavy, i) for i in range(d)]
+    # Non-joining filler: R uses y in [0, n), S uses y in [n, 2n).
+    r_rows += [(d + i, i) for i in range(n - d)]
+    s_rows += [(n + i, d + i) for i in range(n - d)]
+    r = Relation(r_name, ["x", join_attribute], r_rows)
+    s = Relation(s_name, [join_attribute, "z"], s_rows)
+    return r, s

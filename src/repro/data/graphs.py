@@ -1,0 +1,132 @@
+"""Graph-shaped workloads for subgraph (triangle, path, star) queries.
+
+The tutorial's central multiway example is the triangle query
+``Δ(x,y,z) = R(x,y) ⋈ S(y,z) ⋈ T(z,x)`` over three copies of an edge
+relation. These generators produce edge relations with controllable
+structure:
+
+- :func:`random_edges` — Erdős–Rényi-style random edge sets;
+- :func:`power_law_edges` — Zipf-degree (skewed) edge sets;
+- :func:`planted_triangles` — edges guaranteed to close a known number
+  of triangles (ground truth for tests);
+- :func:`triangle_relations` — rename one edge set into the R/S/T atoms
+  of the triangle query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.relation import Relation
+from repro.data.zipf import ZipfSampler
+
+
+def random_edges(
+    n_edges: int,
+    n_vertices: int,
+    seed: int = 0,
+    name: str = "E",
+    attributes: tuple[str, str] = ("u", "v"),
+) -> Relation:
+    """``n_edges`` distinct directed edges over ``n_vertices`` vertices."""
+    max_edges = n_vertices * n_vertices
+    if n_edges > max_edges:
+        raise ValueError(f"cannot draw {n_edges} distinct edges over {n_vertices} vertices")
+    rng = np.random.default_rng(seed)
+    seen: set[tuple[int, int]] = set()
+    # Draw in batches until enough distinct edges are collected.
+    while len(seen) < n_edges:
+        batch = rng.integers(0, n_vertices, size=(2 * (n_edges - len(seen)) + 8, 2))
+        for u, v in batch.tolist():
+            seen.add((u, v))
+            if len(seen) == n_edges:
+                break
+    return Relation(name, list(attributes), sorted(seen))
+
+
+def power_law_edges(
+    n_edges: int,
+    n_vertices: int,
+    s: float,
+    seed: int = 0,
+    name: str = "E",
+    attributes: tuple[str, str] = ("u", "v"),
+) -> Relation:
+    """Edges whose endpoints follow a Zipf(s) distribution (duplicates removed).
+
+    Low-numbered vertices become hubs — the heavy hitters the skew-aware
+    algorithms must handle. The result may have slightly fewer than
+    ``n_edges`` edges after deduplication.
+    """
+    sampler_u = ZipfSampler(n_vertices, s, seed)
+    sampler_v = ZipfSampler(n_vertices, s, seed + 1)
+    us = sampler_u.sample(2 * n_edges)
+    vs = sampler_v.sample(2 * n_edges)
+    seen: set[tuple[int, int]] = set()
+    for u, v in zip(us.tolist(), vs.tolist()):
+        seen.add((u, v))
+        if len(seen) == n_edges:
+            break
+    return Relation(name, list(attributes), sorted(seen))
+
+
+def planted_triangles(
+    n_triangles: int,
+    n_noise_edges: int,
+    n_vertices: int,
+    seed: int = 0,
+) -> tuple[Relation, int]:
+    """An edge relation closing exactly ``n_triangles`` known directed triangles.
+
+    Triangles use a reserved vertex range so that noise edges cannot
+    accidentally close additional ones. Returns ``(edges, closed_triples)``
+    where ``closed_triples = 3 * n_triangles`` is the size of the triangle
+    query's output (each 3-cycle appears once per rotation — see
+    :func:`count_triangles`).
+    """
+    if 3 * n_triangles > n_vertices:
+        raise ValueError("need at least 3 vertices per planted triangle")
+    edges: set[tuple[int, int]] = set()
+    for i in range(n_triangles):
+        a, b, c = 3 * i, 3 * i + 1, 3 * i + 2
+        edges.update([(a, b), (b, c), (c, a)])
+    rng = np.random.default_rng(seed)
+    base = 3 * n_triangles
+    span = max(n_vertices - base, 2)
+    while len(edges) < 3 * n_triangles + n_noise_edges:
+        u = base + int(rng.integers(0, span))
+        v = base + int(rng.integers(0, span))
+        if u != v:
+            # Noise edges only go "upward", so they can never close a cycle.
+            edges.add((min(u, v), max(u, v)))
+    return Relation("E", ["u", "v"], sorted(edges)), 3 * n_triangles
+
+
+def triangle_relations(edges: Relation) -> tuple[Relation, Relation, Relation]:
+    """R(x,y), S(y,z), T(z,x) — three renamings of one edge relation."""
+    u, v = edges.schema.attributes
+    r = edges.rename({u: "x", v: "y"}, name="R")
+    s = edges.rename({u: "y", v: "z"}, name="S")
+    t = edges.rename({u: "z", v: "x"}, name="T")
+    return r, s, t
+
+
+def count_triangles(edges: Relation) -> int:
+    """Number of *closed ordered triples* (x, y, z) with (x,y),(y,z),(z,x) ∈ E.
+
+    This equals exactly ``|R(x,y) ⋈ S(y,z) ⋈ T(z,x)|`` when R, S, T are the
+    renamings of ``edges`` — the ground truth the distributed triangle
+    algorithms are checked against. A 3-cycle on distinct vertices
+    contributes 3 triples (one per rotation).
+    """
+    u, v = edges.schema.attributes
+    out_neighbors: dict[int, set[int]] = {}
+    for a, b in edges:
+        out_neighbors.setdefault(a, set()).add(b)
+    count = 0
+    for a, succs in out_neighbors.items():
+        for b in succs:
+            for c in out_neighbors.get(b, ()):
+                if c in out_neighbors and a in out_neighbors[c]:
+                    count += 1
+    return count

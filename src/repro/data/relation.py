@@ -1,0 +1,221 @@
+"""In-memory relations: a named schema plus a tuple store.
+
+The MPC model of the tutorial counts communication in *tuples*, so the
+canonical representation here is a list of plain Python tuples. The class
+offers the small relational-algebra surface the parallel algorithms need:
+projection, selection, renaming, key extraction, degree (frequency)
+statistics, and exact local joins for verifying distributed results.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from typing import Any
+
+from repro.data.schema import Schema
+from repro.errors import SchemaError
+
+Row = tuple[Any, ...]
+
+
+class Relation:
+    """A named relation: schema + bag of tuples (duplicates allowed).
+
+    >>> r = Relation("R", ["x", "y"], [(1, 2), (1, 3)])
+    >>> len(r)
+    2
+    >>> r.project(["x"]).rows()
+    [(1,), (1,)]
+    """
+
+    __slots__ = ("name", "schema", "_rows")
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema | Sequence[str],
+        rows: Iterable[Row] = (),
+    ) -> None:
+        self.name = name
+        self.schema = schema if isinstance(schema, Schema) else Schema(schema)
+        self._rows: list[Row] = []
+        arity = self.schema.arity
+        for row in rows:
+            t = tuple(row)
+            if len(t) != arity:
+                raise SchemaError(
+                    f"tuple {t!r} has arity {len(t)}, schema {self.name} expects {arity}"
+                )
+            self._rows.append(t)
+
+    # ------------------------------------------------------------------ basic
+
+    def rows(self) -> list[Row]:
+        """The tuple store (the live list; callers must not mutate it)."""
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: object) -> bool:
+        return row in set(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        """Bag equality: same schema attributes and same multiset of tuples."""
+        if isinstance(other, Relation):
+            return (
+                self.schema == other.schema
+                and Counter(self._rows) == Counter(other._rows)
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:  # relations are mutable bags; identity hash
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, {list(self.schema.attributes)!r}, {len(self)} rows)"
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return self.schema.attributes
+
+    def add(self, row: Row) -> None:
+        """Append one tuple (arity-checked)."""
+        t = tuple(row)
+        if len(t) != self.schema.arity:
+            raise SchemaError(
+                f"tuple {t!r} has arity {len(t)}, schema {self.name} expects "
+                f"{self.schema.arity}"
+            )
+        self._rows.append(t)
+
+    def extend(self, rows: Iterable[Row]) -> None:
+        """Append many tuples (arity-checked)."""
+        for row in rows:
+            self.add(row)
+
+    # ------------------------------------------------------------- operations
+
+    def project(self, attributes: Sequence[str], name: str | None = None) -> "Relation":
+        """Projection (bag semantics: duplicates are kept)."""
+        idx = self.schema.indices(attributes)
+        out = Relation(name or self.name, self.schema.project(attributes))
+        out._rows = [tuple(row[i] for i in idx) for row in self._rows]
+        return out
+
+    def distinct(self, name: str | None = None) -> "Relation":
+        """Set-semantics copy with duplicates removed (first occurrence kept)."""
+        out = Relation(name or self.name, self.schema)
+        out._rows = list(dict.fromkeys(self._rows))
+        return out
+
+    def select(self, predicate: Callable[[Row], bool], name: str | None = None) -> "Relation":
+        """Selection by an arbitrary predicate on the raw tuple."""
+        out = Relation(name or self.name, self.schema)
+        out._rows = [row for row in self._rows if predicate(row)]
+        return out
+
+    def select_eq(self, attribute: str, value: Any, name: str | None = None) -> "Relation":
+        """Selection ``attribute == value``."""
+        i = self.schema.index(attribute)
+        out = Relation(name or self.name, self.schema)
+        out._rows = [row for row in self._rows if row[i] == value]
+        return out
+
+    def rename(self, mapping: dict[str, str], name: str | None = None) -> "Relation":
+        """Rename attributes (tuples are shared, not copied)."""
+        out = Relation(name or self.name, self.schema.rename(mapping))
+        out._rows = self._rows
+        return out
+
+    def key(self, attributes: Sequence[str]) -> list[Row]:
+        """The key-tuple (projection) of every row, in row order."""
+        idx = self.schema.indices(attributes)
+        return [tuple(row[i] for i in idx) for row in self._rows]
+
+    def column(self, attribute: str) -> list[Any]:
+        """All values of one attribute, in row order."""
+        i = self.schema.index(attribute)
+        return [row[i] for row in self._rows]
+
+    def degrees(self, attribute: str) -> Counter:
+        """Frequency of each value of ``attribute`` (the tutorial's *degree*)."""
+        return Counter(self.column(attribute))
+
+    def heavy_hitters(self, attribute: str, threshold: float) -> set[Any]:
+        """Values of ``attribute`` occurring at least ``threshold`` times.
+
+        The tutorial calls a join value *heavy* when its degree is at least
+        ``IN / p``; the caller supplies that threshold.
+        """
+        return {v for v, c in self.degrees(attribute).items() if c >= threshold}
+
+    # ------------------------------------------------------ reference queries
+
+    def join(self, other: "Relation", name: str = "J") -> "Relation":
+        """Exact local natural join, used as ground truth in tests.
+
+        The output schema is this schema followed by ``other``'s attributes
+        that are not shared.
+        """
+        shared = self.schema.common(other.schema)
+        left_idx = self.schema.indices(shared)
+        right_idx = other.schema.indices(shared)
+        extra = [a for a in other.schema.attributes if a not in self.schema]
+        extra_idx = other.schema.indices(extra)
+
+        out = Relation(name, Schema(list(self.schema.attributes) + extra))
+        if not shared:
+            out._rows = [l + r for l in self._rows for r in other._rows]
+            return out
+
+        index: dict[Row, list[Row]] = {}
+        for row in other._rows:
+            index.setdefault(tuple(row[i] for i in right_idx), []).append(row)
+        for row in self._rows:
+            k = tuple(row[i] for i in left_idx)
+            for match in index.get(k, ()):
+                out._rows.append(row + tuple(match[i] for i in extra_idx))
+        return out
+
+    def semijoin(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Exact local semijoin ``self ⋉ other`` on the shared attributes."""
+        shared = self.schema.common(other.schema)
+        if not shared:
+            out = Relation(name or self.name, self.schema)
+            out._rows = list(self._rows) if len(other) else []
+            return out
+        left_idx = self.schema.indices(shared)
+        right_keys = {tuple(row[i] for i in other.schema.indices(shared)) for row in other}
+        out = Relation(name or self.name, self.schema)
+        out._rows = [
+            row for row in self._rows if tuple(row[i] for i in left_idx) in right_keys
+        ]
+        return out
+
+    def sorted_by(self, attributes: Sequence[str], name: str | None = None) -> "Relation":
+        """Copy sorted lexicographically by the given attributes."""
+        idx = self.schema.indices(attributes)
+        out = Relation(name or self.name, self.schema)
+        out._rows = sorted(self._rows, key=lambda row: tuple(row[i] for i in idx))
+        return out
+
+
+def union_all(name: str, relations: Sequence[Relation]) -> Relation:
+    """Bag union of relations sharing one schema."""
+    if not relations:
+        raise SchemaError("union_all needs at least one relation")
+    schema = relations[0].schema
+    for r in relations[1:]:
+        if r.schema != schema:
+            raise SchemaError(
+                f"union_all schemas differ: {schema} vs {r.schema} ({r.name})"
+            )
+    out = Relation(name, schema)
+    for r in relations:
+        out._rows.extend(r.rows())
+    return out

@@ -1,0 +1,100 @@
+"""Relation schemas: ordered, named attributes.
+
+A :class:`Schema` is an immutable ordered collection of attribute names.
+Tuples of a relation are plain Python tuples positionally aligned with the
+schema. The schema provides the name->position mapping used everywhere a
+join key or projection list is given by attribute name.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+
+
+class Schema:
+    """An immutable ordered list of distinct attribute names.
+
+    >>> s = Schema(["x", "y"])
+    >>> s.index("y")
+    1
+    >>> s.project(["y"]).attributes
+    ('y',)
+    """
+
+    __slots__ = ("_attributes", "_positions")
+
+    def __init__(self, attributes: Iterable[str]) -> None:
+        attrs = tuple(attributes)
+        if not attrs:
+            raise SchemaError("a schema needs at least one attribute")
+        positions: dict[str, int] = {}
+        for i, name in enumerate(attrs):
+            if not isinstance(name, str) or not name:
+                raise SchemaError(f"attribute names must be non-empty strings, got {name!r}")
+            if name in positions:
+                raise SchemaError(f"duplicate attribute {name!r} in schema")
+            positions[name] = i
+        self._attributes = attrs
+        self._positions = positions
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """The attribute names, in order."""
+        return self._attributes
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self._attributes)
+
+    def index(self, attribute: str) -> int:
+        """Position of ``attribute``; raises :class:`SchemaError` if absent."""
+        try:
+            return self._positions[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"attribute {attribute!r} not in schema {self._attributes}"
+            ) from None
+
+    def indices(self, attributes: Sequence[str]) -> tuple[int, ...]:
+        """Positions of several attributes, in the order given."""
+        return tuple(self.index(a) for a in attributes)
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in self._positions
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Schema):
+            return self._attributes == other._attributes
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self._attributes)!r})"
+
+    def project(self, attributes: Sequence[str]) -> "Schema":
+        """A new schema containing only ``attributes`` (validated), in the given order."""
+        for a in attributes:
+            self.index(a)
+        return Schema(attributes)
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        """A new schema with attributes renamed through ``mapping``.
+
+        Attributes absent from ``mapping`` keep their name.
+        """
+        return Schema(mapping.get(a, a) for a in self._attributes)
+
+    def common(self, other: "Schema") -> tuple[str, ...]:
+        """Attributes shared with ``other``, in this schema's order."""
+        return tuple(a for a in self._attributes if a in other)

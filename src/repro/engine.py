@@ -1,0 +1,124 @@
+"""A small end-to-end facade: register relations, run queries.
+
+Bundles the parser, the statistics/planner, and the algorithm menu into
+the object a downstream user actually wants::
+
+    from repro import Engine
+    from repro.data import uniform_relation
+
+    engine = Engine(p=16)
+    engine.register(uniform_relation("R", ["x", "y"], 1000, 200, seed=1))
+    engine.register(uniform_relation("S", ["y", "z"], 1000, 200, seed=2))
+    result = engine.query("R(x, y), S(y, z)")
+    print(result.output, result.plan, result.stats.summary())
+
+The engine plans every query with :mod:`repro.planner` (two-way joins
+get the broadcast/hash/skew/Cartesian decision; multiway queries get
+GYM / HyperCube / SkewHC) and returns the output with the run's cost
+statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.relation import Relation
+from repro.errors import QueryError
+from repro.mpc.stats import RunStats
+from repro.planner.multiway import MultiwayPlan, execute_multiway_join
+from repro.planner.two_way import TwoWayPlan, execute_two_way_join
+from repro.query.cq import ConjunctiveQuery
+from repro.query.parser import parse_query
+
+
+@dataclass
+class QueryResult:
+    """Output, chosen plan, and cost of one engine query."""
+
+    output: Relation
+    plan: TwoWayPlan | MultiwayPlan
+    stats: RunStats
+
+    @property
+    def load(self) -> int:
+        return self.stats.max_load
+
+    @property
+    def rounds(self) -> int:
+        return self.stats.num_rounds
+
+
+class Engine:
+    """A registry of relations plus a planner-driven query runner."""
+
+    def __init__(self, p: int, seed: int = 0) -> None:
+        if p <= 0:
+            raise QueryError("the engine needs at least one server")
+        self.p = p
+        self.seed = seed
+        self._relations: dict[str, Relation] = {}
+
+    # --------------------------------------------------------------- catalog
+
+    def register(self, relation: Relation, name: str | None = None) -> None:
+        """Add (or replace) a relation under ``name`` (default: its own)."""
+        self._relations[name or relation.name] = relation
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise QueryError(
+                f"no relation {name!r} registered (have {sorted(self._relations)})"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._relations)
+
+    # --------------------------------------------------------------- queries
+
+    def query(self, text_or_query: str | ConjunctiveQuery,
+              out_estimate: int | None = None) -> QueryResult:
+        """Plan and execute a conjunctive query over registered relations."""
+        if isinstance(text_or_query, str):
+            cq = parse_query(text_or_query)
+        else:
+            cq = text_or_query
+        bindings = {a.name: self.relation(a.name) for a in cq.atoms}
+
+        if len(cq.atoms) == 2:
+            left, right = (bindings[a.name] for a in cq.atoms)
+            left, right = self._align(cq, 0, left), self._align(cq, 1, right)
+            plan, run = execute_two_way_join(left, right, self.p, seed=self.seed)
+            output = run.output.project(list(cq.variables), name="OUT")
+            return QueryResult(output, plan, run.stats)
+
+        if len(cq.atoms) == 1:
+            atom = cq.atoms[0]
+            rel = self._align(cq, 0, bindings[atom.name])
+            from repro.planner.statistics import JoinStatistics
+
+            plan = TwoWayPlan(
+                "scan",
+                0.0,
+                JoinStatistics(len(rel), 0, (), len(rel), 0, 0),
+            )
+            return QueryResult(
+                rel.project(list(cq.variables), name="OUT"), plan, RunStats(self.p)
+            )
+
+        plan, run = execute_multiway_join(
+            cq, bindings, self.p, seed=self.seed, out_estimate=out_estimate
+        )
+        return QueryResult(run.output, plan, run.stats)
+
+    def _align(self, cq: ConjunctiveQuery, index: int, rel: Relation) -> Relation:
+        atom = cq.atoms[index]
+        if set(rel.schema.attributes) != set(atom.variables):
+            raise QueryError(
+                f"relation {rel.name} attributes {rel.schema.attributes} do not "
+                f"match atom {atom}"
+            )
+        if rel.schema.attributes != atom.variables:
+            rel = rel.project(list(atom.variables))
+        return rel

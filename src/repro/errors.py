@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation or query references attributes inconsistently."""
+
+
+class QueryError(ReproError):
+    """A conjunctive query is malformed or unsupported by an algorithm."""
+
+
+class ClusterError(ReproError):
+    """Misuse of the MPC cluster simulator (bad server id, nested rounds...)."""
+
+
+class LoadExceededError(ClusterError):
+    """A server received more tuples in a round than the configured load cap."""
+
+    def __init__(self, server: int, load: int, cap: int) -> None:
+        super().__init__(
+            f"server {server} received {load} units in one round, "
+            f"exceeding the load cap {cap}"
+        )
+        self.server = server
+        self.load = load
+        self.cap = cap
+
+
+class DecompositionError(ReproError):
+    """A hypertree decomposition could not be built (e.g. cyclic query)."""
+
+
+class OptimizationError(ReproError):
+    """An LP / share-optimization problem failed to solve."""

@@ -1,0 +1,72 @@
+"""Shared plumbing for the distributed join algorithms.
+
+Every two-way join algorithm follows the same contract: take the two
+input relations and a server count, run rounds on a fresh
+:class:`~repro.mpc.cluster.Cluster`, and return a :class:`JoinRun`
+bundling the (gathered) output relation with the run's cost statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.relation import Relation
+from repro.data.schema import Schema
+from repro.errors import QueryError
+from repro.mpc.server import Server
+from repro.mpc.stats import RunStats
+
+
+@dataclass
+class JoinRun:
+    """Output and cost of one distributed join execution."""
+
+    output: Relation
+    stats: RunStats
+
+    @property
+    def load(self) -> int:
+        return self.stats.max_load
+
+    @property
+    def rounds(self) -> int:
+        return self.stats.num_rounds
+
+
+def join_schemas(r: Relation, s: Relation) -> tuple[tuple[str, ...], Schema]:
+    """The shared attributes and the natural-join output schema of R, S."""
+    shared = r.schema.common(s.schema)
+    extra = [a for a in s.schema.attributes if a not in r.schema]
+    return shared, Schema(list(r.schema.attributes) + extra)
+
+
+def require_join_key(r: Relation, s: Relation) -> tuple[str, ...]:
+    """The shared attributes, or an error if the join is a pure product."""
+    shared, _schema = join_schemas(r, s)
+    if not shared:
+        raise QueryError(
+            f"{r.name} and {s.name} share no attributes; use the Cartesian "
+            f"product algorithm instead"
+        )
+    return shared
+
+
+def local_join(
+    server: Server,
+    left_fragment: str,
+    right_fragment: str,
+    left: Relation,
+    right: Relation,
+    out_fragment: str,
+) -> None:
+    """Join the server's two local fragments and store the result locally.
+
+    ``left`` and ``right`` supply the schemas; only the fragments' rows
+    are read. Consumes both input fragments.
+    """
+    l_rel = Relation(left.name, left.schema, ())
+    l_rel.rows().extend(server.take(left_fragment))
+    r_rel = Relation(right.name, right.schema, ())
+    r_rel.rows().extend(server.take(right_fragment))
+    joined = l_rel.join(r_rel)
+    server.fragment(out_fragment).extend(joined.rows())

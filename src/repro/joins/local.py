@@ -1,0 +1,95 @@
+"""Local (single-server) join kernels.
+
+The tutorial notes (slide 32) that the choice of the *local* join
+algorithm is independent of the parallel shuffle. These kernels operate
+on raw row lists plus key positions; the distributed operators pick one
+per server after routing. All three produce identical outputs — the
+tests assert this — and differ only in access pattern:
+
+- :func:`hash_join_rows` — build a hash table on the smaller side;
+- :func:`merge_join_rows` — merge two key-sorted inputs;
+- :func:`nested_loop_rows` — quadratic fallback / Cartesian product.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+Row = tuple[Any, ...]
+
+
+def hash_join_rows(
+    left: Sequence[Row],
+    right: Sequence[Row],
+    left_key: Sequence[int],
+    right_key: Sequence[int],
+    right_payload: Sequence[int],
+) -> list[Row]:
+    """Hash join; output rows are ``left_row + right_row[right_payload]``."""
+    index: dict[Row, list[Row]] = {}
+    for row in right:
+        index.setdefault(tuple(row[i] for i in right_key), []).append(row)
+    out: list[Row] = []
+    for row in left:
+        key = tuple(row[i] for i in left_key)
+        for match in index.get(key, ()):
+            out.append(row + tuple(match[i] for i in right_payload))
+    return out
+
+
+def merge_join_rows(
+    left: Sequence[Row],
+    right: Sequence[Row],
+    left_key: Sequence[int],
+    right_key: Sequence[int],
+    right_payload: Sequence[int],
+) -> list[Row]:
+    """Sort-merge join (inputs need not be pre-sorted; we sort here)."""
+    lk = lambda row: tuple(row[i] for i in left_key)  # noqa: E731
+    rk = lambda row: tuple(row[i] for i in right_key)  # noqa: E731
+    ls = sorted(left, key=lk)
+    rs = sorted(right, key=rk)
+    out: list[Row] = []
+    i = j = 0
+    while i < len(ls) and j < len(rs):
+        lkey, rkey = lk(ls[i]), rk(rs[j])
+        if lkey < rkey:
+            i += 1
+        elif lkey > rkey:
+            j += 1
+        else:
+            # Gather the full run of equal keys on the right.
+            j_end = j
+            while j_end < len(rs) and rk(rs[j_end]) == rkey:
+                j_end += 1
+            i_end = i
+            while i_end < len(ls) and lk(ls[i_end]) == lkey:
+                i_end += 1
+            for li in range(i, i_end):
+                for rj in range(j, j_end):
+                    out.append(ls[li] + tuple(rs[rj][t] for t in right_payload))
+            i, j = i_end, j_end
+    return out
+
+
+def nested_loop_rows(
+    left: Sequence[Row],
+    right: Sequence[Row],
+    left_key: Sequence[int],
+    right_key: Sequence[int],
+    right_payload: Sequence[int],
+) -> list[Row]:
+    """Nested-loop join; with empty keys this is the Cartesian product."""
+    out: list[Row] = []
+    for lrow in left:
+        lkey = tuple(lrow[i] for i in left_key)
+        for rrow in right:
+            if lkey == tuple(rrow[i] for i in right_key):
+                out.append(lrow + tuple(rrow[i] for i in right_payload))
+    return out
+
+
+def cartesian_rows(left: Sequence[Row], right: Sequence[Row]) -> list[Row]:
+    """The full Cartesian product of two row lists."""
+    return [lrow + rrow for lrow in left for rrow in right]

@@ -1,0 +1,31 @@
+"""Distributed matrix multiplication in the MPC model."""
+
+from repro.matmul.blocks import (
+    assemble_blocks,
+    block_count,
+    get_block,
+    matrix_as_relation_rows,
+)
+from repro.matmul.multi_round import square_block_costs, square_block_matmul
+from repro.matmul.one_round import rectangle_block_costs, rectangle_block_matmul
+from repro.matmul.rectangular import (
+    balanced_groups,
+    rectangular_block_matmul,
+    rectangular_costs,
+)
+from repro.matmul.sql import sql_matmul
+
+__all__ = [
+    "assemble_blocks",
+    "balanced_groups",
+    "block_count",
+    "get_block",
+    "matrix_as_relation_rows",
+    "rectangle_block_costs",
+    "rectangle_block_matmul",
+    "rectangular_block_matmul",
+    "rectangular_costs",
+    "sql_matmul",
+    "square_block_costs",
+    "square_block_matmul",
+]

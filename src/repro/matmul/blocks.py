@@ -1,0 +1,58 @@
+"""Block partitioning helpers for distributed matrix multiplication.
+
+The square-block algorithm views an n×n matrix as an H×H grid of
+b×b blocks (b = n/H, padding the edge blocks when H ∤ n). Blocks are the
+unit of communication; a block message costs ``b²`` load units (one per
+element, matching the tutorial's element-counting convention).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def block_count(n: int, block_size: int) -> int:
+    """Number of blocks per dimension: ⌈n / b⌉."""
+    if block_size <= 0:
+        raise ValueError("block size must be positive")
+    return math.ceil(n / block_size)
+
+
+def get_block(matrix: np.ndarray, i: int, j: int, block_size: int) -> np.ndarray:
+    """Block (i, j), zero-padded to ``block_size`` on the boundary."""
+    n_rows, n_cols = matrix.shape
+    r0, c0 = i * block_size, j * block_size
+    if r0 >= n_rows or c0 >= n_cols:
+        raise IndexError(f"block ({i}, {j}) outside a {matrix.shape} matrix")
+    block = matrix[r0 : r0 + block_size, c0 : c0 + block_size]
+    if block.shape == (block_size, block_size):
+        return block
+    padded = np.zeros((block_size, block_size), dtype=matrix.dtype)
+    padded[: block.shape[0], : block.shape[1]] = block
+    return padded
+
+
+def assemble_blocks(
+    blocks: dict[tuple[int, int], np.ndarray], n: int, block_size: int
+) -> np.ndarray:
+    """Rebuild an n×n matrix from its (i, j) → block map (padding trimmed)."""
+    h = block_count(n, block_size)
+    out = np.zeros((n, n), dtype=float)
+    for (i, j), block in blocks.items():
+        if not (0 <= i < h and 0 <= j < h):
+            raise IndexError(f"block ({i}, {j}) outside the {h}×{h} grid")
+        r0, c0 = i * block_size, j * block_size
+        rows = min(block_size, n - r0)
+        cols = min(block_size, n - c0)
+        out[r0 : r0 + rows, c0 : c0 + cols] = block[:rows, :cols]
+    return out
+
+
+def matrix_as_relation_rows(matrix: np.ndarray) -> list[tuple[int, int, float]]:
+    """COO triples (i, j, value) of the non-zero entries — the slide-108 view."""
+    rows, cols = np.nonzero(matrix)
+    return [
+        (int(i), int(j), float(matrix[i, j])) for i, j in zip(rows.tolist(), cols.tolist())
+    ]

@@ -1,0 +1,79 @@
+"""Matrix multiplication as a SQL query on the MPC simulator (slide 108).
+
+    SELECT A.i, B.k, sum(A.v * B.v)
+    FROM A, B
+    WHERE A.j = B.j
+    GROUP BY A.i, B.k
+
+Two rounds: a hash join on ``j`` (each server emits the partial products
+of its j-bucket) followed by a hash aggregation on ``(i, k)``. This is
+the element-wise view of the conventional algorithm — every one of the
+n³ elementary products is materialized, so the aggregation round carries
+the full n³ product stream and the approach only makes sense for sparse
+inputs. The blocked algorithms of :mod:`repro.matmul.one_round` and
+:mod:`repro.matmul.multi_round` avoid exactly this blow-up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matmul.blocks import matrix_as_relation_rows
+from repro.mpc.cluster import Cluster, combine_sequential
+from repro.mpc.stats import RunStats
+
+
+def sql_matmul(
+    a: np.ndarray, b: np.ndarray, p: int, seed: int = 0
+) -> tuple[np.ndarray, RunStats]:
+    """Multiply dense (or sparse) matrices via join + group-by on ``p`` servers.
+
+    Returns ``(C, stats)`` with C = A·B computed exactly (up to float
+    association order).
+    """
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch: {a.shape} × {b.shape}")
+    a_rows = matrix_as_relation_rows(a)
+    b_rows = matrix_as_relation_rows(b)
+
+    # Round 1: join on j.
+    cluster = Cluster(p, seed=seed)
+    cluster.scatter_rows(a_rows, "A@in")
+    cluster.scatter_rows(b_rows, "B@in")
+    h = cluster.hash_function(0)
+    with cluster.round("join-j") as rnd:
+        for server in cluster.servers:
+            for i, j, v in server.take("A@in"):
+                rnd.send(h(j), "A@j", (i, j, v))
+            for j, k, v in server.take("B@in"):
+                rnd.send(h(j), "B@j", (j, k, v))
+
+    partials: list[tuple[int, int, float]] = []
+    for server in cluster.servers:
+        index: dict[int, list[tuple[int, float]]] = {}
+        for j, k, v in server.take("B@j"):
+            index.setdefault(j, []).append((k, v))
+        for i, j, av in server.take("A@j"):
+            for k, bv in index.get(j, ()):
+                partials.append((i, k, av * bv))
+    join_stats = cluster.stats
+
+    # Round 2: aggregate by (i, k).
+    agg = Cluster(p, seed=seed + 1)
+    agg.scatter_rows(partials, "P@in")
+    h2 = agg.hash_function(1)
+    with agg.round("groupby-ik") as rnd:
+        for server in agg.servers:
+            for i, k, v in server.take("P@in"):
+                rnd.send(h2((i, k)), "P@j", (i, k, v))
+
+    c = np.zeros((a.shape[0], b.shape[1]))
+    for server in agg.servers:
+        sums: dict[tuple[int, int], float] = {}
+        for i, k, v in server.take("P@j"):
+            sums[(i, k)] = sums.get((i, k), 0.0) + v
+        for (i, k), v in sums.items():
+            c[i, k] = v
+
+    stats = combine_sequential(p, [join_stats, agg.stats])
+    return c, stats

@@ -1,0 +1,31 @@
+"""The MPC (Massively Parallel Communication) simulator substrate."""
+
+from repro.mpc.cluster import (
+    Cluster,
+    RoundContext,
+    combine_parallel,
+    combine_sequential,
+)
+from repro.mpc.hashing import HashFamily, HashFunction, splitmix64
+from repro.mpc.server import Server
+from repro.mpc.stats import RoundStats, RunStats
+from repro.mpc.topology import Grid
+from repro.mpc.trace import busiest_server, load_histogram, round_table, trace
+
+__all__ = [
+    "Cluster",
+    "Grid",
+    "HashFamily",
+    "HashFunction",
+    "RoundContext",
+    "RoundStats",
+    "RunStats",
+    "Server",
+    "busiest_server",
+    "combine_parallel",
+    "combine_sequential",
+    "load_histogram",
+    "round_table",
+    "splitmix64",
+    "trace",
+]

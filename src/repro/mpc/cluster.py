@@ -1,0 +1,233 @@
+"""The MPC cluster simulator.
+
+Implements the Massively Parallel Communication model of the tutorial:
+``p`` shared-nothing servers computing in synchronous rounds. One round =
+local computation + all-to-all communication delivered at a barrier.
+
+Usage pattern (a shuffle round)::
+
+    cluster = Cluster(p=8)
+    cluster.scatter(r, "R")
+    h = cluster.hash_function(index=0, buckets=cluster.p)
+    with cluster.round("shuffle") as rnd:
+        for server in cluster.servers:
+            for row in server.take("R"):
+                rnd.send(h(row[0]), "R@h", row)
+    # after the `with` block every destination fragment is populated and
+    # cluster.stats has a RoundStats entry for the round.
+
+Costs follow the tutorial's conventions: the *load* of a server in a
+round is the number of tuples it receives; ``L`` is the max over servers
+and rounds; the initial ``scatter`` placement is free (the model grants
+an O(IN/p) initial distribution), though it can optionally be recorded.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.data.relation import Relation
+from repro.errors import ClusterError, LoadExceededError
+from repro.mpc.hashing import HashFamily, HashFunction
+from repro.mpc.server import Row, Server
+from repro.mpc.stats import RoundStats, RunStats
+
+
+class RoundContext:
+    """Collects sends during one round; delivers them at the barrier."""
+
+    def __init__(self, cluster: "Cluster", label: str, charged: bool = True) -> None:
+        self._cluster = cluster
+        self.label = label
+        self.charged = charged
+        # _buffers[dest][fragment] = list of rows
+        self._buffers: list[dict[str, list[Row]]] = [{} for _ in range(cluster.p)]
+        self._units: list[int] = [0] * cluster.p
+        self._closed = False
+
+    # ------------------------------------------------------------- sending
+
+    def send(self, dest: int, fragment: str, row: Row, units: int = 1) -> None:
+        """Send one tuple to server ``dest``, to be stored under ``fragment``.
+
+        ``units`` is the communication cost of the tuple (default one, per
+        the tutorial's tuple-counting convention).
+        """
+        if self._closed:
+            raise ClusterError("round already closed")
+        if not 0 <= dest < self._cluster.p:
+            raise ClusterError(f"destination {dest} out of range [0, {self._cluster.p})")
+        self._buffers[dest].setdefault(fragment, []).append(row)
+        self._units[dest] += units
+
+    def send_many(self, dest: int, fragment: str, rows: Iterable[Row]) -> None:
+        """Send several tuples to one destination fragment."""
+        for row in rows:
+            self.send(dest, fragment, row)
+
+    def broadcast(self, fragment: str, row: Row, servers: Sequence[int] | None = None) -> None:
+        """Send one tuple to every server (or each listed server)."""
+        targets = range(self._cluster.p) if servers is None else servers
+        for dest in targets:
+            self.send(dest, fragment, row)
+
+    # ------------------------------------------------------------- barrier
+
+    def _deliver(self) -> RoundStats:
+        self._closed = True
+        cluster = self._cluster
+        for dest, fragments in enumerate(self._buffers):
+            server = cluster.servers[dest]
+            for fragment, rows in fragments.items():
+                server.fragment(fragment).extend(rows)
+        units = list(self._units) if self.charged else [0] * cluster.p
+        stats = RoundStats(self.label, units)
+        if cluster.load_cap is not None and self.charged:
+            for sid, got in enumerate(self._units):
+                if got > cluster.load_cap:
+                    raise LoadExceededError(sid, got, cluster.load_cap)
+        return stats
+
+    def __enter__(self) -> "RoundContext":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if exc_type is None:
+            self._cluster._finish_round(self)
+
+
+class Cluster:
+    """A simulated MPC cluster of ``p`` servers.
+
+    Parameters
+    ----------
+    p:
+        Number of servers.
+    seed:
+        Seed of the cluster's hash-function family (all algorithms draw
+        their hash functions from here, so runs are reproducible).
+    load_cap:
+        Optional hard cap on per-server per-round load; exceeding it
+        raises :class:`LoadExceededError`. Used to *verify* that an
+        algorithm stays within a promised load L.
+    """
+
+    def __init__(self, p: int, seed: int = 0, load_cap: int | None = None) -> None:
+        if p <= 0:
+            raise ClusterError("a cluster needs at least one server")
+        self.p = p
+        self.servers = [Server(sid) for sid in range(p)]
+        self.stats = RunStats(p)
+        self.load_cap = load_cap
+        self._hash_family = HashFamily(seed)
+        self._in_round = False
+
+    # ----------------------------------------------------------- utilities
+
+    def hash_function(self, index: int, buckets: int | None = None) -> HashFunction:
+        """The ``index``-th hash function of the cluster's family."""
+        return self._hash_family.function(index, buckets if buckets is not None else self.p)
+
+    def round(self, label: str) -> RoundContext:
+        """Open a communication round. Use as a context manager."""
+        if self._in_round:
+            raise ClusterError("rounds cannot be nested")
+        self._in_round = True
+        return RoundContext(self, label)
+
+    def _finish_round(self, rnd: RoundContext) -> None:
+        stats = rnd._deliver()
+        self.stats.rounds.append(stats)
+        self._in_round = False
+
+    def free_round(self, label: str) -> RoundContext:
+        """A round whose communication is *not* charged (initial placement).
+
+        The MPC model grants the initial O(IN/p) distribution for free;
+        this provides the same mechanics as :meth:`round` but records a
+        zero-load entry in the statistics.
+        """
+        if self._in_round:
+            raise ClusterError("rounds cannot be nested")
+        self._in_round = True
+        return RoundContext(self, label, charged=False)
+
+    # ------------------------------------------------------- data placement
+
+    def scatter(self, relation: Relation, name: str | None = None) -> str:
+        """Place a relation round-robin across servers (free, per the model).
+
+        Returns the fragment name used (``relation.name`` by default).
+        """
+        fragment = name if name is not None else relation.name
+        for i, row in enumerate(relation):
+            self.servers[i % self.p].fragment(fragment).append(row)
+        return fragment
+
+    def scatter_rows(self, rows: Sequence[Row], name: str) -> str:
+        """Place raw rows round-robin across servers (free)."""
+        for i, row in enumerate(rows):
+            self.servers[i % self.p].fragment(name).append(row)
+        return name
+
+    def gather(self, fragment: str) -> list[Row]:
+        """All rows of a fragment across servers, in server order.
+
+        Gathering is an *inspection* helper for tests and result
+        collection; it is not charged as communication (the model's output
+        convention: results may stay distributed).
+        """
+        out: list[Row] = []
+        for server in self.servers:
+            out.extend(server.get(fragment))
+        return out
+
+    def gather_relation(self, fragment: str, name: str, attributes: Sequence[str]) -> Relation:
+        """Gather a fragment into a :class:`Relation`."""
+        return Relation(name, attributes, self.gather(fragment))
+
+    def drop(self, fragment: str) -> None:
+        """Delete a fragment on every server."""
+        for server in self.servers:
+            server.drop(fragment)
+
+    def fragment_sizes(self, fragment: str) -> list[int]:
+        """Per-server sizes of one fragment."""
+        return [len(server.get(fragment)) for server in self.servers]
+
+    def __repr__(self) -> str:
+        return f"Cluster(p={self.p}, {self.stats.summary()})"
+
+
+def combine_sequential(p_total: int, runs: Sequence[RunStats]) -> RunStats:
+    """Combine stats of algorithm phases run *one after another*.
+
+    Multi-round plans (iterative binary joins, GYM) execute phases in
+    sequence on the same servers: rounds concatenate, ``L`` is the max
+    over phases, ``C`` the sum.
+    """
+    combined = RunStats(p_total)
+    for run in runs:
+        combined.rounds.extend(run.rounds)
+    return combined
+
+
+def combine_parallel(p_total: int, runs: Sequence[RunStats]) -> RunStats:
+    """Combine stats of algorithms run *in parallel on disjoint servers*.
+
+    SkewHC runs each residual query on its own exclusive sub-cluster; in
+    the MPC model those executions happen simultaneously. The combined
+    cost has ``r = max rounds``, per-round ``L = max over sub-runs`` and
+    ``C = Σ``. Rounds are aligned by index.
+    """
+    combined = RunStats(p_total)
+    depth = max((len(r.rounds) for r in runs), default=0)
+    for i in range(depth):
+        received: list[int] = []
+        labels: list[str] = []
+        for run in runs:
+            if i < len(run.rounds):
+                received.extend(run.rounds[i].received)
+                labels.append(run.rounds[i].label)
+        combined.rounds.append(RoundStats("+".join(dict.fromkeys(labels)), received))
+    return combined

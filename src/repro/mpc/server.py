@@ -1,0 +1,52 @@
+"""A simulated shared-nothing server.
+
+Each server owns a private key-value store mapping *fragment names* to
+lists of tuples. Algorithms address fragments by name (e.g. ``"R"`` for
+the locally stored part of relation R, or ``"R@shuffled"`` for tuples
+received in a shuffle round). Servers never touch each other's storage;
+all movement goes through :class:`repro.mpc.cluster.Cluster` rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+Row = tuple[Any, ...]
+
+
+class Server:
+    """One MPC server: an id and a private fragment store."""
+
+    __slots__ = ("sid", "storage")
+
+    def __init__(self, sid: int) -> None:
+        self.sid = sid
+        self.storage: dict[str, list[Row]] = {}
+
+    def fragment(self, name: str) -> list[Row]:
+        """The local fragment ``name``, created empty if absent."""
+        return self.storage.setdefault(name, [])
+
+    def get(self, name: str) -> list[Row]:
+        """The local fragment ``name``, or an empty list (not stored)."""
+        return self.storage.get(name, [])
+
+    def take(self, name: str) -> list[Row]:
+        """Remove and return the local fragment ``name`` (empty if absent)."""
+        return self.storage.pop(name, [])
+
+    def put(self, name: str, rows: list[Row]) -> None:
+        """Replace fragment ``name`` with ``rows``."""
+        self.storage[name] = rows
+
+    def drop(self, name: str) -> None:
+        """Delete fragment ``name`` if present."""
+        self.storage.pop(name, None)
+
+    def local_size(self) -> int:
+        """Total tuples currently stored on this server."""
+        return sum(len(rows) for rows in self.storage.values())
+
+    def __repr__(self) -> str:
+        frags = {k: len(v) for k, v in self.storage.items()}
+        return f"Server({self.sid}, {frags})"

@@ -1,0 +1,90 @@
+"""Cost accounting for MPC runs.
+
+The tutorial measures exactly two quantities (slide 20):
+
+- ``L`` — the maximum communication load of any server in any round
+  (tuples *received* per server per round);
+- ``r`` — the number of rounds.
+
+We additionally track total communication ``C = Σ loads`` (used in the
+matrix-multiplication section, where ``C = p · r · L`` up to balance) and
+the per-round load distribution, so experiments can report realized skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RoundStats:
+    """Loads of one communication round."""
+
+    label: str
+    received: list[int]
+
+    @property
+    def max_load(self) -> int:
+        """L of this round: maximum tuples received by any server."""
+        return max(self.received) if self.received else 0
+
+    @property
+    def total(self) -> int:
+        """Total tuples communicated in this round."""
+        return sum(self.received)
+
+    @property
+    def mean_load(self) -> float:
+        return self.total / len(self.received) if self.received else 0.0
+
+    @property
+    def imbalance(self) -> float:
+        """max / mean load — 1.0 means perfectly balanced."""
+        mean = self.mean_load
+        return self.max_load / mean if mean else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"RoundStats({self.label!r}, L={self.max_load}, "
+            f"total={self.total}, imbalance={self.imbalance:.2f})"
+        )
+
+
+@dataclass
+class RunStats:
+    """Accumulated cost of a full MPC algorithm execution."""
+
+    p: int
+    rounds: list[RoundStats] = field(default_factory=list)
+
+    @property
+    def num_rounds(self) -> int:
+        """r: rounds that actually communicated at least one tuple."""
+        return sum(1 for r in self.rounds if r.total > 0)
+
+    @property
+    def max_load(self) -> int:
+        """L: the max per-server per-round load over the whole run."""
+        return max((r.max_load for r in self.rounds), default=0)
+
+    @property
+    def total_communication(self) -> int:
+        """C: total tuples communicated over all rounds and servers."""
+        return sum(r.total for r in self.rounds)
+
+    def load_of(self, label: str) -> int:
+        """Max load of the round(s) with the given label."""
+        loads = [r.max_load for r in self.rounds if r.label == label]
+        if not loads:
+            raise KeyError(f"no round labelled {label!r}")
+        return max(loads)
+
+    def summary(self) -> str:
+        """One-line human-readable cost summary."""
+        return (
+            f"p={self.p} r={self.num_rounds} L={self.max_load} "
+            f"C={self.total_communication}"
+        )
+
+    def __repr__(self) -> str:
+        return f"RunStats({self.summary()})"

@@ -1,0 +1,93 @@
+"""Hypercube (grid) addressing of servers.
+
+The HyperCube algorithm organizes ``p`` servers in a ``p1 × p2 × … × pk``
+grid (slide 37). A :class:`Grid` converts between flat server ids and
+grid coordinates, and enumerates the servers matching a *partial*
+coordinate — exactly the destinations a tuple with some unbound
+dimensions must be replicated to.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterator, Sequence
+
+from repro.errors import ClusterError
+
+
+class Grid:
+    """A mixed-radix grid of server coordinates.
+
+    >>> g = Grid([2, 3])
+    >>> g.size
+    6
+    >>> g.flat((1, 2))
+    5
+    >>> g.coordinate(5)
+    (1, 2)
+    >>> list(g.matching((None, 1)))
+    [1, 4]
+    """
+
+    def __init__(self, extents: Sequence[int]) -> None:
+        if not extents:
+            raise ClusterError("a grid needs at least one dimension")
+        for e in extents:
+            if e <= 0:
+                raise ClusterError(f"grid extents must be positive, got {extents}")
+        self.extents = tuple(int(e) for e in extents)
+        self.size = math.prod(self.extents)
+        # Row-major strides: the last dimension varies fastest.
+        strides = []
+        acc = 1
+        for e in reversed(self.extents):
+            strides.append(acc)
+            acc *= e
+        self._strides = tuple(reversed(strides))
+
+    @property
+    def dimensions(self) -> int:
+        return len(self.extents)
+
+    def flat(self, coordinate: Sequence[int]) -> int:
+        """Flat server id of a full coordinate."""
+        if len(coordinate) != self.dimensions:
+            raise ClusterError(
+                f"coordinate {coordinate} has {len(coordinate)} dims, grid has "
+                f"{self.dimensions}"
+            )
+        flat = 0
+        for c, e, s in zip(coordinate, self.extents, self._strides):
+            if not 0 <= c < e:
+                raise ClusterError(f"coordinate {coordinate} outside grid {self.extents}")
+            flat += c * s
+        return flat
+
+    def coordinate(self, flat: int) -> tuple[int, ...]:
+        """Grid coordinate of a flat server id."""
+        if not 0 <= flat < self.size:
+            raise ClusterError(f"server id {flat} outside grid of size {self.size}")
+        coordinate = []
+        for e, s in zip(self.extents, self._strides):
+            coordinate.append((flat // s) % e)
+        return tuple(coordinate)
+
+    def matching(self, partial: Sequence[int | None]) -> Iterator[int]:
+        """Flat ids of all servers agreeing with the bound positions.
+
+        ``None`` entries are wildcards: a tuple that fixes only some hash
+        coordinates is replicated to every server matching the rest —
+        the HyperCube replication rule (slide 35's ``T(c,a) -> (hx(a), *, hz(c))``).
+        """
+        if len(partial) != self.dimensions:
+            raise ClusterError(
+                f"partial coordinate {partial} has {len(partial)} dims, grid has "
+                f"{self.dimensions}"
+            )
+        ranges = [
+            range(e) if c is None else (c,)
+            for c, e in zip(partial, self.extents)
+        ]
+        for full in itertools.product(*ranges):
+            yield self.flat(full)

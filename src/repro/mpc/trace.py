@@ -1,0 +1,66 @@
+"""Human-readable traces of MPC executions.
+
+Debugging a distributed algorithm usually starts with *where did the
+load go*. This module renders :class:`~repro.mpc.stats.RunStats` as
+text: a per-round table and an ASCII histogram of per-server loads, so
+skew is visible at a glance::
+
+    round        L      total  imbalance
+    hash-shuffle 1154   8000   1.15
+    server loads [hash-shuffle]
+      s00 ████████████████████ 1154
+      s01 █████████████▌        812
+      ...
+"""
+
+from __future__ import annotations
+
+from repro.mpc.stats import RoundStats, RunStats
+
+_BAR_WIDTH = 24
+
+
+def round_table(stats: RunStats) -> str:
+    """A per-round summary table (label, L, total, imbalance)."""
+    lines = [f"{'round':<24} {'L':>8} {'total':>10} {'imbalance':>10}"]
+    for rd in stats.rounds:
+        lines.append(
+            f"{rd.label:<24} {rd.max_load:>8} {rd.total:>10} {rd.imbalance:>10.2f}"
+        )
+    lines.append(
+        f"{'TOTAL':<24} {stats.max_load:>8} {stats.total_communication:>10} "
+        f"{'r=' + str(stats.num_rounds):>10}"
+    )
+    return "\n".join(lines)
+
+
+def load_histogram(round_stats: RoundStats, width: int = _BAR_WIDTH) -> str:
+    """An ASCII bar per server for one round's received loads."""
+    peak = max(round_stats.max_load, 1)
+    lines = [f"server loads [{round_stats.label}]"]
+    for sid, load in enumerate(round_stats.received):
+        bar = "#" * max(1 if load else 0, round(load / peak * width))
+        lines.append(f"  s{sid:02d} {bar:<{width}} {load}")
+    return "\n".join(lines)
+
+
+def trace(stats: RunStats, histograms: bool = False) -> str:
+    """Full trace: the round table, optionally with per-round histograms."""
+    parts = [round_table(stats)]
+    if histograms:
+        for rd in stats.rounds:
+            if rd.total:
+                parts.append(load_histogram(rd))
+    return "\n\n".join(parts)
+
+
+def busiest_server(stats: RunStats) -> tuple[int, int]:
+    """(server id, total received) of the run's most loaded server."""
+    if not stats.rounds:
+        return (0, 0)
+    totals = [0] * stats.p
+    for rd in stats.rounds:
+        for sid, load in enumerate(rd.received):
+            totals[sid] += load
+    sid = max(range(stats.p), key=lambda i: totals[i])
+    return sid, totals[sid]

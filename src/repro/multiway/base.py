@@ -1,0 +1,220 @@
+"""Shared result type and charged communication primitives for multiway plans.
+
+Multi-round algorithms compose three charged one-round primitives:
+
+- :func:`shuffle_join` — hash-partition two relations by their shared key
+  and join locally (the step of an iterative binary plan);
+- :func:`shuffle_semijoin` — reduce a target relation by a reducer's
+  distinct keys (one Yannakakis/GYM semijoin);
+- :func:`shuffle_multi_semijoin` — reduce a target by several reducers
+  sharing the same key attributes in a single round (optimized GYM).
+
+Each primitive runs on a fresh cluster of ``p`` servers: inputs are
+scattered (free, per the model's initial-placement grant), the shuffle is
+charged, locals are computed, and the result is returned with the round's
+:class:`RunStats`. Plans stitch phases together with
+:func:`~repro.mpc.cluster.combine_sequential` (same servers, consecutive
+rounds) and :func:`~repro.mpc.cluster.combine_parallel` (disjoint
+servers, simultaneous rounds). Charging every phase's full shuffle is
+slightly conservative — a real engine reuses co-partitioning — but keeps
+the accounting identical across algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.data.relation import Relation
+from repro.errors import QueryError
+from repro.joins.base import local_join
+from repro.mpc.cluster import Cluster
+from repro.mpc.stats import RunStats
+
+Row = tuple[Any, ...]
+
+
+@dataclass
+class MultiwayRun:
+    """Output and cost of one distributed multiway-join execution."""
+
+    output: Relation
+    stats: RunStats
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def load(self) -> int:
+        return self.stats.max_load
+
+    @property
+    def rounds(self) -> int:
+        return self.stats.num_rounds
+
+
+def shuffle_join(
+    r: Relation,
+    s: Relation,
+    p: int,
+    seed: int = 0,
+    label: str = "join",
+    output_name: str = "J",
+) -> tuple[Relation, RunStats]:
+    """One-round hash join; returns the (gathered) result and its cost."""
+    shared = r.schema.common(s.schema)
+    if not shared:
+        raise QueryError(
+            f"{r.name} ⋈ {s.name} has no shared attributes; use the "
+            f"Cartesian product primitive"
+        )
+    cluster = Cluster(p, seed=seed)
+    r_frag = cluster.scatter(r, "L@in")
+    s_frag = cluster.scatter(s, "R@in")
+    h = cluster.hash_function(0)
+    r_idx = r.schema.indices(shared)
+    s_idx = s.schema.indices(shared)
+    with cluster.round(label) as rnd:
+        for server in cluster.servers:
+            for row in server.take(r_frag):
+                rnd.send(h(tuple(row[i] for i in r_idx)), "L@j", row)
+            for row in server.take(s_frag):
+                rnd.send(h(tuple(row[i] for i in s_idx)), "R@j", row)
+    for server in cluster.servers:
+        local_join(server, "L@j", "R@j", r, s, "out")
+    attrs = list(r.schema.attributes) + [
+        a for a in s.schema.attributes if a not in r.schema
+    ]
+    return cluster.gather_relation("out", output_name, attrs), cluster.stats
+
+
+def shuffle_semijoin(
+    target: Relation,
+    reducer: Relation,
+    p: int,
+    seed: int = 0,
+    label: str = "semijoin",
+) -> tuple[Relation, RunStats]:
+    """One-round distributed semijoin ``target ⋉ reducer``."""
+    result, stats = shuffle_multi_semijoin(target, [reducer], p, seed=seed, label=label)
+    return result, stats
+
+
+def shuffle_multi_semijoin(
+    target: Relation,
+    reducers: list[Relation],
+    p: int,
+    seed: int = 0,
+    label: str = "semijoin",
+) -> tuple[Relation, RunStats]:
+    """Reduce ``target`` by several reducers in a single round, skew-aware.
+
+    All reducers must share the *same* key attributes with the target (a
+    GYM parent whose children attach through one variable set — slide 90's
+    simultaneous upward semijoins). A target tuple survives iff its key
+    appears in every reducer.
+
+    Light keys (degree < IN/p in the target) are hash-partitioned together
+    with the reducers' distinct keys. Heavy keys would overload a single
+    hash bucket, so their target tuples *stay in place* and only the
+    membership verdicts of the ≤ p heavy keys are broadcast — this is
+    what keeps a semijoin at L = O(IN/p) under arbitrary skew (slide 58).
+    """
+    if not reducers:
+        raise QueryError("shuffle_multi_semijoin needs at least one reducer")
+    keys = [target.schema.common(red.schema) for red in reducers]
+    if any(not k for k in keys):
+        raise QueryError(f"a reducer shares no attributes with {target.name}")
+    if len(set(keys)) != 1:
+        raise QueryError(
+            f"simultaneous semijoins need one key; got {sorted(set(keys))}"
+        )
+    shared = keys[0]
+    t_idx = target.schema.indices(shared)
+
+    # Heavy keys by target degree (statistics assumed known, as in the
+    # tutorial's skew algorithms; a real engine samples them).
+    from collections import Counter
+
+    degrees = Counter(tuple(row[i] for i in t_idx) for row in target)
+    in_size = len(target) + sum(len(r) for r in reducers)
+    threshold = max(in_size / p, 2.0)
+    heavy = {k for k, c in degrees.items() if c >= threshold}
+
+    cluster = Cluster(p, seed=seed)
+    t_frag = cluster.scatter(target, "T@in")
+    reducer_frags = []
+    reducer_key_sets: list[set[Row]] = []
+    for i, red in enumerate(reducers):
+        distinct_keys = red.project(list(shared)).distinct()
+        reducer_key_sets.append(set(distinct_keys.rows()))
+        light_keys = distinct_keys.select(lambda row: row not in heavy)
+        reducer_frags.append(cluster.scatter(light_keys, f"K{i}@in"))
+
+    # Heavy keys surviving every reducer get their verdict broadcast.
+    heavy_alive = sorted(
+        k for k in heavy if all(k in ks for ks in reducer_key_sets)
+    )
+
+    h = cluster.hash_function(0)
+    with cluster.round(label) as rnd:
+        for server in cluster.servers:
+            stay: list[Row] = []
+            for row in server.take(t_frag):
+                key = tuple(row[i] for i in t_idx)
+                if key in heavy:
+                    stay.append(row)  # no communication: stays in place
+                else:
+                    rnd.send(h(key), "T@j", row)
+            server.put("T@stay", stay)
+            for i, frag in enumerate(reducer_frags):
+                for row in server.take(frag):
+                    rnd.send(h(row), f"K{i}@j", row)
+        for key in heavy_alive:
+            rnd.broadcast("H@alive", key)
+
+    alive = set(heavy_alive)
+    for server in cluster.servers:
+        server.take("H@alive")  # consumed: contents mirror `alive`
+        key_sets = [set(server.take(f"K{i}@j")) for i in range(len(reducers))]
+        survivors = [
+            row
+            for row in server.take("T@j")
+            if all(tuple(row[i] for i in t_idx) in ks for ks in key_sets)
+        ]
+        survivors.extend(
+            row
+            for row in server.take("T@stay")
+            if tuple(row[i] for i in t_idx) in alive
+        )
+        server.put("out", survivors)
+    result = cluster.gather_relation("out", target.name, target.schema.attributes)
+    return result, cluster.stats
+
+
+def shuffle_aggregate(
+    rows: list[Row],
+    key_positions: tuple[int, ...],
+    combine: Any,
+    p: int,
+    seed: int = 0,
+    label: str = "aggregate",
+) -> tuple[list[Row], RunStats]:
+    """One-round hash aggregation: route rows by key, fold groups locally.
+
+    ``combine(key, group_rows) -> row`` produces one output row per group.
+    Used by the SQL-on-MPC matrix multiplication's GROUP BY stage.
+    """
+    cluster = Cluster(p, seed=seed)
+    cluster.scatter_rows(rows, "A@in")
+    h = cluster.hash_function(0)
+    with cluster.round(label) as rnd:
+        for server in cluster.servers:
+            for row in server.take("A@in"):
+                rnd.send(h(tuple(row[i] for i in key_positions)), "A@j", row)
+    out: list[Row] = []
+    for server in cluster.servers:
+        groups: dict[Row, list[Row]] = {}
+        for row in server.take("A@j"):
+            groups.setdefault(tuple(row[i] for i in key_positions), []).append(row)
+        for key, group in groups.items():
+            out.append(combine(key, group))
+    return out, cluster.stats

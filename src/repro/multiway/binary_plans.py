@@ -1,0 +1,83 @@
+"""Iterative binary join plans — the multi-round baseline (slides 52, 57, 63).
+
+Most systems evaluate a multiway join as a sequence of two-way hash
+joins, one round each. On skew-free ("matching-degree") data the
+intermediates never grow, so the whole plan runs with L = O(IN/p) in
+n − 1 rounds (slide 57) — beating any one-round algorithm's
+IN/p^{1/τ*}. On cyclic queries with large intermediates the plan can
+explode (slide 63: |T_i| ≫ p·IN makes one-round replication cheaper) —
+the benchmarks reproduce both regimes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.data.relation import Relation
+from repro.errors import QueryError
+from repro.joins.cartesian import cartesian_product
+from repro.mpc.cluster import combine_sequential
+from repro.multiway.base import MultiwayRun, shuffle_join
+from repro.query.cq import ConjunctiveQuery
+
+
+def binary_join_plan(
+    query: ConjunctiveQuery,
+    relations: Mapping[str, Relation],
+    p: int,
+    seed: int = 0,
+    order: Sequence[str] | None = None,
+    output_name: str = "OUT",
+) -> MultiwayRun:
+    """Left-deep sequence of one-round hash joins (Cartesian when forced).
+
+    ``order`` lists atom names in join order (default: query order). The
+    run's ``details`` record every intermediate size — the quantity
+    slide 63's scalability warning is about.
+    """
+    atom_order = list(order) if order is not None else [a.name for a in query.atoms]
+    if sorted(atom_order) != sorted(a.name for a in query.atoms):
+        raise QueryError(
+            f"join order {atom_order} does not cover the query atoms exactly"
+        )
+
+    current = _aligned(query, atom_order[0], relations)
+    runs = []
+    intermediate_sizes = [len(current)]
+    for step, name in enumerate(atom_order[1:], start=1):
+        rel = _aligned(query, name, relations)
+        shared = current.schema.common(rel.schema)
+        if shared:
+            current, stats = shuffle_join(
+                current, rel, p, seed=seed + step, label=f"join-{name}"
+            )
+        else:
+            run = cartesian_product(current, rel, p, seed=seed + step)
+            current, stats = run.output, run.stats
+        runs.append(stats)
+        intermediate_sizes.append(len(current))
+
+    output = current.project(list(query.variables), name=output_name)
+    return MultiwayRun(
+        output,
+        combine_sequential(p, runs),
+        {"order": atom_order, "intermediate_sizes": intermediate_sizes},
+    )
+
+
+def _aligned(
+    query: ConjunctiveQuery, name: str, relations: Mapping[str, Relation]
+) -> Relation:
+    atom = query.atom(name)
+    try:
+        rel = relations[name]
+    except KeyError:
+        raise QueryError(f"no relation bound for atom {name!r}") from None
+    if set(rel.schema.attributes) != set(atom.variables):
+        raise QueryError(
+            f"relation {rel.name} attributes {rel.schema.attributes} do not match "
+            f"atom {atom}"
+        )
+    if rel.schema.attributes != atom.variables:
+        rel = rel.project(list(atom.variables))
+    return rel

@@ -1,0 +1,138 @@
+"""The HyperCube (Shares) algorithm — one-round multiway join (slides 34–44).
+
+Servers are arranged in a grid with one dimension per query variable;
+the variable's *share* is the dimension's extent. Each tuple of atom
+``S_j`` knows the grid coordinates of the variables it contains (via one
+independent hash function per variable) and is replicated to every
+server agreeing with them. Every server then evaluates the whole query
+on its local fragments; each output tuple is produced at exactly one
+server.
+
+With optimal shares the expected load is the slide-40 formula
+
+    L = max over edge packings u of (Π_j |S_j|^{u_j} / p)^{1/Σ u_j}
+
+— equal to ``N / p^{1/τ*}`` for equal sizes — and this is optimal among
+one-round algorithms on skew-free data (slide 36 for the triangle).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.data.relation import Relation
+from repro.errors import QueryError
+from repro.mpc.cluster import Cluster
+from repro.mpc.topology import Grid
+from repro.multiway.base import MultiwayRun
+from repro.query.cq import ConjunctiveQuery
+from repro.query.shares import ShareAssignment, optimal_shares
+
+
+def hypercube_join(
+    query: ConjunctiveQuery,
+    relations: Mapping[str, Relation],
+    p: int,
+    seed: int = 0,
+    shares: dict[str, int] | None = None,
+    output_name: str = "OUT",
+    local: str = "plan",
+) -> MultiwayRun:
+    """One-round HyperCube evaluation of a full conjunctive query.
+
+    ``relations`` maps atom names to relations whose attributes are the
+    atom's variables. ``shares`` overrides the optimized integral shares
+    (ablation hook); its product must not exceed ``p``. ``local`` picks
+    the per-server evaluation engine: ``"plan"`` (left-deep binary joins)
+    or ``"generic"`` (the worst-case optimal join of
+    :mod:`repro.multiway.wcoj`, as in BiGJoin-style systems — slide 97).
+    Communication costs are identical; only server-local work differs.
+    """
+    if local not in ("plan", "generic"):
+        raise QueryError(f"unknown local evaluator {local!r}")
+    sizes = {a.name: len(_relation_for(query, a.name, relations)) for a in query.atoms}
+    assignment: ShareAssignment | None = None
+    if shares is None:
+        assignment = optimal_shares(query, sizes, p)
+        shares = assignment.integral
+    extents = [shares[v] for v in query.variables]
+    grid = Grid(extents)
+    if grid.size > p:
+        raise QueryError(f"shares {shares} need {grid.size} servers, only {p} given")
+
+    cluster = Cluster(p, seed=seed)
+    hash_functions = {
+        v: cluster.hash_function(i, extents[i]) for i, v in enumerate(query.variables)
+    }
+    var_position = {v: i for i, v in enumerate(query.variables)}
+
+    # Scatter inputs (free), then the single replication round.
+    fragments = {}
+    for atom in query.atoms:
+        rel = _relation_for(query, atom.name, relations)
+        fragments[atom.name] = cluster.scatter(rel, f"{atom.name}@in")
+
+    with cluster.round("hypercube") as rnd:
+        for atom in query.atoms:
+            for server in cluster.servers:
+                for row in server.take(fragments[atom.name]):
+                    partial: list[int | None] = [None] * len(extents)
+                    for value, v in zip(row, atom.variables):
+                        partial[var_position[v]] = hash_functions[v](value)
+                    for dest in grid.matching(partial):
+                        rnd.send(dest, f"{atom.name}@hc", row)
+
+    # Local evaluation on each grid server.
+    out_attrs = list(query.variables)
+    for sid in range(grid.size):
+        server = cluster.servers[sid]
+        local_fragments = {
+            atom.name: Relation(
+                atom.name, list(atom.variables), server.take(f"{atom.name}@hc")
+            )
+            for atom in query.atoms
+        }
+        if all(len(rel) for rel in local_fragments.values()):
+            if local == "generic":
+                from repro.multiway.wcoj import generic_join
+
+                result = generic_join(query, local_fragments)
+            else:
+                result = query.evaluate(local_fragments)
+            server.put("out", result.rows())
+    output = cluster.gather_relation("out", output_name, out_attrs)
+    details = {"shares": dict(shares)}
+    if assignment is not None:
+        details["assignment"] = assignment
+    return MultiwayRun(output, cluster.stats, details)
+
+
+def _relation_for(
+    query: ConjunctiveQuery, name: str, relations: Mapping[str, Relation]
+) -> Relation:
+    atom = query.atom(name)
+    try:
+        rel = relations[name]
+    except KeyError:
+        raise QueryError(f"no relation bound for atom {name!r}") from None
+    if set(rel.schema.attributes) != set(atom.variables):
+        raise QueryError(
+            f"relation {rel.name} attributes {rel.schema.attributes} do not match "
+            f"atom {atom}"
+        )
+    if rel.schema.attributes != atom.variables:
+        rel = rel.project(list(atom.variables))
+    return rel
+
+
+def triangle_hypercube(
+    r: Relation,
+    s: Relation,
+    t: Relation,
+    p: int,
+    seed: int = 0,
+) -> MultiwayRun:
+    """Convenience wrapper: HyperCube on Δ(x,y,z) = R(x,y) ⋈ S(y,z) ⋈ T(z,x)."""
+    from repro.query.cq import triangle_query
+
+    return hypercube_join(triangle_query(), {"R": r, "S": s, "T": t}, p, seed=seed)

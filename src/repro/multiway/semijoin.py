@@ -1,0 +1,143 @@
+"""Heavy-Light + Semijoin plans (slides 58–59).
+
+Semijoins shrink relations without ever growing intermediates, which is
+what makes multi-round plans beat one-round algorithms under skew:
+
+- slide 58's easy case — R(x) ⋈ S(x,y) ⋈ T(y): two semijoin rounds
+  reduce S, then the (already-filtered) output is emitted with
+  L = O(IN/p) even though one-round needs IN/p^{1/2};
+- slide 59's triangle plan — light z-values go to HyperCube, each heavy
+  z-value h spawns the residual R(x,y) ⋉ S'(y) ⋉ T'(x) handled by two
+  semijoin rounds on its own servers. Two rounds total with
+  L = O(IN/p^{2/3}), worst-case optimal *despite* skew.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.data.relation import Relation
+from repro.joins.heavy import allocate_servers
+from repro.mpc.cluster import combine_parallel, combine_sequential
+from repro.multiway.base import MultiwayRun, shuffle_multi_semijoin, shuffle_semijoin
+from repro.query.cq import triangle_query, two_path_query
+
+Row = tuple[Any, ...]
+
+
+def two_path_semijoin_plan(
+    r: Relation,
+    s: Relation,
+    t: Relation,
+    p: int,
+    seed: int = 0,
+    output_name: str = "OUT",
+) -> MultiwayRun:
+    """Slide 58: evaluate R(x) ⋈ S(x,y) ⋈ T(y) by pure semijoins.
+
+    Round 1: TMP(x,y) = S ⋉ R; round 2: OUT = TMP ⋉ T. Both rounds move
+    O(IN) tuples total, so L = O(IN/p) regardless of skew — while any
+    one-round algorithm needs IN/p^{1/2} (ψ* = 2).
+    """
+    tmp, stats1 = shuffle_semijoin(s, r, p, seed=seed, label="semijoin-R")
+    reduced, stats2 = shuffle_semijoin(tmp, t, p, seed=seed + 1, label="semijoin-T")
+    # Bag semantics: each surviving S tuple joins every matching R and T copy.
+    r_counts = r.degrees("x")
+    t_counts = t.degrees("y")
+    rows: list[Row] = []
+    for x, y in reduced.project(["x", "y"]).rows():
+        rows.extend([(x, y)] * (r_counts[x] * t_counts[y]))
+    output = Relation(output_name, ["x", "y"], rows)
+    run_stats = combine_sequential(p, [stats1, stats2])
+    return MultiwayRun(output, run_stats, {"query": str(two_path_query())})
+
+
+def triangle_hl_semijoin(
+    r: Relation,
+    s: Relation,
+    t: Relation,
+    p: int,
+    seed: int = 0,
+    threshold: float | None = None,
+    output_name: str = "OUT",
+) -> MultiwayRun:
+    """Slide 59: the Heavy-Light + Semijoin triangle algorithm.
+
+    ``threshold`` defaults to IN/p^{1/3} — z-values of lower degree are
+    *light* and handled by one HyperCube round on most of the cluster;
+    each heavy value gets a two-round semijoin residual on its own
+    allocation. Worst-case optimal: r = 2, L = O(IN/p^{2/3}).
+    """
+    from repro.multiway.hypercube import hypercube_join
+
+    n = max(len(r), len(s), len(t))
+    if threshold is None:
+        threshold = max(n / p ** (1.0 / 3.0), 1.0)
+
+    # Heavy z-values by degree in S(y,z) or T(z,x).
+    degrees = s.degrees("z")
+    degrees.update(t.degrees("z"))
+    heavy_z = sorted(v for v, c in degrees.items() if c >= threshold)
+    heavy_set = set(heavy_z)
+
+    s_light = s.select(lambda row: row[1] not in heavy_set)  # z is position 1 of S(y,z)
+    t_light = t.select(lambda row: row[0] not in heavy_set)  # z is position 0 of T(z,x)
+
+    # Server split: light HyperCube gets servers ∝ its input share.
+    light_in = len(r) + len(s_light) + len(t_light)
+    heavy_in = (len(s) - len(s_light)) + (len(t) - len(t_light)) + len(r) * bool(heavy_z)
+    pools = allocate_servers([max(light_in, 1), max(heavy_in, 1)], p) if heavy_z else [p]
+    p_light = pools[0]
+    p_heavy = pools[1] if heavy_z else 0
+
+    runs = []
+    out_rows: list[Row] = []
+
+    light_run = hypercube_join(
+        triangle_query(), {"R": r, "S": s_light, "T": t_light}, p_light, seed=seed
+    )
+    out_rows.extend(light_run.output.rows())
+    runs.append(light_run.stats)
+
+    if heavy_z:
+        heavy_allocation = allocate_servers(
+            [max(degrees[z], 1) for z in heavy_z], p_heavy
+        )
+        heavy_runs = []
+        for z_value, p_z in zip(heavy_z, heavy_allocation):
+            rows, stats = _heavy_z_residual(r, s, t, z_value, max(p_z, 1), seed)
+            out_rows.extend(rows)
+            heavy_runs.append(stats)
+        runs.append(combine_parallel(p_heavy, heavy_runs))
+
+    output = Relation(output_name, ["x", "y", "z"], out_rows)
+    return MultiwayRun(
+        output,
+        combine_parallel(p, runs),
+        {"heavy_z": heavy_z, "threshold": threshold},
+    )
+
+
+def _heavy_z_residual(
+    r: Relation, s: Relation, t: Relation, z_value: Any, p: int, seed: int
+) -> tuple[list[Row], Any]:
+    """q(z=h): R(x,y) ⋉ S'(y) ⋉ T'(x) via two semijoin rounds (slide 59)."""
+    s_h = s.select(lambda row: row[1] == z_value).project(["y"], name="Sh")
+    t_h = t.select(lambda row: row[0] == z_value).project(["x"], name="Th")
+    if not len(s_h) or not len(t_h):
+        from repro.mpc.stats import RunStats
+
+        return [], RunStats(p)
+    reduced, stats = shuffle_multi_semijoin(
+        r, [s_h], p, seed=seed, label="semijoin-S@z"
+    )
+    reduced, stats2 = shuffle_semijoin(
+        reduced, t_h, p, seed=seed + 1, label="semijoin-T@z"
+    )
+    # Multiplicity: bag semantics count matching S and T tuples per (x,y).
+    s_counts = s_h.degrees("y")
+    t_counts = t_h.degrees("x")
+    rows: list[Row] = []
+    for x, y in reduced.project(["x", "y"]).rows():
+        rows.extend([(x, y, z_value)] * (s_counts[y] * t_counts[x]))
+    return rows, combine_sequential(p, [stats, stats2])

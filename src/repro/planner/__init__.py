@@ -1,0 +1,24 @@
+"""Cost-based plan selection over the tutorial's algorithm menu."""
+
+from repro.planner.join_order import estimate_join_size, greedy_join_order
+from repro.planner.multiway import (
+    MultiwayPlan,
+    execute_multiway_join,
+    plan_multiway_join,
+)
+from repro.planner.statistics import JoinStatistics, join_statistics, output_size
+from repro.planner.two_way import TwoWayPlan, execute_two_way_join, plan_two_way_join
+
+__all__ = [
+    "JoinStatistics",
+    "MultiwayPlan",
+    "TwoWayPlan",
+    "estimate_join_size",
+    "execute_multiway_join",
+    "execute_two_way_join",
+    "greedy_join_order",
+    "join_statistics",
+    "output_size",
+    "plan_multiway_join",
+    "plan_two_way_join",
+]

@@ -1,0 +1,100 @@
+"""Cost-based selection among the multiway strategies.
+
+The tutorial's decision surface for a full conjunctive query:
+
+- **GYM** for acyclic queries with modest output — L = O((IN + OUT)/p)
+  beats one-round algorithms while OUT < p^{1−1/τ*}·IN (slide 78);
+- **HyperCube** for skew-free data (or when the query is cyclic and the
+  output is large) — one round, L = IN/p^{1/τ*};
+- **SkewHC** when heavy hitters exist — one round, L = IN/p^{1/ψ*}.
+
+The planner computes τ* via the LP, detects heavy hitters at the N/p
+threshold, estimates OUT exactly (sketched in a real engine), and picks
+accordingly. All three run paths return a
+:class:`~repro.multiway.base.MultiwayRun` so callers can compare.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.data.relation import Relation
+from repro.multiway.base import MultiwayRun
+from repro.multiway.gym import gym
+from repro.multiway.hypercube import hypercube_join
+from repro.multiway.skewhc import find_heavy_values, skewhc_join
+from repro.query.cq import ConjunctiveQuery
+from repro.query.fractional import tau_star
+from repro.query.hypergraph import is_acyclic
+
+
+@dataclass(frozen=True)
+class MultiwayPlan:
+    """A chosen multiway strategy plus the cost model's inputs."""
+
+    algorithm: str            # "gym" | "hypercube" | "skewhc"
+    acyclic: bool
+    tau_star: float
+    skewed: bool
+    in_size: int
+    out_estimate: int
+    predicted_load: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.algorithm} (acyclic={self.acyclic}, τ*={self.tau_star:.2f}, "
+            f"skewed={self.skewed}, predicted L ≈ {self.predicted_load:.0f})"
+        )
+
+
+def plan_multiway_join(
+    query: ConjunctiveQuery,
+    relations: Mapping[str, Relation],
+    p: int,
+    out_estimate: int | None = None,
+) -> MultiwayPlan:
+    """Pick GYM / HyperCube / SkewHC for this query and input profile.
+
+    ``out_estimate`` defaults to the exact output size (the simulator
+    can afford it); pass a sketch-based estimate to model a real engine.
+    """
+    in_size = sum(len(relations[a.name]) for a in query.atoms)
+    n_max = max((len(relations[a.name]) for a in query.atoms), default=0)
+    tau = tau_star(query)
+    acyclic = is_acyclic(query)
+    heavy = find_heavy_values(query, dict(relations), threshold=max(n_max / p, 1.0))
+    skewed = any(heavy.values())
+    if out_estimate is None:
+        out_estimate = len(query.evaluate(relations))
+
+    one_round_load = in_size / p ** (1.0 / tau) if tau > 0 else in_size
+    gym_load = (in_size + out_estimate) / p
+
+    if acyclic and gym_load < one_round_load:
+        return MultiwayPlan("gym", acyclic, tau, skewed, in_size, out_estimate, gym_load)
+    if skewed:
+        return MultiwayPlan(
+            "skewhc", acyclic, tau, skewed, in_size, out_estimate, one_round_load
+        )
+    return MultiwayPlan(
+        "hypercube", acyclic, tau, skewed, in_size, out_estimate, one_round_load
+    )
+
+
+def execute_multiway_join(
+    query: ConjunctiveQuery,
+    relations: Mapping[str, Relation],
+    p: int,
+    seed: int = 0,
+    out_estimate: int | None = None,
+) -> tuple[MultiwayPlan, MultiwayRun]:
+    """Plan and run; returns the decision and the execution."""
+    plan = plan_multiway_join(query, relations, p, out_estimate=out_estimate)
+    if plan.algorithm == "gym":
+        run = gym(query, relations, p, seed=seed)
+    elif plan.algorithm == "skewhc":
+        run = skewhc_join(query, relations, p, seed=seed)
+    else:
+        run = hypercube_join(query, relations, p, seed=seed)
+    return plan, run

@@ -1,0 +1,62 @@
+"""Cardinality and skew statistics feeding the plan chooser.
+
+The tutorial's algorithms all branch on a handful of data statistics:
+relation sizes, the degree profile of the join keys (heavy hitters), and
+the expected output size. A real engine maintains these as sketches;
+the simulator computes them exactly — the *decisions* they drive are
+what the planner reproduces.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.data.relation import Relation
+
+
+@dataclass(frozen=True)
+class JoinStatistics:
+    """Statistics of one binary natural join R ⋈ S."""
+
+    r_size: int
+    s_size: int
+    shared: tuple[str, ...]
+    out_size: int
+    max_degree_r: int
+    max_degree_s: int
+
+    @property
+    def in_size(self) -> int:
+        return self.r_size + self.s_size
+
+    def has_heavy_hitter(self, p: int) -> bool:
+        """Whether some join value is heavy at the tutorial's IN/p threshold."""
+        threshold = self.in_size / p
+        return max(self.max_degree_r, self.max_degree_s) >= threshold
+
+
+def join_statistics(r: Relation, s: Relation) -> JoinStatistics:
+    """Exact statistics of R ⋈ S (a real system would estimate these)."""
+    shared = r.schema.common(s.schema)
+    r_idx = r.schema.indices(shared)
+    s_idx = s.schema.indices(shared)
+    r_degrees = Counter(tuple(row[i] for i in r_idx) for row in r)
+    s_degrees = Counter(tuple(row[i] for i in s_idx) for row in s)
+    if shared:
+        out = sum(c * s_degrees.get(k, 0) for k, c in r_degrees.items())
+    else:
+        out = len(r) * len(s)
+    return JoinStatistics(
+        r_size=len(r),
+        s_size=len(s),
+        shared=shared,
+        out_size=out,
+        max_degree_r=max(r_degrees.values(), default=0),
+        max_degree_s=max(s_degrees.values(), default=0),
+    )
+
+
+def output_size(relations: dict[str, Relation], query) -> int:
+    """Exact output cardinality of a full CQ (ground truth for planning tests)."""
+    return len(query.evaluate(relations))

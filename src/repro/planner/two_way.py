@@ -1,0 +1,79 @@
+"""Cost-based selection among the two-way join algorithms.
+
+Encodes the tutorial's decision surface (slides 23–32):
+
+- **broadcast join** when one side is smaller than the per-server share
+  of the other (`min ≤ max/p`) — one round, load `|small|`;
+- **Cartesian grid** when there is no join key;
+- **parallel hash join** when no value is heavy at IN/p — one round,
+  load ≈ IN/p;
+- **skew-aware join** otherwise — still one (model) round, load
+  `O(sqrt(OUT/p) + IN/p)`.
+
+:func:`plan_two_way_join` returns the decision with its predicted load;
+:func:`execute_two_way_join` runs it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.data.relation import Relation
+from repro.joins.base import JoinRun
+from repro.joins.broadcast_join import broadcast_join
+from repro.joins.cartesian import cartesian_product, predicted_cartesian_load
+from repro.joins.hash_join import parallel_hash_join
+from repro.joins.skew_join import skew_join
+from repro.planner.statistics import JoinStatistics, join_statistics
+
+
+@dataclass(frozen=True)
+class TwoWayPlan:
+    """A chosen algorithm plus the cost model's prediction."""
+
+    algorithm: str            # "broadcast" | "cartesian" | "hash" | "skew"
+    predicted_load: float
+    statistics: JoinStatistics
+
+    def describe(self) -> str:
+        return (
+            f"{self.algorithm} join (predicted L ≈ {self.predicted_load:.0f}, "
+            f"IN={self.statistics.in_size}, OUT={self.statistics.out_size})"
+        )
+
+
+def plan_two_way_join(r: Relation, s: Relation, p: int) -> TwoWayPlan:
+    """Pick the cheapest two-way algorithm for this input profile."""
+    stats = join_statistics(r, s)
+    if not stats.shared:
+        return TwoWayPlan(
+            "cartesian",
+            predicted_cartesian_load(stats.r_size, stats.s_size, p),
+            stats,
+        )
+    small = min(stats.r_size, stats.s_size)
+    big = max(stats.r_size, stats.s_size)
+    if small <= big / p:
+        return TwoWayPlan("broadcast", float(small), stats)
+    if not stats.has_heavy_hitter(p):
+        return TwoWayPlan("hash", stats.in_size / p, stats)
+    return TwoWayPlan(
+        "skew",
+        math.sqrt(stats.out_size / p) + stats.in_size / p,
+        stats,
+    )
+
+
+def execute_two_way_join(
+    r: Relation, s: Relation, p: int, seed: int = 0
+) -> tuple[TwoWayPlan, JoinRun]:
+    """Plan and run; returns the decision and the execution."""
+    plan = plan_two_way_join(r, s, p)
+    runner = {
+        "broadcast": broadcast_join,
+        "cartesian": cartesian_product,
+        "hash": parallel_hash_join,
+        "skew": skew_join,
+    }[plan.algorithm]
+    return plan, runner(r, s, p, seed=seed)

@@ -1,0 +1,87 @@
+"""A tiny datalog-style parser for conjunctive queries.
+
+Accepts the notation the tutorial writes queries in::
+
+    Q(x, y, z) :- R(x, y), S(y, z), T(z, x)
+
+The head is optional (full CQs output every variable anyway), so both of
+these parse to the same query::
+
+    R(x, y), S(y, z), T(z, x)
+    Δ(x,y,z) :- R(x,y), S(y,z), T(z,x)
+
+Grammar (whitespace-insensitive)::
+
+    query := [head ":-"] atom ("," atom)*
+    atom  := NAME "(" NAME ("," NAME)* ")"
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import QueryError
+from repro.query.cq import Atom, ConjunctiveQuery
+
+_ATOM = re.compile(r"\s*([^\s(),]+)\s*\(([^()]*)\)\s*")
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a conjunctive query from datalog-ish notation.
+
+    >>> q = parse_query("R(x, y), S(y, z), T(z, x)")
+    >>> [a.name for a in q.atoms]
+    ['R', 'S', 'T']
+    """
+    if ":-" in text:
+        head_text, body_text = text.split(":-", 1)
+        head = _parse_atom(head_text)
+    else:
+        head, body_text = None, text
+
+    atoms = []
+    position = 0
+    body = body_text.strip()
+    while position < len(body):
+        match = _ATOM.match(body, position)
+        if not match:
+            raise QueryError(f"cannot parse query body at: {body[position:]!r}")
+        atoms.append(_make_atom(match))
+        position = match.end()
+        if position < len(body):
+            if body[position] != ",":
+                raise QueryError(
+                    f"expected ',' between atoms at: {body[position:]!r}"
+                )
+            position += 1
+    if not atoms:
+        raise QueryError(f"no atoms found in query {text!r}")
+
+    query = ConjunctiveQuery(atoms)
+    if head is not None:
+        missing = set(head.variables) - set(query.variables)
+        if missing:
+            raise QueryError(
+                f"head variables {sorted(missing)} do not appear in the body"
+            )
+        if set(head.variables) != set(query.variables):
+            raise QueryError(
+                "only full conjunctive queries are supported: the head must "
+                f"contain every body variable {query.variables}"
+            )
+    return query
+
+
+def _parse_atom(text: str) -> Atom:
+    match = _ATOM.fullmatch(text)
+    if not match:
+        raise QueryError(f"cannot parse atom {text.strip()!r}")
+    return _make_atom(match)
+
+
+def _make_atom(match: re.Match) -> Atom:
+    name = match.group(1)
+    variables = [v.strip() for v in match.group(2).split(",") if v.strip()]
+    if not variables:
+        raise QueryError(f"atom {name!r} has no variables")
+    return Atom(name, variables)

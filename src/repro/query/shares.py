@@ -1,0 +1,152 @@
+"""Optimal share computation for the HyperCube algorithm (slides 37–44).
+
+HyperCube arranges ``p`` servers in a grid ``p_1 × … × p_k`` (one
+dimension per variable). An atom ``S_j`` is replicated along the
+dimensions of variables it does not contain, so the expected number of
+its tuples per server is ``|S_j| / Π_{i : x_i ∈ vars(S_j)} p_i``. The
+*shares* ``p_i`` minimize the worst atom's per-server traffic subject to
+``Π p_i ≤ p``.
+
+Writing ``p_i = p^{e_i}``, the problem becomes the linear program
+
+    minimize λ  s.t.  log|S_j| − (Σ_{i ∈ j} e_i)·log p ≤ λ,  Σ e_i ≤ 1,  e ≥ 0
+
+whose optimum (by LP duality, Beame et al. '14) equals the edge-packing
+load formula of slide 40. Real-valued shares are rounded to an integer
+grid with ``Π p_i ≤ p`` by exhaustive/greedy search.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import OptimizationError
+from repro.query.cq import ConjunctiveQuery
+
+
+@dataclass(frozen=True)
+class ShareAssignment:
+    """Result of share optimization for one query + size profile."""
+
+    exponents: dict[str, float]       # e_i: share of variable i is p^{e_i}
+    fractional: dict[str, float]      # p^{e_i} (real-valued shares)
+    integral: dict[str, int]          # rounded shares, Π ≤ p
+    predicted_load: float             # max_j |S_j| / Π_{i∈j} share_i (fractional)
+    integral_load: float              # same with the integral shares
+
+    def extents(self, variables: tuple[str, ...]) -> tuple[int, ...]:
+        """Integral shares ordered by the query's variable tuple."""
+        return tuple(self.integral[v] for v in variables)
+
+
+def optimal_shares(query: ConjunctiveQuery, sizes: dict[str, int], p: int,
+                   max_enumeration: int = 200_000) -> ShareAssignment:
+    """Optimal (fractional) shares and a good integral rounding.
+
+    ``sizes`` maps atom names to cardinalities; ``p`` is the server count.
+    """
+    if p <= 0:
+        raise OptimizationError("p must be positive")
+    exponents = _share_exponents(query, sizes, p)
+    fractional = {v: p ** e for v, e in exponents.items()}
+    integral = _round_shares(query, sizes, p, fractional, max_enumeration)
+    return ShareAssignment(
+        exponents=exponents,
+        fractional=fractional,
+        integral=integral,
+        predicted_load=_max_atom_load(query, sizes, fractional),
+        integral_load=_max_atom_load(query, sizes, integral),
+    )
+
+
+def _share_exponents(query: ConjunctiveQuery, sizes: dict[str, int],
+                     p: int) -> dict[str, float]:
+    """Solve the log-space share LP; returns e_i per variable."""
+    variables = list(query.variables)
+    k = len(variables)
+    log_p = math.log(p) if p > 1 else 1.0  # p=1: all shares 1, any exponents
+
+    # Decision vector: [e_1 … e_k, λ]
+    c = np.zeros(k + 1)
+    c[-1] = 1.0
+
+    rows, rhs = [], []
+    for atom in query.atoms:
+        row = np.zeros(k + 1)
+        for i, v in enumerate(variables):
+            if v in atom.variables:
+                row[i] = -log_p
+        row[-1] = -1.0
+        rows.append(row)
+        rhs.append(-math.log(max(sizes[atom.name], 1)))
+    # Σ e_i ≤ 1
+    budget = np.zeros(k + 1)
+    budget[:k] = 1.0
+    rows.append(budget)
+    rhs.append(1.0)
+
+    bounds = [(0.0, None)] * k + [(None, None)]
+    result = linprog(c, A_ub=np.array(rows), b_ub=np.array(rhs), bounds=bounds,
+                     method="highs")
+    if not result.success:
+        raise OptimizationError(f"share LP failed: {result.message}")
+    return {v: float(max(result.x[i], 0.0)) for i, v in enumerate(variables)}
+
+
+def _max_atom_load(query: ConjunctiveQuery, sizes: dict[str, int],
+                   shares: dict[str, float] | dict[str, int]) -> float:
+    """max_j |S_j| / Π_{i ∈ vars(S_j)} share_i — the expected worst load."""
+    worst = 0.0
+    for atom in query.atoms:
+        denom = math.prod(shares[v] for v in atom.variables)
+        worst = max(worst, sizes[atom.name] / denom)
+    return worst
+
+
+def _round_shares(query: ConjunctiveQuery, sizes: dict[str, int], p: int,
+                  fractional: dict[str, float], max_enumeration: int) -> dict[str, int]:
+    """Integral shares with Π ≤ p minimizing the predicted load.
+
+    Small grids are searched exhaustively over per-variable candidates
+    {1, …, ceil(share)+1}; otherwise a floor-rounding with greedy repair
+    is used.
+    """
+    variables = list(query.variables)
+    candidate_lists: list[list[int]] = []
+    for v in variables:
+        hi = max(1, math.ceil(fractional[v]) + 1)
+        candidates = sorted({1, *range(max(1, math.floor(fractional[v]) - 1), hi + 1)})
+        candidate_lists.append([c for c in candidates if c <= p])
+
+    combos = math.prod(len(c) for c in candidate_lists)
+    if combos <= max_enumeration:
+        best: dict[str, int] | None = None
+        best_load = math.inf
+        for combo in itertools.product(*candidate_lists):
+            if math.prod(combo) > p:
+                continue
+            shares = dict(zip(variables, combo))
+            load = _max_atom_load(query, sizes, shares)
+            if load < best_load:
+                best_load = load
+                best = shares
+        if best is not None:
+            return best
+
+    # Fallback: floor everything (guaranteed feasible), no repair needed.
+    floored = {v: max(1, math.floor(fractional[v])) for v in variables}
+    while math.prod(floored.values()) > p:
+        # Shrink the variable whose share exceeds its fractional value most.
+        victim = max(floored, key=lambda v: floored[v] / max(fractional[v], 1e-12))
+        floored[victim] = max(1, floored[victim] - 1)
+    return floored
+
+
+def equal_size_shares(query: ConjunctiveQuery, n: int, p: int) -> ShareAssignment:
+    """Shares when all relations have the same size ``n``."""
+    return optimal_shares(query, {a.name: n for a in query.atoms}, p)

@@ -1,0 +1,106 @@
+"""Parallel Sort by Regular Sampling — PSRS (slides 100–102).
+
+The algorithm:
+
+1. each server sorts its local fragment and extracts ``p − 1`` regular
+   samples;
+2. samples are gathered on a coordinator, which sorts the pooled
+   ``p(p−1)`` samples and picks every ``p``-th as the global splitters;
+3. splitters are broadcast; every item is routed to its interval's owner;
+4. each server sorts what it received.
+
+Load analysis (slide 102): L = O(N/p) provided ``p ≪ N^{1/3}`` — the
+sample-gather round costs ``p(p−1) ≤ N/p`` exactly when ``p³ ≲ N``.
+:func:`psrs_partition` is the in-cluster primitive (reused by the
+parallel sort join); :func:`psrs_sort` is the standalone entry point.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from repro.mpc.cluster import Cluster
+from repro.mpc.stats import RunStats
+from repro.sorting.splitters import (
+    bucket_of,
+    choose_splitters,
+    random_sample,
+    regular_sample,
+)
+
+Key = Callable[[Any], Any]
+
+
+def psrs_partition(
+    cluster: Cluster,
+    fragment: str,
+    out_fragment: str,
+    key: Key = lambda item: item,
+    use_random_sampling: bool = False,
+    coordinator: int = 0,
+) -> list[Any]:
+    """Range-partition ``fragment`` across the cluster and sort locally.
+
+    After the call, server ``i`` holds ``out_fragment`` = the items of the
+    ``i``-th key interval, locally sorted; the concatenation over servers
+    is globally sorted. Returns the splitters used. Charges three rounds:
+    sample gather, splitter broadcast, partition.
+    """
+    p = cluster.p
+
+    # Phase 1: local sort + samples to the coordinator.
+    with cluster.round("psrs-sample-gather") as rnd:
+        for server in cluster.servers:
+            local = sorted(server.take(fragment), key=key)
+            server.put(f"{fragment}@sorted", local)
+            if use_random_sampling:
+                samples = random_sample(local, p - 1, seed=server.sid + 1)
+            else:
+                samples = regular_sample(local, p - 1)
+            for item in samples:
+                rnd.send(coordinator, f"{fragment}@samples", (key(item),))
+
+    # Phase 2: coordinator picks splitters and broadcasts them.
+    pooled = [k for (k,) in cluster.servers[coordinator].take(f"{fragment}@samples")]
+    splitters = choose_splitters(pooled, p)
+    with cluster.round("psrs-splitter-broadcast") as rnd:
+        for splitter in splitters:
+            rnd.broadcast(f"{fragment}@splitters", (splitter,))
+
+    # Phase 3: route every item to its interval owner; sort on arrival.
+    with cluster.round("psrs-partition") as rnd:
+        for server in cluster.servers:
+            server.take(f"{fragment}@splitters")  # consumed; value known globally
+            for item in server.take(f"{fragment}@sorted"):
+                rnd.send(bucket_of(key(item), splitters), out_fragment, item)
+    for server in cluster.servers:
+        server.put(out_fragment, sorted(server.get(out_fragment), key=key))
+    return splitters
+
+
+def psrs_sort(
+    items: Sequence[Any],
+    p: int,
+    key: Key = lambda item: item,
+    seed: int = 0,
+    use_random_sampling: bool = False,
+) -> tuple[list[Any], RunStats]:
+    """Sort ``items`` on a fresh ``p``-server cluster with PSRS.
+
+    Returns ``(sorted_items, stats)`` where ``sorted_items`` is the
+    concatenation of the per-server sorted fragments. Ties are broken by
+    the item's original position, so heavily duplicated keys still spread
+    evenly across servers (the partition load stays O(N/p)).
+    """
+    cluster = Cluster(p, seed=seed)
+    cluster.scatter_rows([(x, i) for i, x in enumerate(items)], "items")
+    psrs_partition(
+        cluster,
+        "items",
+        "items@out",
+        key=lambda row: (key(row[0]), row[1]),
+        use_random_sampling=use_random_sampling,
+    )
+    output = [row[0] for row in cluster.gather("items@out")]
+    return output, cluster.stats

@@ -1,0 +1,55 @@
+"""Analytic formulas behind the tutorial's figures and tables."""
+
+from repro.theory.chernoff import (
+    degree_threshold,
+    empirical_overload_probability,
+    overload_probability_bound,
+    threshold_curve,
+)
+from repro.theory.loads import (
+    QueryCostProfile,
+    cost_profile,
+    hypercube_speedup,
+    required_processors_for_speedup,
+)
+from repro.theory.models import (
+    CircuitShape,
+    brent_bound,
+    circuit_of_mpc,
+    circuit_of_run,
+    pram_time_of_run,
+)
+from repro.theory.lower_bounds import (
+    join_load_lower_bound,
+    matmul_communication_lower_bound,
+    matmul_one_round_communication_lower_bound,
+    matmul_products_per_server,
+    matmul_rounds_lower_bound,
+    minimum_rounds_at_load,
+    sort_communication_lower_bound,
+    sort_rounds_lower_bound,
+)
+
+__all__ = [
+    "CircuitShape",
+    "QueryCostProfile",
+    "brent_bound",
+    "circuit_of_mpc",
+    "circuit_of_run",
+    "cost_profile",
+    "degree_threshold",
+    "empirical_overload_probability",
+    "hypercube_speedup",
+    "join_load_lower_bound",
+    "matmul_communication_lower_bound",
+    "matmul_one_round_communication_lower_bound",
+    "matmul_products_per_server",
+    "matmul_rounds_lower_bound",
+    "minimum_rounds_at_load",
+    "overload_probability_bound",
+    "pram_time_of_run",
+    "required_processors_for_speedup",
+    "sort_communication_lower_bound",
+    "sort_rounds_lower_bound",
+    "threshold_curve",
+]

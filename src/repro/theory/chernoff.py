@@ -1,0 +1,88 @@
+"""Chernoff-bound analysis of hash-partition load (slides 24–26).
+
+For a hash join over data where every join value has degree ``d``, the
+tutorial bounds the probability that some server exceeds the expected
+load IN/p by a factor (1 + δ):
+
+    Pr[ L ≥ (1+δ)·IN/p ] ≤ p · exp( −δ²·IN / (3·p·d) )        (slide 25)
+
+Degree d = 1 gives the skew-free concentration of slide 24. Solving the
+bound for ``d`` at a fixed overload δ and confidence yields the *degree
+threshold* curve of slide 26: the largest degree for which hash
+partitioning still balances, as a function of p.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.mpc.hashing import HashFamily
+
+
+def overload_probability_bound(
+    in_size: float, p: int, degree: float, delta: float
+) -> float:
+    """The slide-25 upper bound on Pr[L ≥ (1+δ)·IN/p], capped at 1."""
+    if in_size <= 0 or p <= 0 or degree <= 0 or delta <= 0:
+        raise ValueError("in_size, p, degree and delta must be positive")
+    exponent = -(delta**2) * in_size / (3.0 * p * degree)
+    return min(1.0, p * math.exp(exponent))
+
+
+def degree_threshold(
+    in_size: float, p: int, delta: float = 0.3, confidence: float = 0.95
+) -> float:
+    """The largest degree d with overload probability ≤ 1 − confidence.
+
+    Inverts slide 25's bound: p·exp(−δ²·IN/(3pd)) = 1 − confidence gives
+
+        d = δ²·IN / (3·p·ln(p / (1 − confidence))).
+
+    Slide 26 plots this for IN = 10¹¹, δ = 0.3, confidence = 0.95.
+    """
+    failure = 1.0 - confidence
+    if not 0 < failure < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    if p <= failure:
+        raise ValueError("p must exceed the failure probability")
+    return (delta**2) * in_size / (3.0 * p * math.log(p / failure))
+
+
+def threshold_curve(
+    in_size: float,
+    p_values: list[int],
+    delta: float = 0.3,
+    confidence: float = 0.95,
+) -> list[tuple[int, float]]:
+    """The (p, degree-threshold) series behind the slide-26 figure."""
+    return [(p, degree_threshold(in_size, p, delta, confidence)) for p in p_values]
+
+
+def empirical_overload_probability(
+    n_keys: int,
+    degree: int,
+    p: int,
+    delta: float,
+    trials: int = 200,
+    seed: int = 0,
+) -> float:
+    """Measured Pr[L ≥ (1+δ)·IN/p] over random hash functions.
+
+    Simulates hash-partitioning ``n_keys`` distinct join values of degree
+    ``degree`` (IN = n_keys·degree tuples) with a fresh hash function per
+    trial; used to validate that the Chernoff bound indeed upper-bounds
+    reality.
+    """
+    in_size = n_keys * degree
+    threshold = (1.0 + delta) * in_size / p
+    overloads = 0
+    for trial in range(trials):
+        h = HashFamily(seed + trial).function(0, p)
+        counts = np.zeros(p, dtype=np.int64)
+        for key in range(n_keys):
+            counts[h(key)] += degree
+        if counts.max() >= threshold:
+            overloads += 1
+    return overloads / trials

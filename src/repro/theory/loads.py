@@ -1,0 +1,79 @@
+"""Closed-form load and speedup formulas (slides 40–45, 51–54).
+
+Collects the tutorial's headline cost expressions so experiments can
+print paper-vs-measured side by side:
+
+- one-round skew-free load IN/p^{1/τ*} and skewed load IN/p^{1/ψ*};
+- the slide-51/54 table rows for the triangle, the two-way join, and the
+  intersection path;
+- the HyperCube speedup curve of slide 45.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.query.cq import ConjunctiveQuery
+from repro.query.fractional import psi_star, rho_star, tau_star
+
+
+@dataclass(frozen=True)
+class QueryCostProfile:
+    """The slide-54 table row for one query."""
+
+    query: str
+    tau_star: float
+    psi_star: float
+    rho_star: float
+
+    def one_round_load_no_skew(self, in_size: float, p: int) -> float:
+        return in_size / p ** (1.0 / self.tau_star)
+
+    def one_round_load_skew(self, in_size: float, p: int) -> float:
+        return in_size / p ** (1.0 / self.psi_star)
+
+    def multi_round_load_no_skew(self, in_size: float, p: int) -> float:
+        # Slide 54: multi-round, no skew — IN/p for all the examples.
+        return in_size / p
+
+    def multi_round_load_skew(self, in_size: float, p: int) -> float:
+        # Slide 54: multi-round under skew is governed by ρ* (tight for
+        # some queries, open in general).
+        return in_size / p ** (1.0 / self.rho_star)
+
+
+def cost_profile(query: ConjunctiveQuery) -> QueryCostProfile:
+    """Compute a query's (τ*, ψ*, ρ*) cost profile via the LPs."""
+    return QueryCostProfile(
+        query=str(query),
+        tau_star=tau_star(query),
+        psi_star=psi_star(query),
+        rho_star=rho_star(query),
+    )
+
+
+def hypercube_speedup(
+    exponent_sum: float, tau: float, p_values: list[int]
+) -> list[tuple[int, float]]:
+    """The slide-45 speedup curve.
+
+    For small p the integral shares track the LP solution and the
+    speedup follows p^{Σu} (``exponent_sum``); as p grows the speedup
+    degrades toward p^{1/τ*}. The returned curve is the *ideal* envelope
+    min(p^{Σu}, p^{1/τ}) used as reference in the benchmarks.
+    """
+    curve = []
+    for p in p_values:
+        curve.append((p, min(p**exponent_sum, p ** (1.0 / tau))))
+    return curve
+
+
+def required_processors_for_speedup(speedup: float, tau: float) -> float:
+    """Invert L = IN/p^{1/τ*}: the p needed for a given load speedup.
+
+    Slide 62's scalability warning: with τ* = 10, a 2× speedup needs
+    2¹⁰ = 1024× more processors.
+    """
+    if speedup <= 0:
+        raise ValueError("speedup must be positive")
+    return speedup**tau

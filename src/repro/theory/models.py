@@ -1,0 +1,57 @@
+"""Relating MPC to the traditional parallel models (slide 19).
+
+Slide 19's dictionary:
+
+- **circuits ≈ oblivious MPC**: an MPC algorithm with parameters
+  (p, r, L) corresponds to a circuit of size p·r, depth r and fan-in L;
+- **PRAM / Brent's theorem**: T_p = O(circuit-size / p + depth);
+- **BSP**: MPC is BSP with the detailed communication charges removed.
+
+These conversions let the benchmarks sanity-check MPC costs against the
+classical bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mpc.stats import RunStats
+
+
+@dataclass(frozen=True)
+class CircuitShape:
+    """The circuit corresponding to an oblivious MPC execution."""
+
+    size: float   # p · r gates
+    depth: float  # r
+    fan_in: float  # L
+
+
+def circuit_of_mpc(p: int, rounds: int, load: float) -> CircuitShape:
+    """Slide 19: circuit-size = p×r, depth = r, fan-in = L."""
+    if p <= 0 or rounds < 0 or load < 0:
+        raise ValueError("p must be positive; rounds and load non-negative")
+    return CircuitShape(size=p * rounds, depth=rounds, fan_in=load)
+
+
+def circuit_of_run(stats: RunStats) -> CircuitShape:
+    """The circuit shape of a recorded MPC execution."""
+    return circuit_of_mpc(stats.p, max(stats.num_rounds, 1), stats.max_load)
+
+
+def brent_bound(circuit_size: float, depth: float, p: int) -> float:
+    """Brent's theorem: T_p = O(circuit-size / p + depth) on a PRAM."""
+    if p <= 0:
+        raise ValueError("p must be positive")
+    return circuit_size / p + depth
+
+
+def pram_time_of_run(stats: RunStats, p: int | None = None) -> float:
+    """PRAM time of an MPC run via Brent, with work = total communication.
+
+    Uses C (tuples moved) as the circuit-size proxy: each received tuple
+    is one unit of work some gate must absorb.
+    """
+    shape = circuit_of_run(stats)
+    work = max(stats.total_communication, shape.size)
+    return brent_bound(work, shape.depth, p if p is not None else stats.p)

@@ -1,0 +1,120 @@
+"""Tests for the synthetic workload generators."""
+
+from collections import Counter
+
+import pytest
+
+from repro.data.generators import (
+    matching_relation,
+    regular_degree_relation,
+    relation_with_planted_output,
+    single_value_relation,
+    skewed_relation,
+    uniform_relation,
+)
+from repro.data.zipf import ZipfSampler, degree_sequence, zipf_values
+
+
+class TestUniformRelation:
+    def test_size_and_schema(self):
+        r = uniform_relation("R", ["x", "y"], 100, universe=50, seed=1)
+        assert len(r) == 100
+        assert r.schema.attributes == ("x", "y")
+
+    def test_values_in_universe(self):
+        r = uniform_relation("R", ["x"], 200, universe=10, seed=2)
+        assert all(0 <= t[0] < 10 for t in r)
+
+    def test_deterministic_given_seed(self):
+        a = uniform_relation("R", ["x", "y"], 50, 100, seed=3)
+        b = uniform_relation("R", ["x", "y"], 50, 100, seed=3)
+        assert a.rows() == b.rows()
+
+    def test_different_seeds_differ(self):
+        a = uniform_relation("R", ["x", "y"], 50, 10**6, seed=3)
+        b = uniform_relation("R", ["x", "y"], 50, 10**6, seed=4)
+        assert a.rows() != b.rows()
+
+
+class TestMatchingRelation:
+    def test_every_value_once(self):
+        r = matching_relation("R", ["x", "y"], 10)
+        assert r.degrees("x") == Counter({i: 1 for i in range(10)})
+        assert all(t[0] == t[1] for t in r)
+
+
+class TestRegularDegreeRelation:
+    def test_exact_degree(self):
+        r = regular_degree_relation("R", ["x", "y"], 30, "y", degree=3, seed=0)
+        assert len(r) == 30
+        assert set(r.degrees("y").values()) == {3}
+
+    def test_other_attributes_unique(self):
+        r = regular_degree_relation("R", ["x", "y"], 30, "y", degree=3, seed=0)
+        xs = r.column("x")
+        assert len(set(xs)) == len(xs)
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            regular_degree_relation("R", ["x", "y"], 10, "y", degree=3)
+
+    def test_nonpositive_degree_raises(self):
+        with pytest.raises(ValueError):
+            regular_degree_relation("R", ["x", "y"], 10, "y", degree=0)
+
+
+class TestSkewedRelation:
+    def test_zipf_concentrates_on_low_ranks(self):
+        r = skewed_relation("R", ["x", "y"], 5000, "y", universe=1000, s=1.2, seed=0)
+        degrees = r.degrees("y")
+        top = degrees.most_common(1)[0]
+        assert top[0] < 10  # heaviest value is a low rank
+        assert top[1] > 5000 / 1000 * 20  # far above the uniform expectation
+
+    def test_zero_skew_is_roughly_uniform(self):
+        r = skewed_relation("R", ["x", "y"], 5000, "y", universe=50, s=0.0, seed=0)
+        degrees = r.degrees("y")
+        assert max(degrees.values()) < 3 * 5000 / 50
+
+
+class TestSingleValueRelation:
+    def test_all_tuples_share_key(self):
+        r = single_value_relation("R", ["x", "y"], 20, "y", value=7)
+        assert set(r.column("y")) == {7}
+        assert len(set(r.column("x"))) == 20
+
+
+class TestPlantedOutput:
+    def test_join_size_close_to_requested(self):
+        r, s = relation_with_planted_output("R", "S", "y", n=1000, out_pairs=400)
+        out = len(r.join(s))
+        assert out == 400  # isqrt(400)**2
+
+    def test_filler_does_not_join(self):
+        r, s = relation_with_planted_output("R", "S", "y", n=100, out_pairs=0)
+        assert len(r.join(s)) == 0
+
+    def test_too_large_out_raises(self):
+        with pytest.raises(ValueError):
+            relation_with_planted_output("R", "S", "y", n=10, out_pairs=10**6)
+
+
+class TestZipf:
+    def test_sampler_bounds(self):
+        vals = ZipfSampler(100, 1.0, seed=0).sample(1000)
+        assert vals.min() >= 0 and vals.max() < 100
+
+    def test_zipf_values_list(self):
+        vals = zipf_values(100, 50, 1.0, seed=1)
+        assert len(vals) == 100 and all(isinstance(v, int) for v in vals)
+
+    def test_degree_sequence_sums_to_n(self):
+        seq = degree_sequence(1000, 10, 1.5)
+        assert abs(sum(seq) - 1000) < 1e-6
+        assert seq == sorted(seq, reverse=True)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -1.0)

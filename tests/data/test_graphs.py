@@ -1,0 +1,75 @@
+"""Tests for graph workload generators and the triangle ground truth."""
+
+import pytest
+
+from repro.data.graphs import (
+    count_triangles,
+    planted_triangles,
+    power_law_edges,
+    random_edges,
+    triangle_relations,
+)
+from repro.data.relation import Relation
+
+
+class TestRandomEdges:
+    def test_exact_count_and_distinct(self):
+        e = random_edges(200, 50, seed=0)
+        assert len(e) == 200
+        assert len(set(e.rows())) == 200
+
+    def test_too_many_edges_raises(self):
+        with pytest.raises(ValueError):
+            random_edges(200, 10, seed=0)
+
+    def test_deterministic(self):
+        assert random_edges(50, 30, seed=5).rows() == random_edges(50, 30, seed=5).rows()
+
+
+class TestPowerLawEdges:
+    def test_hub_vertices_exist(self):
+        e = power_law_edges(500, 200, s=1.5, seed=0)
+        out_degrees = e.degrees("u")
+        # Vertex 0 is the heaviest rank; it should be a clear hub.
+        assert out_degrees.get(0, 0) >= 5 * (len(e) / 200)
+
+
+class TestPlantedTriangles:
+    def test_count_matches_plant(self):
+        edges, k = planted_triangles(7, 100, 200, seed=0)
+        assert k == 21  # 3 rotations per planted 3-cycle
+        assert count_triangles(edges) == 21
+
+    def test_zero_triangles(self):
+        edges, _ = planted_triangles(0, 50, 100, seed=0)
+        assert count_triangles(edges) == 0
+
+    def test_insufficient_vertices_raises(self):
+        with pytest.raises(ValueError):
+            planted_triangles(10, 0, 5)
+
+
+class TestTriangleRelations:
+    def test_schemas(self):
+        e = Relation("E", ["u", "v"], [(0, 1), (1, 2), (2, 0)])
+        r, s, t = triangle_relations(e)
+        assert r.schema.attributes == ("x", "y")
+        assert s.schema.attributes == ("y", "z")
+        assert t.schema.attributes == ("z", "x")
+
+    def test_three_way_join_counts_triangles(self):
+        edges, k = planted_triangles(5, 60, 120, seed=1)
+        r, s, t = triangle_relations(edges)
+        j = r.join(s).join(t)
+        assert len(j) == k == count_triangles(edges)
+
+
+class TestCountTriangles:
+    def test_single_directed_triangle_counted_three_times_rotations(self):
+        # (a,b),(b,c),(c,a) closes the directed cycle once per starting vertex.
+        e = Relation("E", ["u", "v"], [(0, 1), (1, 2), (2, 0)])
+        assert count_triangles(e) == 3
+
+    def test_no_triangle_in_dag(self):
+        e = Relation("E", ["u", "v"], [(0, 1), (1, 2), (0, 2)])
+        assert count_triangles(e) == 0

@@ -1,0 +1,86 @@
+"""Unit tests for repro.data.schema."""
+
+import pytest
+
+from repro.data.schema import Schema
+from repro.errors import SchemaError
+
+
+class TestSchemaConstruction:
+    def test_attributes_preserved_in_order(self):
+        s = Schema(["x", "y", "z"])
+        assert s.attributes == ("x", "y", "z")
+        assert s.arity == 3
+
+    def test_accepts_any_iterable(self):
+        s = Schema(a for a in ("x", "y"))
+        assert s.attributes == ("x", "y")
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["x", "x"])
+
+    def test_non_string_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["x", 3])
+
+    def test_empty_string_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([""])
+
+
+class TestSchemaLookup:
+    def test_index(self):
+        s = Schema(["x", "y", "z"])
+        assert s.index("x") == 0
+        assert s.index("z") == 2
+
+    def test_index_missing_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["x"]).index("w")
+
+    def test_indices_follow_argument_order(self):
+        s = Schema(["x", "y", "z"])
+        assert s.indices(["z", "x"]) == (2, 0)
+
+    def test_contains(self):
+        s = Schema(["x", "y"])
+        assert "x" in s
+        assert "w" not in s
+
+    def test_iteration_and_len(self):
+        s = Schema(["x", "y"])
+        assert list(s) == ["x", "y"]
+        assert len(s) == 2
+
+
+class TestSchemaOperations:
+    def test_project(self):
+        s = Schema(["x", "y", "z"]).project(["z", "y"])
+        assert s.attributes == ("z", "y")
+
+    def test_project_missing_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["x"]).project(["y"])
+
+    def test_rename(self):
+        s = Schema(["x", "y"]).rename({"x": "u"})
+        assert s.attributes == ("u", "y")
+
+    def test_rename_collision_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["x", "y"]).rename({"x": "y"})
+
+    def test_common_preserves_left_order(self):
+        a = Schema(["x", "y", "z"])
+        b = Schema(["z", "y", "w"])
+        assert a.common(b) == ("y", "z")
+
+    def test_equality_and_hash(self):
+        assert Schema(["x", "y"]) == Schema(["x", "y"])
+        assert Schema(["x", "y"]) != Schema(["y", "x"])
+        assert hash(Schema(["x"])) == hash(Schema(["x"]))

@@ -1,0 +1,84 @@
+"""Tests for the star-schema warehouse generator."""
+
+import pytest
+
+from repro.data.warehouse import make_warehouse
+
+
+class TestShape:
+    def test_sizes(self):
+        wh = make_warehouse(n_customers=100, n_orders=400, n_parts=50,
+                            lineitems_per_order=2, seed=1)
+        assert len(wh.customers) == 100
+        assert len(wh.orders) == 400
+        assert len(wh.lineitems) == 800
+        assert len(wh.parts) == 50
+        assert wh.total_tuples == 1350
+
+    def test_relations_dict(self):
+        wh = make_warehouse(seed=2)
+        assert set(wh.relations()) == {"Customers", "Orders", "Lineitems", "Parts"}
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            make_warehouse(n_customers=0)
+
+
+class TestReferentialIntegrity:
+    def test_every_order_has_a_customer(self):
+        wh = make_warehouse(n_customers=50, n_orders=300, seed=3)
+        customers = set(wh.customers.column("cust"))
+        assert set(wh.orders.column("cust")) <= customers
+
+    def test_every_lineitem_resolves(self):
+        wh = make_warehouse(n_orders=200, n_parts=30, seed=4)
+        orders = set(wh.orders.column("order"))
+        parts = set(wh.parts.column("part"))
+        assert set(wh.lineitems.column("order")) <= orders
+        assert set(wh.lineitems.column("part")) <= parts
+
+    def test_join_loses_nothing(self):
+        wh = make_warehouse(n_orders=200, seed=5)
+        joined = wh.orders.join(wh.customers)
+        assert len(joined) == len(wh.orders)
+
+
+class TestSkew:
+    def test_whale_customers_exist(self):
+        wh = make_warehouse(n_customers=200, n_orders=4000,
+                            customer_skew=1.5, seed=6)
+        degrees = wh.orders.degrees("cust")
+        top = degrees.most_common(1)[0][1]
+        assert top > 5 * 4000 / 200  # far above uniform
+
+    def test_zero_skew_is_flat(self):
+        wh = make_warehouse(n_customers=100, n_orders=4000,
+                            customer_skew=0.0, seed=7)
+        degrees = wh.orders.degrees("cust")
+        assert max(degrees.values()) < 3 * 4000 / 100
+
+    def test_deterministic(self):
+        a = make_warehouse(seed=8)
+        b = make_warehouse(seed=8)
+        assert a.orders.rows() == b.orders.rows()
+        assert a.lineitems.rows() == b.lineitems.rows()
+
+
+class TestEndToEnd:
+    def test_engine_runs_warehouse_queries(self):
+        from repro import Engine
+
+        wh = make_warehouse(n_customers=80, n_orders=600, n_parts=40, seed=9)
+        engine = Engine(p=8)
+        for rel in wh.relations().values():
+            engine.register(rel)
+        result = engine.query("Orders(order, cust, month), Customers(cust, region, segment)")
+        assert len(result.output) == len(wh.orders)
+
+    def test_group_by_on_warehouse(self):
+        from repro.multiway.aggregate import reference_group_by, two_phase_group_by
+
+        wh = make_warehouse(n_orders=500, seed=10)
+        out, _ = two_phase_group_by(wh.orders, ["cust"], "month", len, sum, p=8)
+        ref = reference_group_by(wh.orders, ["cust"], "month", len)
+        assert sorted(out.rows()) == sorted(ref.rows())

@@ -1,0 +1,129 @@
+"""Integration: every algorithm family agrees on randomized workloads.
+
+These tests are the repository's strongest correctness net: for the same
+randomized input, all implementations of a problem must produce exactly
+the same (multi)set of results as the sequential reference.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.generators import skewed_relation, uniform_relation
+from repro.data.graphs import count_triangles, power_law_edges, random_edges, triangle_relations
+from repro.data.relation import Relation
+from repro.joins import broadcast_join, parallel_hash_join, skew_join, sort_join
+from repro.multiway import (
+    binary_join_plan,
+    gym,
+    hypercube_join,
+    skewhc_join,
+    triangle_hl_semijoin,
+    triangle_hypercube,
+    yannakakis,
+)
+from repro.query.cq import path_query, star_query, triangle_query
+
+
+class TestTwoWayAgreement:
+    rows = st.lists(st.tuples(st.integers(0, 12), st.integers(0, 12)), max_size=40)
+
+    @given(rows, rows, st.integers(1, 9))
+    @settings(max_examples=20, deadline=None)
+    def test_all_two_way_joins_agree(self, r_rows, s_rows, p):
+        r = Relation("R", ["x", "y"], r_rows)
+        s = Relation("S", ["y", "z"], s_rows)
+        reference = sorted(r.join(s).rows())
+        for algorithm in (parallel_hash_join, broadcast_join, skew_join, sort_join):
+            run = algorithm(r, s, p=p)
+            assert sorted(run.output.rows()) == reference, algorithm.__name__
+
+    def test_two_way_agreement_on_skewed_data(self):
+        r = skewed_relation("R", ["x", "y"], 500, "y", universe=60, s=1.5, seed=1)
+        s = skewed_relation("S", ["y", "z"], 500, "y", universe=60, s=1.5, seed=2)
+        reference = sorted(r.join(s).rows())
+        for algorithm in (parallel_hash_join, broadcast_join, skew_join, sort_join):
+            assert sorted(algorithm(r, s, p=8).output.rows()) == reference
+
+
+class TestTriangleAgreement:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_all_triangle_algorithms_agree(self, seed):
+        edges = random_edges(250, 35, seed=seed)
+        r, s, t = triangle_relations(edges)
+        rels = {"R": r, "S": s, "T": t}
+        q = triangle_query()
+        reference = sorted(q.evaluate(rels).rows())
+        assert len(reference) == count_triangles(edges)
+
+        assert sorted(triangle_hypercube(r, s, t, p=8).output.rows()) == reference
+        assert sorted(skewhc_join(q, rels, p=8).output.rows()) == reference
+        assert sorted(binary_join_plan(q, rels, p=8).output.rows()) == reference
+        assert sorted(triangle_hl_semijoin(r, s, t, p=8).output.rows()) == reference
+
+    def test_agreement_on_power_law_graph(self):
+        edges = power_law_edges(350, 90, s=1.5, seed=7)
+        r, s, t = triangle_relations(edges)
+        rels = {"R": r, "S": s, "T": t}
+        q = triangle_query()
+        reference = sorted(q.evaluate(rels).rows())
+        assert sorted(triangle_hypercube(r, s, t, p=27).output.rows()) == reference
+        assert sorted(skewhc_join(q, rels, p=27).output.rows()) == reference
+        assert sorted(triangle_hl_semijoin(r, s, t, p=27).output.rows()) == reference
+
+
+class TestAcyclicAgreement:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_path_yannakakis_gym_hypercube_binary(self, n):
+        q = path_query(n)
+        rels = {
+            f"R{i}": uniform_relation(f"R{i}", [f"A{i-1}", f"A{i}"], 120, 40, seed=i)
+            for i in range(1, n + 1)
+        }
+        reference = sorted(q.evaluate(rels).rows())
+        assert sorted(yannakakis(q, rels).output.rows()) == reference
+        assert sorted(gym(q, rels, p=8, variant="vanilla").output.rows()) == reference
+        assert sorted(gym(q, rels, p=8, variant="optimized").output.rows()) == reference
+        assert sorted(hypercube_join(q, rels, p=8).output.rows()) == reference
+        assert sorted(binary_join_plan(q, rels, p=8).output.rows()) == reference
+
+    def test_star_agreement(self):
+        q = star_query(4)
+        rels = {
+            f"R{i}": uniform_relation(f"R{i}", ["A0", f"A{i}"], 120, 50, seed=i)
+            for i in range(1, 5)
+        }
+        reference = sorted(q.evaluate(rels).rows())
+        assert sorted(yannakakis(q, rels).output.rows()) == reference
+        assert sorted(gym(q, rels, p=8).output.rows()) == reference
+        assert sorted(skewhc_join(q, rels, p=8).output.rows()) == reference
+
+
+class TestSeedAndServerInvariance:
+    """Results must not depend on hash seeds or the server count."""
+
+    def test_hypercube_invariant_across_seeds(self):
+        edges = random_edges(150, 25, seed=9)
+        r, s, t = triangle_relations(edges)
+        outs = [
+            sorted(triangle_hypercube(r, s, t, p=8, seed=seed).output.rows())
+            for seed in (0, 1, 42)
+        ]
+        assert outs[0] == outs[1] == outs[2]
+
+    def test_hash_join_invariant_across_p(self):
+        r = uniform_relation("R", ["x", "y"], 200, 50, seed=3)
+        s = uniform_relation("S", ["y", "z"], 200, 50, seed=4)
+        outs = [
+            sorted(parallel_hash_join(r, s, p=p).output.rows()) for p in (1, 3, 8, 17)
+        ]
+        assert all(o == outs[0] for o in outs)
+
+    def test_gym_invariant_across_p(self):
+        q = path_query(3)
+        rels = {
+            f"R{i}": uniform_relation(f"R{i}", [f"A{i-1}", f"A{i}"], 100, 30, seed=i)
+            for i in range(1, 4)
+        }
+        outs = [sorted(gym(q, rels, p=p).output.rows()) for p in (2, 5, 16)]
+        assert all(o == outs[0] for o in outs)

@@ -1,0 +1,80 @@
+"""Property tests over *random acyclic queries*.
+
+Random join trees (each atom shares one variable with its parent) drive
+Yannakakis, GYM and the reduce-then-HyperCube hybrid against the
+sequential reference — a much broader net than the fixed path/star
+shapes used elsewhere.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.relation import Relation
+from repro.multiway.gym import gym
+from repro.multiway.reduced import reduced_hypercube
+from repro.multiway.yannakakis import yannakakis
+from repro.query.cq import Atom, ConjunctiveQuery
+from repro.query.hypergraph import is_acyclic
+
+
+@st.composite
+def random_acyclic_instance(draw):
+    """A random join tree of 2–5 binary atoms plus bound relations."""
+    n_atoms = draw(st.integers(2, 5))
+    atoms = [Atom("S0", ["v0", "v1"])]
+    next_var = 2
+    for i in range(1, n_atoms):
+        parent = draw(st.integers(0, i - 1))
+        shared = draw(st.sampled_from(atoms[parent].variables))
+        fresh = f"v{next_var}"
+        next_var += 1
+        atoms.append(Atom(f"S{i}", [shared, fresh]))
+    query = ConjunctiveQuery(atoms)
+
+    relations = {}
+    for atom in query.atoms:
+        n_rows = draw(st.integers(0, 25))
+        rows = draw(
+            st.lists(
+                st.tuples(st.integers(0, 6), st.integers(0, 6)),
+                min_size=n_rows,
+                max_size=n_rows,
+            )
+        )
+        relations[atom.name] = Relation(atom.name, list(atom.variables), rows)
+    return query, relations
+
+
+class TestRandomAcyclicQueries:
+    @given(random_acyclic_instance())
+    @settings(max_examples=30, deadline=None)
+    def test_construction_is_acyclic(self, instance):
+        query, _ = instance
+        assert is_acyclic(query)
+
+    @given(random_acyclic_instance())
+    @settings(max_examples=25, deadline=None)
+    def test_yannakakis_matches_reference(self, instance):
+        query, relations = instance
+        reference = sorted(query.evaluate(relations).rows())
+        result = yannakakis(query, relations)
+        assert sorted(result.output.rows()) == reference
+        # Full reduction: intermediates bounded by the output size.
+        assert result.max_intermediate <= max(len(reference), 0) or not reference
+
+    @given(random_acyclic_instance(), st.integers(1, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_gym_matches_reference(self, instance, p):
+        query, relations = instance
+        reference = sorted(query.evaluate(relations).rows())
+        run = gym(query, relations, p=p, variant="optimized")
+        assert sorted(run.output.rows()) == reference
+
+    @given(random_acyclic_instance(), st.integers(1, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_reduced_hypercube_matches_reference(self, instance, p):
+        query, relations = instance
+        reference = sorted(query.evaluate(relations).rows())
+        run = reduced_hypercube(query, relations, p=p)
+        assert sorted(run.output.rows()) == reference

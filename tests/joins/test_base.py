@@ -1,0 +1,67 @@
+"""Tests for the shared join plumbing (repro.joins.base)."""
+
+import pytest
+
+from repro.data.relation import Relation
+from repro.errors import QueryError
+from repro.joins.base import JoinRun, join_schemas, local_join, require_join_key
+from repro.mpc.cluster import Cluster
+from repro.mpc.stats import RoundStats, RunStats
+
+
+class TestJoinSchemas:
+    def test_shared_and_output(self):
+        r = Relation("R", ["x", "y"], [])
+        s = Relation("S", ["y", "z"], [])
+        shared, schema = join_schemas(r, s)
+        assert shared == ("y",)
+        assert schema.attributes == ("x", "y", "z")
+
+    def test_multi_attribute(self):
+        r = Relation("R", ["a", "b", "c"], [])
+        s = Relation("S", ["b", "c", "d"], [])
+        shared, schema = join_schemas(r, s)
+        assert shared == ("b", "c")
+        assert schema.attributes == ("a", "b", "c", "d")
+
+    def test_require_key_raises_on_product(self):
+        r = Relation("R", ["x"], [])
+        s = Relation("S", ["z"], [])
+        with pytest.raises(QueryError):
+            require_join_key(r, s)
+
+
+class TestJoinRun:
+    def test_properties(self):
+        stats = RunStats(2)
+        stats.rounds.append(RoundStats("a", [7, 1]))
+        stats.rounds.append(RoundStats("b", [0, 0]))
+        run = JoinRun(Relation("OUT", ["x"], [(1,)]), stats)
+        assert run.load == 7
+        assert run.rounds == 1
+
+
+class TestLocalJoin:
+    def test_joins_fragments_and_consumes_them(self):
+        cluster = Cluster(1)
+        server = cluster.servers[0]
+        server.put("L", [(1, 2), (3, 4)])
+        server.put("R", [(2, 9)])
+        left_schema = Relation("L", ["x", "y"], [])
+        right_schema = Relation("R", ["y", "z"], [])
+        local_join(server, "L", "R", left_schema, right_schema, "out")
+        assert server.get("out") == [(1, 2, 9)]
+        assert server.get("L") == []  # consumed
+        assert server.get("R") == []
+
+    def test_appends_to_existing_output(self):
+        cluster = Cluster(1)
+        server = cluster.servers[0]
+        server.put("out", [(0, 0, 0)])
+        server.put("L", [(1, 2)])
+        server.put("R", [(2, 9)])
+        local_join(
+            server, "L", "R",
+            Relation("L", ["x", "y"], []), Relation("R", ["y", "z"], []), "out",
+        )
+        assert server.get("out") == [(0, 0, 0), (1, 2, 9)]

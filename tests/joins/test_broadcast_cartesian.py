@@ -1,0 +1,110 @@
+"""Tests for the broadcast join and the grid Cartesian product."""
+
+import math
+
+import pytest
+
+from repro.data.generators import uniform_relation
+from repro.data.relation import Relation
+from repro.errors import QueryError
+from repro.joins.broadcast_join import broadcast_join
+from repro.joins.cartesian import (
+    cartesian_product,
+    optimal_rectangle,
+    predicted_cartesian_load,
+)
+
+
+class TestBroadcastJoin:
+    def test_correctness_small_left(self):
+        r = Relation("R", ["x", "y"], [(1, 2), (3, 4)])
+        s = uniform_relation("S", ["y", "z"], 300, 10, seed=1)
+        run = broadcast_join(r, s, p=4)
+        assert sorted(run.output.rows()) == sorted(r.join(s).rows())
+        assert run.output.schema.attributes == ("x", "y", "z")
+
+    def test_correctness_small_right(self):
+        r = uniform_relation("R", ["x", "y"], 300, 10, seed=2)
+        s = Relation("S", ["y", "z"], [(1, 2), (3, 4)])
+        run = broadcast_join(r, s, p=4)
+        assert sorted(run.output.rows()) == sorted(r.join(s).rows())
+        assert run.output.schema.attributes == ("x", "y", "z")
+
+    def test_load_is_small_relation_size(self):
+        r = Relation("R", ["x", "y"], [(i, i) for i in range(10)])
+        s = uniform_relation("S", ["y", "z"], 1000, 50, seed=3)
+        run = broadcast_join(r, s, p=8)
+        assert run.load == len(r)
+        assert run.rounds == 1
+
+    def test_beats_hash_join_for_tiny_relation(self):
+        from repro.joins.hash_join import parallel_hash_join
+
+        r = Relation("R", ["x", "y"], [(i, i % 5) for i in range(8)])
+        s = uniform_relation("S", ["y", "z"], 2000, 5, seed=4)
+        bc = broadcast_join(r, s, p=16)
+        hj = parallel_hash_join(r, s, p=16)
+        assert bc.load < hj.load
+
+
+class TestOptimalRectangle:
+    def test_balanced(self):
+        p1, p2 = optimal_rectangle(1000, 1000, 16)
+        assert (p1, p2) == (4, 4)
+
+    def test_lopsided_degenerates_to_broadcast(self):
+        # Slide 28: |R| << |S| -> p1 = 1 (broadcast R, partition S).
+        p1, p2 = optimal_rectangle(10, 10**6, 16)
+        assert p1 == 1 and p2 == 16
+
+    def test_product_at_most_p(self):
+        for p in (5, 7, 12, 60):
+            p1, p2 = optimal_rectangle(300, 700, p)
+            assert p1 * p2 <= p
+
+    def test_invalid_p(self):
+        with pytest.raises(QueryError):
+            optimal_rectangle(1, 1, 0)
+
+
+class TestCartesianProduct:
+    def test_correctness(self):
+        r = Relation("R", ["x"], [(i,) for i in range(30)])
+        s = Relation("S", ["z"], [(i,) for i in range(20)])
+        run = cartesian_product(r, s, p=6)
+        assert len(run.output) == 600
+        assert sorted(run.output.rows()) == sorted(
+            (a, b) for a in range(30) for b in range(20)
+        )
+
+    def test_shared_attributes_rejected(self):
+        r = Relation("R", ["x"], [(1,)])
+        s = Relation("S", ["x"], [(1,)])
+        with pytest.raises(QueryError):
+            cartesian_product(r, s, p=2)
+
+    def test_load_tracks_optimum(self):
+        # Slide 28: L = 2·sqrt(|R||S|/p) up to hashing noise.
+        n = 400
+        r = Relation("R", ["x"], [(i,) for i in range(n)])
+        s = Relation("S", ["z"], [(i,) for i in range(n)])
+        run = cartesian_product(r, s, p=16)
+        assert run.load <= 2.0 * predicted_cartesian_load(n, n, 16)
+        assert run.load >= 0.5 * predicted_cartesian_load(n, n, 16)
+
+    def test_single_round(self):
+        r = Relation("R", ["x"], [(1,), (2,)])
+        s = Relation("S", ["z"], [(3,)])
+        run = cartesian_product(r, s, p=4)
+        assert run.rounds == 1
+
+    def test_predicted_load_formula(self):
+        assert predicted_cartesian_load(100, 400, 4) == pytest.approx(
+            2 * math.sqrt(100 * 400 / 4)
+        )
+
+    def test_empty_side(self):
+        r = Relation("R", ["x"])
+        s = Relation("S", ["z"], [(1,)])
+        run = cartesian_product(r, s, p=4)
+        assert len(run.output) == 0

@@ -1,0 +1,72 @@
+"""Tests for the local join kernels: all three must agree."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.joins.local import (
+    cartesian_rows,
+    hash_join_rows,
+    merge_join_rows,
+    nested_loop_rows,
+)
+
+LEFT = [(1, 2), (1, 3), (2, 3), (4, 9)]
+RIGHT = [(2, 10), (3, 11), (3, 12)]
+KEY_L, KEY_R, PAYLOAD = (1,), (0,), (1,)
+
+
+class TestKernelAgreement:
+    def test_hash_join(self):
+        out = hash_join_rows(LEFT, RIGHT, KEY_L, KEY_R, PAYLOAD)
+        assert sorted(out) == [(1, 2, 10), (1, 3, 11), (1, 3, 12), (2, 3, 11), (2, 3, 12)]
+
+    def test_merge_equals_hash(self):
+        assert sorted(merge_join_rows(LEFT, RIGHT, KEY_L, KEY_R, PAYLOAD)) == sorted(
+            hash_join_rows(LEFT, RIGHT, KEY_L, KEY_R, PAYLOAD)
+        )
+
+    def test_nested_loop_equals_hash(self):
+        assert sorted(nested_loop_rows(LEFT, RIGHT, KEY_L, KEY_R, PAYLOAD)) == sorted(
+            hash_join_rows(LEFT, RIGHT, KEY_L, KEY_R, PAYLOAD)
+        )
+
+    rows = st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=25)
+
+    @given(rows, rows)
+    def test_property_all_kernels_agree(self, left, right):
+        results = [
+            sorted(kernel(left, right, KEY_L, KEY_R, PAYLOAD))
+            for kernel in (hash_join_rows, merge_join_rows, nested_loop_rows)
+        ]
+        assert results[0] == results[1] == results[2]
+
+
+class TestEdgeCases:
+    def test_empty_left(self):
+        assert hash_join_rows([], RIGHT, KEY_L, KEY_R, PAYLOAD) == []
+
+    def test_empty_right(self):
+        assert merge_join_rows(LEFT, [], KEY_L, KEY_R, PAYLOAD) == []
+
+    def test_duplicates_multiply(self):
+        left = [(1, 5), (2, 5)]
+        right = [(5, 7), (5, 8)]
+        out = hash_join_rows(left, right, (1,), (0,), (1,))
+        assert len(out) == 4
+
+    def test_empty_payload_keeps_multiplicity(self):
+        left = [(1, 5)]
+        right = [(5,), (5,)]
+        out = hash_join_rows(left, right, (1,), (0,), ())
+        assert out == [(1, 5), (1, 5)]
+
+
+class TestCartesianRows:
+    def test_product(self):
+        out = cartesian_rows([(1,), (2,)], [(8,), (9,)])
+        assert sorted(out) == [(1, 8), (1, 9), (2, 8), (2, 9)]
+
+    def test_empty(self):
+        assert cartesian_rows([], [(1,)]) == []
+        assert cartesian_rows([(1,)], []) == []

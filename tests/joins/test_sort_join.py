@@ -1,0 +1,81 @@
+"""Tests for the parallel sort join (slide 31)."""
+
+import pytest
+
+from repro.data.generators import (
+    single_value_relation,
+    skewed_relation,
+    uniform_relation,
+)
+from repro.data.relation import Relation
+from repro.joins.sort_join import sort_join
+
+
+def reference(r, s):
+    return sorted(r.join(s).rows())
+
+
+class TestCorrectness:
+    def test_small_example(self):
+        r = Relation("R", ["x", "y"], [(1, 2), (1, 3), (2, 3)])
+        s = Relation("S", ["y", "z"], [(2, 10), (3, 11), (3, 12)])
+        run = sort_join(r, s, p=3)
+        assert sorted(run.output.rows()) == reference(r, s)
+
+    def test_uniform_data(self):
+        r = uniform_relation("R", ["x", "y"], 400, 60, seed=1)
+        s = uniform_relation("S", ["y", "z"], 400, 60, seed=2)
+        run = sort_join(r, s, p=8)
+        assert sorted(run.output.rows()) == reference(r, s)
+
+    def test_extreme_skew_single_value(self):
+        n = 80
+        r = single_value_relation("R", ["x", "y"], n, "y")
+        s = single_value_relation("S", ["y", "z"], n, "y")
+        run = sort_join(r, s, p=8)
+        assert sorted(run.output.rows()) == reference(r, s)
+
+    def test_zipf_skew(self):
+        r = skewed_relation("R", ["x", "y"], 400, "y", universe=80, s=1.3, seed=3)
+        s = skewed_relation("S", ["y", "z"], 400, "y", universe=80, s=1.3, seed=4)
+        run = sort_join(r, s, p=8)
+        assert sorted(run.output.rows()) == reference(r, s)
+
+    def test_straddling_values_not_duplicated(self):
+        # A value with degree ~ N/p straddles a boundary with high
+        # probability; the output must still be exact (no double count).
+        rows_r = [(i, 5) for i in range(40)] + [(100 + i, i % 20 + 10) for i in range(60)]
+        rows_s = [(5, i) for i in range(40)] + [(i % 20 + 10, 200 + i) for i in range(60)]
+        r = Relation("R", ["x", "y"], rows_r)
+        s = Relation("S", ["y", "z"], rows_s)
+        run = sort_join(r, s, p=5)
+        assert sorted(run.output.rows()) == reference(r, s)
+
+    def test_empty_inputs(self):
+        r = Relation("R", ["x", "y"])
+        s = Relation("S", ["y", "z"])
+        run = sort_join(r, s, p=4)
+        assert len(run.output) == 0
+
+    def test_p_one(self):
+        r = uniform_relation("R", ["x", "y"], 60, 20, seed=5)
+        s = uniform_relation("S", ["y", "z"], 60, 20, seed=6)
+        run = sort_join(r, s, p=1)
+        assert sorted(run.output.rows()) == reference(r, s)
+
+
+class TestCosts:
+    def test_load_bounded_under_extreme_skew(self):
+        # Same optimal bound as the skew join: far below the naive IN.
+        n, p = 400, 16
+        r = single_value_relation("R", ["x", "y"], n, "y")
+        s = single_value_relation("S", ["y", "z"], n, "y")
+        run = sort_join(r, s, p=p)
+        assert run.load < 2 * n / 2
+
+    def test_round_count_small(self):
+        r = uniform_relation("R", ["x", "y"], 200, 50, seed=7)
+        s = uniform_relation("S", ["y", "z"], 200, 50, seed=8)
+        run = sort_join(r, s, p=4)
+        # PSRS's 3 rounds + boundary report (+ optional heavy products).
+        assert run.rounds <= 5

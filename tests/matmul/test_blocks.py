@@ -1,0 +1,67 @@
+"""Tests for block partitioning helpers."""
+
+import numpy as np
+import pytest
+
+from repro.matmul.blocks import (
+    assemble_blocks,
+    block_count,
+    get_block,
+    matrix_as_relation_rows,
+)
+
+
+class TestBlockCount:
+    def test_exact_division(self):
+        assert block_count(12, 4) == 3
+
+    def test_ceiling(self):
+        assert block_count(13, 4) == 4
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            block_count(10, 0)
+
+
+class TestGetBlock:
+    def test_interior_block(self):
+        m = np.arange(16).reshape(4, 4)
+        blk = get_block(m, 1, 0, 2)
+        assert (blk == np.array([[8, 9], [12, 13]])).all()
+
+    def test_boundary_padded(self):
+        m = np.arange(9).reshape(3, 3)
+        blk = get_block(m, 1, 1, 2)
+        assert blk.shape == (2, 2)
+        assert blk[0, 0] == m[2, 2]
+        assert blk[1, 1] == 0  # padding
+
+    def test_out_of_range(self):
+        m = np.zeros((4, 4))
+        with pytest.raises(IndexError):
+            get_block(m, 2, 0, 2)
+
+
+class TestAssemble:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        m = rng.random((7, 7))
+        bs = 3
+        h = block_count(7, bs)
+        blocks = {(i, j): get_block(m, i, j, bs) for i in range(h) for j in range(h)}
+        assert np.allclose(assemble_blocks(blocks, 7, bs), m)
+
+    def test_out_of_grid_rejected(self):
+        with pytest.raises(IndexError):
+            assemble_blocks({(5, 5): np.zeros((2, 2))}, 4, 2)
+
+
+class TestRelationRows:
+    def test_triples(self):
+        m = np.array([[0.0, 2.0], [3.0, 0.0]])
+        rows = matrix_as_relation_rows(m)
+        assert sorted(rows) == [(0, 1, 2.0), (1, 0, 3.0)]
+
+    def test_dense_count(self):
+        m = np.ones((3, 3))
+        assert len(matrix_as_relation_rows(m)) == 9

@@ -1,0 +1,189 @@
+"""Tests for the three MPC matrix-multiplication algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.matmul.multi_round import square_block_costs, square_block_matmul
+from repro.matmul.one_round import rectangle_block_costs, rectangle_block_matmul
+from repro.matmul.sql import sql_matmul
+
+
+@pytest.fixture
+def matrices():
+    rng = np.random.default_rng(7)
+    a = rng.random((12, 12))
+    b = rng.random((12, 12))
+    return a, b
+
+
+class TestSqlMatmul:
+    def test_correct(self, matrices):
+        a, b = matrices
+        c, _ = sql_matmul(a, b, p=8)
+        assert np.allclose(c, a @ b)
+
+    def test_two_rounds(self, matrices):
+        a, b = matrices
+        _, stats = sql_matmul(a, b, p=8)
+        assert stats.num_rounds == 2
+
+    def test_sparse_input(self):
+        a = np.zeros((10, 10))
+        a[0, 3] = 2.0
+        a[5, 7] = 1.5
+        b = np.zeros((10, 10))
+        b[3, 4] = 4.0
+        c, stats = sql_matmul(a, b, p=4)
+        assert np.allclose(c, a @ b)
+        # Sparse inputs keep the join round tiny: 3 non-zeros total.
+        assert stats.rounds[0].total == 3
+
+    def test_aggregation_carries_all_products(self, matrices):
+        # Slide 108's caveat: n³ partial products cross the network.
+        a, b = matrices
+        _, stats = sql_matmul(a, b, p=8)
+        assert stats.rounds[1].total == 12**3
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            sql_matmul(np.zeros((3, 4)), np.zeros((3, 4)), p=2)
+
+
+class TestRectangleBlock:
+    def test_correct(self, matrices):
+        a, b = matrices
+        c, _ = rectangle_block_matmul(a, b, groups=3)
+        assert np.allclose(c, a @ b)
+
+    def test_single_round(self, matrices):
+        a, b = matrices
+        _, stats = rectangle_block_matmul(a, b, groups=4)
+        assert stats.num_rounds == 1
+
+    def test_load_is_2tn(self, matrices):
+        a, b = matrices
+        n, k = 12, 3
+        _, stats = rectangle_block_matmul(a, b, groups=k)
+        t = n // k
+        assert stats.max_load == 2 * t * n
+
+    def test_total_communication_scaling(self, matrices):
+        # C = 2n³/t: halving t (doubling K) doubles communication.
+        a, b = matrices
+        _, s2 = rectangle_block_matmul(a, b, groups=2)
+        _, s4 = rectangle_block_matmul(a, b, groups=4)
+        assert s4.total_communication == pytest.approx(
+            2 * s2.total_communication, rel=0.01
+        )
+
+    def test_groups_one_is_sequential(self, matrices):
+        a, b = matrices
+        c, stats = rectangle_block_matmul(a, b, groups=1)
+        assert np.allclose(c, a @ b)
+        assert stats.max_load == 2 * 12 * 12
+
+    def test_invalid_groups(self, matrices):
+        a, b = matrices
+        with pytest.raises(ValueError):
+            rectangle_block_matmul(a, b, groups=0)
+
+    def test_costs_formula(self):
+        costs = rectangle_block_costs(100, load=2000)
+        assert costs["t"] == pytest.approx(10.0)
+        assert costs["groups"] == pytest.approx(10.0)
+        assert costs["communication"] == pytest.approx(100 * 2000)
+        with pytest.raises(ValueError):
+            rectangle_block_costs(100, load=10)
+
+
+class TestSquareBlock:
+    def test_correct_p_equals_h_squared(self, matrices):
+        a, b = matrices
+        c, _ = square_block_matmul(a, b, p=9, block_size=4)  # H = 3
+        assert np.allclose(c, a @ b)
+
+    def test_correct_p_less_than_h_squared(self, matrices):
+        a, b = matrices
+        c, _ = square_block_matmul(a, b, p=4, block_size=4)
+        assert np.allclose(c, a @ b)
+
+    def test_correct_with_replicas(self, matrices):
+        # p = 2H² exercises the partial-sum merge (slides 119–121).
+        a, b = matrices
+        c, stats = square_block_matmul(a, b, p=18, block_size=4)
+        assert np.allclose(c, a @ b)
+        labels = [r.label for r in stats.rounds]
+        assert "merge-partials" in labels
+
+    def test_rounds_h_when_p_h_squared(self, matrices):
+        a, b = matrices
+        _, stats = square_block_matmul(a, b, p=9, block_size=4)  # H = 3
+        assert stats.num_rounds == 3
+
+    def test_replicas_halve_product_rounds(self, matrices):
+        a, b = matrices
+        _, s1 = square_block_matmul(a, b, p=9, block_size=4)
+        _, s2 = square_block_matmul(a, b, p=27, block_size=4)
+        product_rounds_1 = sum(1 for r in s1.rounds if r.label.startswith("block"))
+        product_rounds_2 = sum(1 for r in s2.rounds if r.label.startswith("block"))
+        assert product_rounds_2 < product_rounds_1
+
+    def test_per_round_load_is_2b_squared(self, matrices):
+        a, b = matrices
+        bs = 4
+        _, stats = square_block_matmul(a, b, p=9, block_size=bs)
+        product_rounds = [r for r in stats.rounds if r.label.startswith("block")]
+        assert all(r.max_load == 2 * bs * bs for r in product_rounds)
+
+    def test_non_dividing_block_size(self):
+        rng = np.random.default_rng(1)
+        a = rng.random((10, 10))
+        b = rng.random((10, 10))
+        c, _ = square_block_matmul(a, b, p=9, block_size=4)  # H = ceil(10/4) = 3
+        assert np.allclose(c, a @ b)
+
+    def test_costs_formula(self):
+        costs = square_block_costs(100, p=25, load=200)
+        assert costs["block_size"] == pytest.approx(10.0)
+        assert costs["h"] == pytest.approx(10.0)
+        assert costs["communication"] == pytest.approx(2 * 100**3 / 10.0)
+        with pytest.raises(ValueError):
+            square_block_costs(10, p=4, load=1)
+
+
+class TestCrossAlgorithmAgreement:
+    def test_all_three_agree(self, matrices):
+        a, b = matrices
+        c_sql, _ = sql_matmul(a, b, p=6)
+        c_rect, _ = rectangle_block_matmul(a, b, groups=3)
+        c_square, _ = square_block_matmul(a, b, p=9, block_size=4)
+        assert np.allclose(c_sql, c_rect)
+        assert np.allclose(c_rect, c_square)
+
+    def test_square_block_cheaper_communication_than_rectangle(self, matrices):
+        # Slide 122/126: multi-round C = n³/√L beats one-round C = n⁴/L
+        # at equal (small) load.
+        a, b = matrices
+        # At comparable load (rect L = 2·2·12 = 48, square L = 2·4² = 32)
+        # the multi-round algorithm moves fewer elements in total.
+        _, rect = rectangle_block_matmul(a, b, groups=6)
+        _, square = square_block_matmul(a, b, p=9, block_size=4)
+        assert square.max_load <= rect.max_load
+        assert square.total_communication < rect.total_communication
+
+
+class TestHighReplication:
+    def test_p_much_larger_than_h_squared(self, matrices):
+        # p = 4H² with H = 2: replicas exceed H, so each block's sum is
+        # computed in a single product round plus the merge round.
+        a, b = matrices
+        c, stats = square_block_matmul(a, b, p=16, block_size=12)  # H = 2
+        assert np.allclose(c, a @ b)
+        product_rounds = [r for r in stats.rounds if r.label.startswith("block")]
+        assert len(product_rounds) == 1
+
+    def test_p_one_sequential(self, matrices):
+        a, b = matrices
+        c, stats = square_block_matmul(a, b, p=1, block_size=4)
+        assert np.allclose(c, a @ b)
+        assert stats.num_rounds == 3  # H rounds, all on one server

@@ -1,0 +1,60 @@
+"""Property tests: all matmul algorithms agree with numpy on random shapes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matmul import (
+    rectangular_block_matmul,
+    sql_matmul,
+    square_block_matmul,
+)
+
+
+class TestRandomShapes:
+    @given(
+        st.integers(2, 14),            # n
+        st.integers(1, 4),             # block size divisor-ish
+        st.integers(1, 20),            # p
+        st.integers(0, 10**6),         # seed
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_square_block_always_correct(self, n, block_div, p, seed):
+        rng = np.random.default_rng(seed)
+        a, b = rng.random((n, n)), rng.random((n, n))
+        block = max(1, n // block_div)
+        c, stats = square_block_matmul(a, b, p=p, block_size=block)
+        assert np.allclose(c, a @ b)
+        assert stats.num_rounds >= 1
+
+    @given(
+        st.integers(1, 10), st.integers(1, 10), st.integers(1, 10),
+        st.integers(0, 10**6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_rectangular_always_correct(self, n1, n2, n3, seed):
+        rng = np.random.default_rng(seed)
+        a, b = rng.random((n1, n2)), rng.random((n2, n3))
+        k1 = max(1, min(n1, 3))
+        k3 = max(1, min(n3, 2))
+        c, _ = rectangular_block_matmul(a, b, row_groups=k1, col_groups=k3)
+        assert np.allclose(c, a @ b)
+
+    @given(st.integers(2, 10), st.integers(1, 8), st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_sql_always_correct(self, n, p, seed):
+        rng = np.random.default_rng(seed)
+        a, b = rng.random((n, n)), rng.random((n, n))
+        c, _ = sql_matmul(a, b, p=p)
+        assert np.allclose(c, a @ b)
+
+    @given(st.integers(2, 10), st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_zero_matrices(self, n, seed):
+        del seed
+        a = np.zeros((n, n))
+        b = np.zeros((n, n))
+        c, stats = sql_matmul(a, b, p=4)
+        assert np.allclose(c, 0)
+        assert stats.total_communication == 0  # nothing to join

@@ -1,0 +1,225 @@
+"""Tests for the MPC cluster simulator: rounds, delivery, load accounting."""
+
+import pytest
+
+from repro.data.relation import Relation
+from repro.errors import ClusterError, LoadExceededError
+from repro.mpc.cluster import Cluster, combine_parallel
+from repro.mpc.stats import RoundStats, RunStats
+
+
+class TestClusterBasics:
+    def test_server_count(self):
+        c = Cluster(4)
+        assert c.p == 4 and len(c.servers) == 4
+
+    def test_invalid_p(self):
+        with pytest.raises(ClusterError):
+            Cluster(0)
+
+    def test_scatter_round_robin(self):
+        c = Cluster(3)
+        r = Relation("R", ["x"], [(i,) for i in range(7)])
+        c.scatter(r)
+        assert c.fragment_sizes("R") == [3, 2, 2]
+
+    def test_scatter_is_free(self):
+        c = Cluster(3)
+        c.scatter(Relation("R", ["x"], [(1,), (2,)]))
+        assert c.stats.total_communication == 0
+
+    def test_gather_returns_everything(self):
+        c = Cluster(3)
+        r = Relation("R", ["x"], [(i,) for i in range(7)])
+        c.scatter(r)
+        assert sorted(c.gather("R")) == sorted(r.rows())
+
+    def test_gather_relation(self):
+        c = Cluster(2)
+        c.scatter(Relation("R", ["x", "y"], [(1, 2), (3, 4)]))
+        g = c.gather_relation("R", "R", ["x", "y"])
+        assert sorted(g.rows()) == [(1, 2), (3, 4)]
+
+    def test_drop(self):
+        c = Cluster(2)
+        c.scatter(Relation("R", ["x"], [(1,), (2,)]))
+        c.drop("R")
+        assert c.gather("R") == []
+
+
+class TestRounds:
+    def test_delivery_at_barrier(self):
+        c = Cluster(2)
+        with c.round("r1") as rnd:
+            rnd.send(0, "A", (1,))
+            rnd.send(1, "A", (2,))
+            # Not delivered until the block exits.
+            assert c.servers[0].get("A") == []
+        assert c.servers[0].get("A") == [(1,)]
+        assert c.servers[1].get("A") == [(2,)]
+
+    def test_load_is_tuples_received(self):
+        c = Cluster(2)
+        with c.round("r1") as rnd:
+            for _ in range(5):
+                rnd.send(0, "A", (0,))
+            rnd.send(1, "A", (0,))
+        assert c.stats.rounds[0].received == [5, 1]
+        assert c.stats.max_load == 5
+        assert c.stats.total_communication == 6
+
+    def test_round_counting_skips_silent_rounds(self):
+        c = Cluster(2)
+        with c.round("quiet"):
+            pass
+        with c.round("busy") as rnd:
+            rnd.send(0, "A", (1,))
+        assert c.stats.num_rounds == 1
+        assert len(c.stats.rounds) == 2
+
+    def test_send_out_of_range(self):
+        c = Cluster(2)
+        with pytest.raises(ClusterError):
+            with c.round("r") as rnd:
+                rnd.send(5, "A", (1,))
+
+    def test_nested_round_rejected(self):
+        c = Cluster(2)
+        with c.round("outer"):
+            with pytest.raises(ClusterError):
+                c.round("inner")
+
+    def test_send_after_close_rejected(self):
+        c = Cluster(2)
+        with c.round("r") as rnd:
+            rnd.send(0, "A", (1,))
+        with pytest.raises(ClusterError):
+            rnd.send(0, "A", (2,))
+
+    def test_broadcast(self):
+        c = Cluster(3)
+        with c.round("b") as rnd:
+            rnd.broadcast("B", (7,))
+        assert all(s.get("B") == [(7,)] for s in c.servers)
+        assert c.stats.rounds[0].received == [1, 1, 1]
+
+    def test_broadcast_to_subset(self):
+        c = Cluster(4)
+        with c.round("b") as rnd:
+            rnd.broadcast("B", (7,), servers=[1, 3])
+        assert c.stats.rounds[0].received == [0, 1, 0, 1]
+
+    def test_send_many(self):
+        c = Cluster(2)
+        with c.round("r") as rnd:
+            rnd.send_many(1, "A", [(1,), (2,), (3,)])
+        assert c.servers[1].get("A") == [(1,), (2,), (3,)]
+
+    def test_custom_units(self):
+        c = Cluster(2)
+        with c.round("r") as rnd:
+            rnd.send(0, "A", (1, 2, 3), units=3)
+        assert c.stats.max_load == 3
+
+    def test_free_round_not_charged(self):
+        c = Cluster(2)
+        with c.free_round("place") as rnd:
+            rnd.send(0, "A", (1,))
+        assert c.servers[0].get("A") == [(1,)]
+        assert c.stats.total_communication == 0
+
+    def test_appends_to_existing_fragment(self):
+        c = Cluster(2)
+        c.servers[0].put("A", [(0,)])
+        with c.round("r") as rnd:
+            rnd.send(0, "A", (1,))
+        assert c.servers[0].get("A") == [(0,), (1,)]
+
+
+class TestLoadCap:
+    def test_cap_enforced(self):
+        c = Cluster(2, load_cap=2)
+        with pytest.raises(LoadExceededError) as exc_info:
+            with c.round("r") as rnd:
+                for _ in range(3):
+                    rnd.send(0, "A", (0,))
+        assert exc_info.value.server == 0
+        assert exc_info.value.load == 3
+
+    def test_cap_not_triggered_at_limit(self):
+        c = Cluster(2, load_cap=2)
+        with c.round("r") as rnd:
+            rnd.send(0, "A", (0,))
+            rnd.send(0, "A", (0,))
+        assert c.stats.max_load == 2
+
+    def test_free_round_ignores_cap(self):
+        c = Cluster(2, load_cap=1)
+        with c.free_round("place") as rnd:
+            for _ in range(5):
+                rnd.send(0, "A", (0,))
+        assert c.servers[0].get("A") == [(0,)] * 5
+
+
+class TestStats:
+    def test_round_stats_properties(self):
+        rs = RoundStats("x", [4, 2, 0])
+        assert rs.max_load == 4
+        assert rs.total == 6
+        assert rs.mean_load == 2.0
+        assert rs.imbalance == 2.0
+
+    def test_empty_round_stats(self):
+        rs = RoundStats("x", [])
+        assert rs.max_load == 0 and rs.imbalance == 0.0
+
+    def test_run_stats_aggregation(self):
+        run = RunStats(2)
+        run.rounds.append(RoundStats("a", [3, 1]))
+        run.rounds.append(RoundStats("b", [0, 5]))
+        assert run.num_rounds == 2
+        assert run.max_load == 5
+        assert run.total_communication == 9
+
+    def test_load_of_label(self):
+        run = RunStats(2)
+        run.rounds.append(RoundStats("a", [3, 1]))
+        run.rounds.append(RoundStats("a", [4, 0]))
+        assert run.load_of("a") == 4
+        with pytest.raises(KeyError):
+            run.load_of("zz")
+
+    def test_summary_mentions_costs(self):
+        run = RunStats(2)
+        run.rounds.append(RoundStats("a", [3, 1]))
+        assert "L=3" in run.summary() and "r=1" in run.summary()
+
+
+class TestCombineParallel:
+    def test_parallel_subclusters(self):
+        a = RunStats(2)
+        a.rounds.append(RoundStats("x", [5, 1]))
+        b = RunStats(3)
+        b.rounds.append(RoundStats("y", [2, 2, 2]))
+        b.rounds.append(RoundStats("y2", [1, 1, 1]))
+        combined = combine_parallel(5, [a, b])
+        assert combined.num_rounds == 2
+        assert combined.max_load == 5
+        assert combined.rounds[0].total == 6 + 6
+        assert combined.rounds[1].total == 3
+
+    def test_empty(self):
+        combined = combine_parallel(4, [])
+        assert combined.num_rounds == 0
+
+
+class TestHashFunctionAccess:
+    def test_default_buckets_is_p(self):
+        c = Cluster(7)
+        h = c.hash_function(0)
+        assert all(0 <= h(v) < 7 for v in range(100))
+
+    def test_same_seed_same_functions(self):
+        c1, c2 = Cluster(5, seed=11), Cluster(5, seed=11)
+        h1, h2 = c1.hash_function(3), c2.hash_function(3)
+        assert [h1(v) for v in range(50)] == [h2(v) for v in range(50)]

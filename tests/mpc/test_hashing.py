@@ -1,0 +1,66 @@
+"""Tests for the seeded hash family."""
+
+from collections import Counter
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mpc.hashing import HashFamily, HashFunction, splitmix64
+
+
+class TestSplitmix64:
+    def test_deterministic(self):
+        assert splitmix64(42) == splitmix64(42)
+
+    def test_stays_64_bit(self):
+        assert 0 <= splitmix64(2**64 - 1) < 2**64
+
+    @given(st.integers(0, 2**64 - 1))
+    def test_range_property(self, x):
+        assert 0 <= splitmix64(x) < 2**64
+
+
+class TestHashFunction:
+    def test_range(self):
+        h = HashFamily(0).function(0, 16)
+        assert all(0 <= h(v) < 16 for v in range(1000))
+
+    def test_deterministic_across_instances(self):
+        h1 = HashFamily(9).function(2, 8)
+        h2 = HashFamily(9).function(2, 8)
+        assert [h1(v) for v in range(100)] == [h2(v) for v in range(100)]
+
+    def test_indices_give_distinct_functions(self):
+        fam = HashFamily(0)
+        h0, h1 = fam.function(0, 64), fam.function(1, 64)
+        assert [h0(v) for v in range(200)] != [h1(v) for v in range(200)]
+
+    def test_seeds_give_distinct_functions(self):
+        h0 = HashFamily(0).function(0, 64)
+        h1 = HashFamily(1).function(0, 64)
+        assert [h0(v) for v in range(200)] != [h1(v) for v in range(200)]
+
+    def test_roughly_uniform(self):
+        h = HashFamily(3).function(0, 10)
+        counts = Counter(h(v) for v in range(10_000))
+        assert len(counts) == 10
+        assert max(counts.values()) < 2 * 10_000 / 10
+
+    def test_non_integer_values(self):
+        h = HashFamily(0).function(0, 8)
+        assert 0 <= h("hello") < 8
+        assert h(("a", 1)) == h(("a", 1))
+
+    def test_bool_hashes_like_int(self):
+        h = HashFamily(0).function(0, 8)
+        assert h(True) == h(1)
+
+    def test_negative_integers(self):
+        h = HashFamily(0).function(0, 8)
+        assert 0 <= h(-12345) < 8
+
+    def test_invalid_buckets(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            HashFunction(0, salt=1)

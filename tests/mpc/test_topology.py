@@ -1,0 +1,80 @@
+"""Tests for grid addressing (HyperCube coordinates)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ClusterError
+from repro.mpc.topology import Grid
+
+
+class TestGridBasics:
+    def test_size(self):
+        assert Grid([2, 3, 4]).size == 24
+
+    def test_flat_roundtrip(self):
+        g = Grid([2, 3, 4])
+        for flat in range(g.size):
+            assert g.flat(g.coordinate(flat)) == flat
+
+    def test_flat_ids_cover_range(self):
+        g = Grid([3, 3])
+        ids = {g.flat((i, j)) for i in range(3) for j in range(3)}
+        assert ids == set(range(9))
+
+    def test_one_dimension(self):
+        g = Grid([5])
+        assert g.coordinate(3) == (3,)
+
+    def test_invalid_extents(self):
+        with pytest.raises(ClusterError):
+            Grid([])
+        with pytest.raises(ClusterError):
+            Grid([2, 0])
+
+    def test_out_of_range_coordinate(self):
+        with pytest.raises(ClusterError):
+            Grid([2, 2]).flat((2, 0))
+
+    def test_wrong_arity_coordinate(self):
+        with pytest.raises(ClusterError):
+            Grid([2, 2]).flat((1,))
+
+    def test_out_of_range_flat(self):
+        with pytest.raises(ClusterError):
+            Grid([2, 2]).coordinate(4)
+
+
+class TestMatching:
+    def test_fully_bound(self):
+        g = Grid([2, 3])
+        assert list(g.matching((1, 2))) == [g.flat((1, 2))]
+
+    def test_one_wildcard(self):
+        g = Grid([2, 3])
+        ids = list(g.matching((None, 1)))
+        assert ids == [g.flat((0, 1)), g.flat((1, 1))]
+
+    def test_all_wildcards(self):
+        g = Grid([2, 2])
+        assert sorted(g.matching((None, None))) == [0, 1, 2, 3]
+
+    def test_triangle_replication_counts(self):
+        # HyperCube triangle: R fixes (x, y), wildcard on z — each R tuple
+        # is replicated to p^(1/3) servers in a cube grid.
+        g = Grid([4, 4, 4])
+        assert len(list(g.matching((2, 1, None)))) == 4
+        assert len(list(g.matching((2, None, None)))) == 16
+
+    def test_wrong_arity_partial(self):
+        with pytest.raises(ClusterError):
+            list(Grid([2, 2]).matching((None,)))
+
+    @given(st.lists(st.integers(1, 4), min_size=1, max_size=4))
+    def test_wildcard_count_property(self, extents):
+        """Replication factor = product of wildcarded extents."""
+        g = Grid(extents)
+        partial = [None] * len(extents)
+        assert len(list(g.matching(partial))) == math.prod(extents)

@@ -1,0 +1,72 @@
+"""Tests for the execution trace rendering."""
+
+from repro.mpc.stats import RoundStats, RunStats
+from repro.mpc.trace import busiest_server, load_histogram, round_table, trace
+
+
+def sample_stats():
+    stats = RunStats(3)
+    stats.rounds.append(RoundStats("shuffle", [10, 4, 2]))
+    stats.rounds.append(RoundStats("join", [0, 6, 6]))
+    return stats
+
+
+class TestRoundTable:
+    def test_contains_rows_and_totals(self):
+        text = round_table(sample_stats())
+        assert "shuffle" in text and "join" in text
+        assert "TOTAL" in text
+        assert "r=2" in text
+
+    def test_empty_run(self):
+        text = round_table(RunStats(2))
+        assert "TOTAL" in text and "r=0" in text
+
+
+class TestHistogram:
+    def test_bars_scale_with_load(self):
+        text = load_histogram(RoundStats("x", [10, 5, 0]))
+        lines = text.splitlines()[1:]
+        assert lines[0].count("#") > lines[1].count("#")
+        assert "#" not in lines[2]
+
+    def test_shows_values(self):
+        text = load_histogram(RoundStats("x", [7]))
+        assert "7" in text and "s00" in text
+
+
+class TestTrace:
+    def test_without_histograms(self):
+        text = trace(sample_stats())
+        assert "server loads" not in text
+
+    def test_with_histograms_skips_silent_rounds(self):
+        stats = sample_stats()
+        stats.rounds.append(RoundStats("quiet", [0, 0, 0]))
+        text = trace(stats, histograms=True)
+        assert text.count("server loads") == 2
+
+    def test_real_run_traces(self):
+        from repro.data.generators import uniform_relation
+        from repro.joins import parallel_hash_join
+
+        r = uniform_relation("R", ["x", "y"], 100, 30, seed=1)
+        s = uniform_relation("S", ["y", "z"], 100, 30, seed=2)
+        run = parallel_hash_join(r, s, p=4)
+        text = trace(run.stats, histograms=True)
+        assert "hash-shuffle" in text
+
+
+class TestBusiestServer:
+    def test_identifies_hotspot(self):
+        # Totals: s0 = 10, s1 = 10, s2 = 8; ties resolve to the lower id.
+        sid, total = busiest_server(sample_stats())
+        assert (sid, total) == (0, 10)
+
+    def test_unambiguous_hotspot(self):
+        stats = RunStats(2)
+        stats.rounds.append(RoundStats("a", [1, 9]))
+        assert busiest_server(stats) == (1, 9)
+
+    def test_empty(self):
+        assert busiest_server(RunStats(4)) == (0, 0)

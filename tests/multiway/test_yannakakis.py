@@ -1,0 +1,129 @@
+"""Tests for serial Yannakakis (slides 64–77)."""
+
+import pytest
+
+from repro.data.generators import uniform_relation
+from repro.data.relation import Relation
+from repro.errors import QueryError
+from repro.multiway.yannakakis import yannakakis
+from repro.query.cq import Atom, ConjunctiveQuery, path_query, star_query, triangle_query
+from repro.query.ghd import path_chain_ghd
+
+
+def slide64_query():
+    return ConjunctiveQuery(
+        [
+            Atom("R1", ["A0", "A1"]),
+            Atom("R2", ["A0", "A2"]),
+            Atom("R3", ["A1", "A3"]),
+            Atom("R4", ["A2", "A4"]),
+            Atom("R5", ["A2", "A5"]),
+        ]
+    )
+
+
+def slide65_instance():
+    """The exact instance walked through on slides 65–77."""
+    r1 = Relation("R1", ["A0", "A1"], [("a01", "a11"), ("a02", "a12"), ("a03", "a13")])
+    r2 = Relation("R2", ["A0", "A2"], [("a01", "a21"), ("a02", "a22"), ("a03", "a23")])
+    r3 = Relation("R3", ["A1", "A3"], [("a11", "a31"), ("a11", "a32")])
+    r4 = Relation("R4", ["A2", "A4"], [("a21", "a41"), ("a22", "a42")])
+    r5 = Relation("R5", ["A2", "A5"], [("a21", "a51"), ("a25", "a55")])
+    return {"R1": r1, "R2": r2, "R3": r3, "R4": r4, "R5": r5}
+
+
+class TestSlideWalkthrough:
+    def test_slide77_output(self):
+        q = slide64_query()
+        rels = slide65_instance()
+        result = yannakakis(q, rels)
+        expected = sorted(
+            [
+                ("a01", "a11", "a21", "a31", "a41", "a51"),
+                ("a01", "a11", "a21", "a32", "a41", "a51"),
+            ]
+        )
+        assert sorted(result.output.rows()) == expected
+
+    def test_matches_sequential_evaluation(self):
+        q = slide64_query()
+        rels = slide65_instance()
+        result = yannakakis(q, rels)
+        assert sorted(result.output.rows()) == sorted(q.evaluate(rels).rows())
+
+    def test_intermediates_bounded_by_out(self):
+        # Slide 77: after full reduction, |Ti| ≤ OUT.
+        q = slide64_query()
+        rels = slide65_instance()
+        result = yannakakis(q, rels)
+        assert result.max_intermediate <= len(result.output)
+
+    def test_operation_counts_linear(self):
+        # O(n) semijoins + O(n) joins for n atoms.
+        q = slide64_query()
+        result = yannakakis(q, slide65_instance())
+        assert result.semijoin_operations == 2 * 4  # 2 sweeps × (n-1) edges
+        assert result.join_operations == 4
+
+
+class TestGeneralQueries:
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_path_queries(self, n):
+        q = path_query(n)
+        rels = {
+            f"R{i}": uniform_relation(f"R{i}", [f"A{i-1}", f"A{i}"], 120, 40, seed=i)
+            for i in range(1, n + 1)
+        }
+        result = yannakakis(q, rels)
+        assert sorted(result.output.rows()) == sorted(q.evaluate(rels).rows())
+
+    def test_star_query(self):
+        q = star_query(4)
+        rels = {
+            f"R{i}": uniform_relation(f"R{i}", ["A0", f"A{i}"], 100, 30, seed=i)
+            for i in range(1, 5)
+        }
+        result = yannakakis(q, rels)
+        assert sorted(result.output.rows()) == sorted(q.evaluate(rels).rows())
+
+    def test_custom_ghd(self):
+        q = path_query(3)
+        rels = {
+            f"R{i}": uniform_relation(f"R{i}", [f"A{i-1}", f"A{i}"], 80, 25, seed=i)
+            for i in range(1, 4)
+        }
+        result = yannakakis(q, rels, ghd=path_chain_ghd(3))
+        assert sorted(result.output.rows()) == sorted(q.evaluate(rels).rows())
+
+    def test_empty_output(self):
+        q = path_query(2)
+        r1 = Relation("R1", ["A0", "A1"], [(1, 2)])
+        r2 = Relation("R2", ["A1", "A2"], [(3, 4)])  # no join partner
+        result = yannakakis(q, {"R1": r1, "R2": r2})
+        assert len(result.output) == 0
+        assert result.max_intermediate == 0
+
+    def test_cyclic_rejected(self):
+        edges = [(1, 2)]
+        rels = {
+            "R": Relation("R", ["x", "y"], edges),
+            "S": Relation("S", ["y", "z"], edges),
+            "T": Relation("T", ["z", "x"], edges),
+        }
+        with pytest.raises(Exception):
+            yannakakis(triangle_query(), rels)
+
+    def test_wide_ghd_rejected(self):
+        from repro.query.ghd import path_flat_ghd
+
+        q = path_query(4)
+        rels = {
+            f"R{i}": Relation(f"R{i}", [f"A{i-1}", f"A{i}"], [(1, 1)])
+            for i in range(1, 5)
+        }
+        with pytest.raises(QueryError):
+            yannakakis(q, rels, ghd=path_flat_ghd(4))
+
+    def test_missing_relation_rejected(self):
+        with pytest.raises(QueryError):
+            yannakakis(path_query(2), {"R1": Relation("R1", ["A0", "A1"])})

@@ -1,0 +1,83 @@
+"""Tests for the greedy join-order optimizer."""
+
+import pytest
+
+from repro.data.generators import uniform_relation
+from repro.data.relation import Relation
+from repro.errors import QueryError
+from repro.multiway.binary_plans import binary_join_plan
+from repro.planner.join_order import estimate_join_size, greedy_join_order
+from repro.query.cq import Atom, ConjunctiveQuery, path_query, triangle_query
+
+
+class TestEstimate:
+    def test_matches_actual_join(self):
+        r = uniform_relation("R", ["x", "y"], 150, 30, seed=1)
+        s = uniform_relation("S", ["y", "z"], 150, 30, seed=2)
+        assert estimate_join_size(r, s) == len(r.join(s))
+
+    def test_disjoint_is_product(self):
+        r = Relation("R", ["x"], [(1,), (2,)])
+        s = Relation("S", ["z"], [(1,)] * 5)
+        assert estimate_join_size(r, s) == 10
+
+
+class TestGreedyOrder:
+    def test_covers_all_atoms_once(self):
+        q = triangle_query()
+        rels = {
+            "R": uniform_relation("R", ["x", "y"], 100, 20, seed=1),
+            "S": uniform_relation("S", ["y", "z"], 100, 20, seed=2),
+            "T": uniform_relation("T", ["z", "x"], 100, 20, seed=3),
+        }
+        order = greedy_join_order(q, rels)
+        assert sorted(order) == ["R", "S", "T"]
+
+    def test_starts_with_cheapest_pair(self):
+        # R1 ⋈ R2 is empty; any sane order starts with that pair.
+        q = path_query(3)
+        rels = {
+            "R1": Relation("R1", ["A0", "A1"], [(i, i) for i in range(50)]),
+            "R2": Relation("R2", ["A1", "A2"], [(1000 + i, i) for i in range(50)]),
+            "R3": Relation(
+                "R3", ["A2", "A3"], [(i % 5, j) for i in range(10) for j in range(10)]
+            ),
+        }
+        order = greedy_join_order(q, rels)
+        assert set(order[:2]) == {"R1", "R2"}
+
+    def test_single_atom(self):
+        q = ConjunctiveQuery([Atom("R", ["x"])])
+        assert greedy_join_order(q, {"R": Relation("R", ["x"], [(1,)])}) == ["R"]
+
+    def test_missing_relation_rejected(self):
+        with pytest.raises(QueryError):
+            greedy_join_order(triangle_query(), {})
+
+    def test_order_beats_or_matches_default_on_lopsided_input(self):
+        # Default order R1, R2, R3 materializes the huge R1 ⋈ R2 first;
+        # greedy starts from the selective pair instead.
+        q = path_query(3)
+        hub_rows = [(i % 3, j % 3) for i in range(30) for j in range(3)]
+        rels = {
+            "R1": Relation("R1", ["A0", "A1"], hub_rows),
+            "R2": Relation("R2", ["A1", "A2"], hub_rows),
+            "R3": Relation("R3", ["A2", "A3"], [(0, 1)]),
+        }
+        default = binary_join_plan(q, rels, p=4)
+        greedy = binary_join_plan(q, rels, p=4, order=greedy_join_order(q, rels))
+        assert sorted(greedy.output.rows()) == sorted(default.output.rows())
+        assert max(greedy.details["intermediate_sizes"]) <= max(
+            default.details["intermediate_sizes"]
+        )
+
+    def test_disconnected_query_handled(self):
+        q = ConjunctiveQuery([Atom("R", ["x"]), Atom("S", ["z"]), Atom("T", ["x", "z"])])
+        rels = {
+            "R": Relation("R", ["x"], [(1,), (2,)]),
+            "S": Relation("S", ["z"], [(5,)]),
+            "T": Relation("T", ["x", "z"], [(1, 5)]),
+        }
+        order = greedy_join_order(q, rels)
+        run = binary_join_plan(q, rels, p=4, order=order)
+        assert sorted(run.output.rows()) == sorted(q.evaluate(rels).rows())

@@ -1,0 +1,50 @@
+"""Tests for planner statistics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.relation import Relation
+from repro.planner.statistics import join_statistics
+
+
+class TestJoinStatistics:
+    def test_basic_profile(self):
+        r = Relation("R", ["x", "y"], [(1, 2), (3, 2), (4, 5)])
+        s = Relation("S", ["y", "z"], [(2, 0), (2, 1), (9, 9)])
+        stats = join_statistics(r, s)
+        assert stats.r_size == 3 and stats.s_size == 3
+        assert stats.shared == ("y",)
+        assert stats.out_size == 4  # y=2: 2x2
+        assert stats.max_degree_r == 2
+        assert stats.max_degree_s == 2
+        assert stats.in_size == 6
+
+    def test_no_shared_attrs_is_product(self):
+        r = Relation("R", ["x"], [(1,), (2,)])
+        s = Relation("S", ["z"], [(1,), (2,), (3,)])
+        stats = join_statistics(r, s)
+        assert stats.shared == ()
+        assert stats.out_size == 6
+
+    def test_empty_relations(self):
+        r = Relation("R", ["x", "y"])
+        s = Relation("S", ["y", "z"], [(1, 2)])
+        stats = join_statistics(r, s)
+        assert stats.out_size == 0
+        assert stats.max_degree_r == 0
+
+    def test_heavy_hitter_detection(self):
+        r = Relation("R", ["x", "y"], [(i, 0) for i in range(10)])
+        s = Relation("S", ["y", "z"], [(0, 0)])
+        stats = join_statistics(r, s)
+        assert stats.has_heavy_hitter(p=4)      # degree 10 ≥ 11/4
+        assert not stats.has_heavy_hitter(p=1)  # threshold 11 > 10
+
+    rows = st.lists(st.tuples(st.integers(0, 6), st.integers(0, 6)), max_size=30)
+
+    @given(rows, rows)
+    def test_out_size_matches_actual_join(self, r_rows, s_rows):
+        r = Relation("R", ["x", "y"], r_rows)
+        s = Relation("S", ["y", "z"], s_rows)
+        assert join_statistics(r, s).out_size == len(r.join(s))

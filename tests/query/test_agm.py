@@ -1,0 +1,70 @@
+"""Tests for the AGM bound."""
+
+import pytest
+
+from repro.data.generators import uniform_relation
+from repro.data.graphs import random_edges, triangle_relations
+from repro.query.agm import agm_bound, agm_bound_equal, output_within_agm
+from repro.query.cq import star_query, triangle_query, two_path_query
+
+APPROX = pytest.approx
+
+
+class TestAgmBound:
+    def test_triangle_equal(self):
+        # |OUT| ≤ N^(3/2) (slide 55 with ρ* = 3/2).
+        assert agm_bound_equal(triangle_query(), 10**4) == APPROX(10**6, rel=1e-6)
+
+    def test_two_path_equal(self):
+        # ρ* = 1: |OUT| ≤ N.
+        assert agm_bound_equal(two_path_query(), 500) == APPROX(500, rel=1e-6)
+
+    def test_unequal_sizes(self):
+        # Cover chooses the cheaper option: R and T vs S.
+        sizes = {"R": 10, "S": 10**6, "T": 20}
+        assert agm_bound(two_path_query(), sizes) == APPROX(200, rel=1e-6)
+
+    def test_empty_relation_zero_bound(self):
+        sizes = {"R": 0, "S": 10, "T": 10}
+        assert agm_bound(two_path_query(), sizes) == 0.0
+
+    def test_star(self):
+        # ρ*(star-3) = 3: bound is N^3.
+        assert agm_bound_equal(star_query(3), 10) == APPROX(1000, rel=1e-6)
+
+
+class TestAgmHoldsEmpirically:
+    def test_triangle_output_respects_bound(self):
+        edges = random_edges(300, 40, seed=3)
+        r, s, t = triangle_relations(edges)
+        out = r.join(s).join(t)
+        q = triangle_query()
+        sizes = {"R": len(r), "S": len(s), "T": len(t)}
+        assert output_within_agm(q, sizes, len(out))
+
+    def test_two_path_output_respects_bound(self):
+        r = uniform_relation("R", ["x", "y"], 200, 30, seed=1)
+        s = uniform_relation("S", ["y", "z"], 200, 30, seed=2)
+        out = r.join(s)
+        q = two_path_query()
+        # two_path_query is R(x), S(x,y), T(y); use the 2-way join query shape
+        # R(x,y) ⋈ S(y,z) instead: ρ* = 2 -> bound N².
+        from repro.query.cq import two_way_join
+
+        assert output_within_agm(
+            two_way_join(), {"R": len(r), "S": len(s)}, len(out)
+        )
+        del q
+
+    def test_bound_tight_for_cartesian_worst_case(self):
+        # All-same-join-key data achieves |OUT| = N² for the 2-way join
+        # while AGM(ρ*=2) = N² — the bound is tight.
+        from repro.data.generators import single_value_relation
+        from repro.query.cq import two_way_join
+
+        n = 40
+        r = single_value_relation("R", ["x", "y"], n, "y")
+        s = single_value_relation("S", ["y", "z"], n, "y")
+        out = r.join(s)
+        assert len(out) == n * n
+        assert agm_bound(two_way_join(), {"R": n, "S": n}) == APPROX(n * n, rel=1e-6)

@@ -1,0 +1,144 @@
+"""Tests for conjunctive queries and residuals."""
+
+import pytest
+
+from repro.data.relation import Relation
+from repro.errors import QueryError
+from repro.query.cq import (
+    Atom,
+    ConjunctiveQuery,
+    cycle_query,
+    path_query,
+    spider_query,
+    star_query,
+    triangle_query,
+    two_path_query,
+    two_way_join,
+)
+
+
+class TestAtom:
+    def test_basic(self):
+        a = Atom("R", ["x", "y"])
+        assert a.arity == 2
+        assert a.var_set() == frozenset({"x", "y"})
+        assert str(a) == "R(x, y)"
+
+    def test_repeated_variable_rejected(self):
+        with pytest.raises(QueryError):
+            Atom("R", ["x", "x"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            Atom("R", [])
+
+
+class TestConjunctiveQuery:
+    def test_variable_order_first_occurrence(self):
+        q = triangle_query()
+        assert q.variables == ("x", "y", "z")
+
+    def test_duplicate_atom_names_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery([Atom("R", ["x"]), Atom("R", ["y"])])
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery([])
+
+    def test_atom_lookup(self):
+        q = triangle_query()
+        assert q.atom("S").variables == ("y", "z")
+        with pytest.raises(QueryError):
+            q.atom("Z")
+
+    def test_atoms_with(self):
+        q = triangle_query()
+        assert [a.name for a in q.atoms_with("x")] == ["R", "T"]
+
+
+class TestResidual:
+    def test_triangle_residual_one_heavy(self):
+        # Slide 49: z heavy -> R(x,y) ⋈ S(y) ⋈ T(x).
+        q = triangle_query().residual(["z"])
+        assert [str(a) for a in q.atoms] == ["R(x, y)", "S(y)", "T(x)"]
+
+    def test_triangle_residual_two_heavy(self):
+        # Slide 50: y, z heavy -> R(x) ⋈ T(x)  (S vanishes).
+        q = triangle_query().residual(["y", "z"])
+        assert [str(a) for a in q.atoms] == ["R(x)", "T(x)"]
+
+    def test_all_bound_raises(self):
+        with pytest.raises(QueryError):
+            triangle_query().residual(["x", "y", "z"])
+
+    def test_unknown_variable_raises(self):
+        with pytest.raises(QueryError):
+            triangle_query().residual(["w"])
+
+
+class TestEvaluate:
+    def test_two_way(self):
+        q = two_way_join()
+        r = Relation("R", ["x", "y"], [(1, 2), (3, 4)])
+        s = Relation("S", ["y", "z"], [(2, 9), (2, 8)])
+        out = q.evaluate({"R": r, "S": s})
+        assert sorted(out.rows()) == [(1, 2, 8), (1, 2, 9)]
+        assert out.schema.attributes == ("x", "y", "z")
+
+    def test_triangle(self):
+        q = triangle_query()
+        e = [(0, 1), (1, 2), (2, 0)]
+        r = Relation("R", ["x", "y"], e)
+        s = Relation("S", ["y", "z"], e)
+        t = Relation("T", ["z", "x"], e)
+        out = q.evaluate({"R": r, "S": s, "T": t})
+        assert len(out) == 3  # three rotations of the one cycle
+
+    def test_attribute_reordering(self):
+        q = ConjunctiveQuery([Atom("R", ["x", "y"])])
+        r = Relation("R", ["y", "x"], [(2, 1)])
+        out = q.evaluate({"R": r})
+        assert out.rows() == [(1, 2)]
+
+    def test_missing_relation_raises(self):
+        with pytest.raises(QueryError):
+            two_way_join().evaluate({"R": Relation("R", ["x", "y"])})
+
+    def test_wrong_attributes_raises(self):
+        q = ConjunctiveQuery([Atom("R", ["x", "y"])])
+        with pytest.raises(QueryError):
+            q.evaluate({"R": Relation("R", ["a", "b"])})
+
+
+class TestQueryFactories:
+    def test_two_path(self):
+        q = two_path_query()
+        assert [a.name for a in q.atoms] == ["R", "S", "T"]
+        assert q.variables == ("x", "y")
+
+    def test_path(self):
+        q = path_query(3)
+        assert [str(a) for a in q.atoms] == ["R1(A0, A1)", "R2(A1, A2)", "R3(A2, A3)"]
+
+    def test_star(self):
+        q = star_query(3)
+        assert all("A0" in a.variables for a in q.atoms)
+
+    def test_cycle_3_is_triangle_shape(self):
+        q = cycle_query(3)
+        assert len(q.atoms) == 3 and len(q.variables) == 3
+
+    def test_cycle_too_short_raises(self):
+        with pytest.raises(QueryError):
+            cycle_query(2)
+
+    def test_path_star_invalid(self):
+        with pytest.raises(QueryError):
+            path_query(0)
+        with pytest.raises(QueryError):
+            star_query(0)
+
+    def test_spider(self):
+        q = spider_query()
+        assert len(q.atoms) == 5 and len(q.variables) == 6

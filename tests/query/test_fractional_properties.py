@@ -1,0 +1,113 @@
+"""Property tests on the hypergraph LPs over random queries.
+
+Invariants from LP theory the implementation must satisfy on *any*
+query, not just the tutorial's examples:
+
+- strong duality: τ* (edge packing) = fractional vertex cover optimum;
+- ρ* ≥ τ*'s dual relationships: for any query, τ* ≤ ρ* when every
+  vertex is covered... (not in general!) — instead we check the safe
+  ones: packings are feasible, covers are feasible, ψ* ≥ τ*, and the
+  AGM bound respects monotonicity in relation sizes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.agm import agm_bound
+from repro.query.cq import Atom, ConjunctiveQuery
+from repro.query.fractional import (
+    fractional_edge_cover,
+    fractional_edge_packing,
+    fractional_vertex_cover,
+    psi_star,
+    tau_star,
+    verify_cover,
+    verify_packing,
+)
+from repro.query.shares import optimal_shares
+
+
+@st.composite
+def random_queries(draw):
+    """Random connected-ish CQs: 2–5 atoms over ≤ 5 variables."""
+    n_vars = draw(st.integers(2, 5))
+    variables = [f"v{i}" for i in range(n_vars)]
+    n_atoms = draw(st.integers(2, 5))
+    atoms = []
+    for i in range(n_atoms):
+        arity = draw(st.integers(1, min(3, n_vars)))
+        vs = draw(
+            st.lists(
+                st.sampled_from(variables),
+                min_size=arity,
+                max_size=arity,
+                unique=True,
+            )
+        )
+        atoms.append(Atom(f"S{i}", vs))
+    return ConjunctiveQuery(atoms)
+
+
+class TestLPProperties:
+    @given(random_queries())
+    @settings(max_examples=40, deadline=None)
+    def test_packing_cover_feasible(self, query):
+        packing = fractional_edge_packing(query)
+        cover = fractional_edge_cover(query)
+        assert verify_packing(query, packing.weights)
+        assert verify_cover(query, cover.weights)
+
+    @given(random_queries())
+    @settings(max_examples=40, deadline=None)
+    def test_strong_duality_tau_equals_vertex_cover(self, query):
+        assert fractional_vertex_cover(query).value == pytest.approx(
+            tau_star(query), abs=1e-6
+        )
+
+    @given(random_queries())
+    @settings(max_examples=15, deadline=None)
+    def test_psi_at_least_tau(self, query):
+        assert psi_star(query) >= tau_star(query) - 1e-6
+
+    @given(random_queries())
+    @settings(max_examples=25, deadline=None)
+    def test_tau_bounded_by_atom_count(self, query):
+        tau = tau_star(query)
+        assert 0 <= tau <= len(query.atoms) + 1e-9
+
+
+class TestAgmProperties:
+    @given(random_queries(), st.integers(1, 1000), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_agm_monotone_in_sizes(self, query, base, factor):
+        small = {a.name: base for a in query.atoms}
+        big = {a.name: base * factor for a in query.atoms}
+        assert agm_bound(query, small) <= agm_bound(query, big) + 1e-6
+
+    @given(random_queries(), st.integers(1, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_agm_at_most_product_of_sizes(self, query, n):
+        sizes = {a.name: n for a in query.atoms}
+        assert agm_bound(query, sizes) <= float(n) ** len(query.atoms) * (1 + 1e-9)
+
+
+class TestShareProperties:
+    @given(random_queries(), st.integers(1, 64))
+    @settings(max_examples=25, deadline=None)
+    def test_shares_respect_budget(self, query, p):
+        import math
+
+        sizes = {a.name: 100 for a in query.atoms}
+        assignment = optimal_shares(query, sizes, p)
+        assert math.prod(assignment.integral.values()) <= p
+        assert all(s >= 1 for s in assignment.integral.values())
+        assert sum(assignment.exponents.values()) <= 1.0 + 1e-6
+
+    @given(random_queries())
+    @settings(max_examples=20, deadline=None)
+    def test_predicted_load_decreases_with_p(self, query):
+        sizes = {a.name: 10_000 for a in query.atoms}
+        l4 = optimal_shares(query, sizes, 4).predicted_load
+        l64 = optimal_shares(query, sizes, 64).predicted_load
+        assert l64 <= l4 + 1e-6

@@ -1,0 +1,110 @@
+"""Tests for GHD constructions — the slide-95 width/depth trade-off."""
+
+import math
+
+import pytest
+
+from repro.errors import DecompositionError
+from repro.query.cq import Atom, ConjunctiveQuery, path_query, star_query, triangle_query
+from repro.query.ghd import (
+    GHD,
+    GHDNode,
+    expected_balanced_depth,
+    path_balanced_ghd,
+    path_chain_ghd,
+    path_flat_ghd,
+    width1_ghd,
+)
+
+
+def slide64_query() -> ConjunctiveQuery:
+    return ConjunctiveQuery(
+        [
+            Atom("R1", ["A0", "A1"]),
+            Atom("R2", ["A0", "A2"]),
+            Atom("R3", ["A1", "A3"]),
+            Atom("R4", ["A2", "A4"]),
+            Atom("R5", ["A2", "A5"]),
+        ]
+    )
+
+
+class TestWidth1:
+    def test_slide64_width1(self):
+        ghd = width1_ghd(slide64_query())
+        assert ghd.width == 1
+        assert ghd.verify()
+        assert len(ghd.nodes()) == 5
+
+    def test_star_depth_1(self):
+        ghd = width1_ghd(star_query(5))
+        assert ghd.width == 1
+        assert ghd.depth == 1  # hub at the root, leaves below
+
+    def test_cyclic_raises(self):
+        with pytest.raises(DecompositionError):
+            width1_ghd(triangle_query())
+
+    def test_single_atom(self):
+        ghd = width1_ghd(ConjunctiveQuery([Atom("R", ["x", "y"])]))
+        assert ghd.depth == 0 and ghd.width == 1
+
+
+class TestPathGHDs:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8, 16])
+    def test_chain_shape(self, n):
+        ghd = path_chain_ghd(n)
+        assert ghd.width == 1
+        assert ghd.depth == n - 1
+        assert ghd.verify()
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8, 16])
+    def test_flat_shape(self, n):
+        ghd = path_flat_ghd(n)
+        assert ghd.depth <= 1
+        assert ghd.width == math.ceil((n + 1) / 2) or ghd.width == (n + 1) // 2 + 1
+        assert ghd.verify()
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8, 16, 33])
+    def test_balanced_shape(self, n):
+        ghd = path_balanced_ghd(n)
+        assert ghd.width <= 3
+        assert ghd.depth <= max(1, 2 * math.ceil(math.log2(max(n, 2))))
+        assert ghd.verify()
+
+    def test_balanced_depth_grows_logarithmically(self):
+        d8 = path_balanced_ghd(8).depth
+        d64 = path_balanced_ghd(64).depth
+        assert d64 <= d8 + 4  # log2(64/8) = 3 extra levels, plus slack
+
+    def test_expected_balanced_depth_helper(self):
+        assert expected_balanced_depth(3) == 0
+        assert expected_balanced_depth(8) > 0
+
+
+class TestVerifyRejectsBadGHDs:
+    def test_missing_atom_coverage(self):
+        q = path_query(2)
+        root = GHDNode(bag=frozenset({"A0", "A1"}), cover=("R1",))
+        assert not GHD(q, root).verify()
+
+    def test_bag_not_in_cover(self):
+        q = path_query(2)
+        root = GHDNode(bag=frozenset({"A0", "A1", "A2"}), cover=("R1",))
+        root.children.append(GHDNode(bag=frozenset({"A1", "A2"}), cover=("R2",)))
+        assert not GHD(q, root).verify()
+
+    def test_broken_running_intersection(self):
+        q = path_query(3)
+        # A1 appears at the root and a grandchild but not between.
+        root = GHDNode(bag=frozenset({"A0", "A1"}), cover=("R1",))
+        mid = GHDNode(bag=frozenset({"A2", "A3"}), cover=("R3",))
+        leaf = GHDNode(bag=frozenset({"A1", "A2"}), cover=("R2",))
+        mid.children.append(leaf)
+        root.children.append(mid)
+        assert not GHD(q, root).verify()
+
+    def test_unknown_cover_name(self):
+        q = path_query(2)
+        root = GHDNode(bag=frozenset({"A0", "A1"}), cover=("ZZ",))
+        assert not GHD(q, root).verify()

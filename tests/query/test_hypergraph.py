@@ -1,0 +1,128 @@
+"""Tests for hypergraphs, GYO, and join trees."""
+
+import pytest
+
+from repro.errors import DecompositionError
+from repro.query.cq import (
+    Atom,
+    ConjunctiveQuery,
+    cycle_query,
+    path_query,
+    star_query,
+    triangle_query,
+    two_path_query,
+)
+from repro.query.hypergraph import (
+    Hypergraph,
+    is_acyclic,
+    join_tree,
+    verify_join_tree,
+)
+
+
+class TestHypergraph:
+    def test_of_query(self):
+        h = Hypergraph.of(triangle_query())
+        assert h.vertices == {"x", "y", "z"}
+        assert h.edges["R"] == frozenset({"x", "y"})
+
+    def test_edges_with(self):
+        h = Hypergraph.of(triangle_query())
+        assert sorted(h.edges_with("x")) == ["R", "T"]
+
+
+class TestAcyclicity:
+    def test_triangle_is_cyclic(self):
+        assert not is_acyclic(triangle_query())
+
+    def test_longer_cycles_are_cyclic(self):
+        for n in (4, 5, 6):
+            assert not is_acyclic(cycle_query(n))
+
+    def test_paths_are_acyclic(self):
+        for n in (1, 2, 3, 7):
+            assert is_acyclic(path_query(n))
+
+    def test_stars_are_acyclic(self):
+        for n in (1, 2, 5):
+            assert is_acyclic(star_query(n))
+
+    def test_two_path_is_acyclic(self):
+        assert is_acyclic(two_path_query())
+
+    def test_slide64_query_is_acyclic(self):
+        q = ConjunctiveQuery(
+            [
+                Atom("R1", ["A0", "A1"]),
+                Atom("R2", ["A0", "A2"]),
+                Atom("R3", ["A1", "A3"]),
+                Atom("R4", ["A2", "A4"]),
+                Atom("R5", ["A2", "A5"]),
+            ]
+        )
+        assert is_acyclic(q)
+
+    def test_cyclic_core_with_pendant_is_cyclic(self):
+        q = ConjunctiveQuery(
+            list(triangle_query().atoms) + [Atom("U", ["x", "w"])]
+        )
+        assert not is_acyclic(q)
+
+
+class TestJoinTree:
+    def test_cyclic_raises(self):
+        with pytest.raises(DecompositionError):
+            join_tree(triangle_query())
+
+    def test_path_join_tree_valid(self):
+        q = path_query(5)
+        parent = join_tree(q)
+        assert verify_join_tree(q, parent)
+
+    def test_star_join_tree_valid(self):
+        q = star_query(5)
+        parent = join_tree(q)
+        assert verify_join_tree(q, parent)
+
+    def test_slide64_join_tree_valid(self):
+        q = ConjunctiveQuery(
+            [
+                Atom("R1", ["A0", "A1"]),
+                Atom("R2", ["A0", "A2"]),
+                Atom("R3", ["A1", "A3"]),
+                Atom("R4", ["A2", "A4"]),
+                Atom("R5", ["A2", "A5"]),
+            ]
+        )
+        parent = join_tree(q)
+        assert verify_join_tree(q, parent)
+
+    def test_single_atom_tree(self):
+        q = ConjunctiveQuery([Atom("R", ["x"])])
+        assert join_tree(q) == {"R": "R"}
+
+    def test_exactly_one_root(self):
+        parent = join_tree(path_query(4))
+        roots = [n for n, p in parent.items() if p == n]
+        assert len(roots) == 1
+
+
+class TestVerifyJoinTree:
+    def test_rejects_bad_tree(self):
+        q = path_query(3)
+        # R1 - R3 adjacency breaks running intersection for A1/A2.
+        bad = {"R1": "R3", "R2": "R1", "R3": "R3"}
+        assert not verify_join_tree(q, bad)
+
+    def test_rejects_wrong_nodes(self):
+        q = path_query(2)
+        assert not verify_join_tree(q, {"R1": "R1"})
+
+    def test_rejects_two_roots(self):
+        q = path_query(2)
+        assert not verify_join_tree(q, {"R1": "R1", "R2": "R2"})
+
+    def test_accepts_any_orientation_of_path(self):
+        q = path_query(3)
+        chain = {"R3": "R3", "R2": "R3", "R1": "R2"}
+        assert verify_join_tree(q, chain)

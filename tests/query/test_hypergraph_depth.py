@@ -1,0 +1,62 @@
+"""Tests for join-tree depth minimization (the GYM round optimization)."""
+
+import pytest
+
+from repro.query.cq import Atom, ConjunctiveQuery, path_query, star_query
+from repro.query.hypergraph import join_tree, minimize_depth, verify_join_tree
+
+
+def tree_depth(parent: dict[str, str]) -> int:
+    def depth_of(node: str) -> int:
+        d = 0
+        while parent[node] != node:
+            node = parent[node]
+            d += 1
+        return d
+
+    return max(depth_of(n) for n in parent)
+
+
+class TestMinimizeDepth:
+    def test_star_flattens_to_depth_one(self):
+        q = star_query(6)
+        flat = minimize_depth(q, join_tree(q))
+        assert verify_join_tree(q, flat)
+        assert tree_depth(flat) == 1
+
+    def test_path_halves_by_center_rooting(self):
+        # A path's running intersection forces a chain shape, but rooting
+        # at the center still halves the depth: ⌈(n−1)/2⌉.
+        q = path_query(5)
+        flat = minimize_depth(q, join_tree(q))
+        assert verify_join_tree(q, flat)
+        assert tree_depth(flat) == 2
+
+    def test_never_increases_depth(self):
+        for q in (star_query(4), path_query(4)):
+            original = join_tree(q)
+            flat = minimize_depth(q, original)
+            assert tree_depth(flat) <= tree_depth(original)
+
+    def test_mixed_tree(self):
+        # Slide 64's query: two branches under A0; depth can reach 2.
+        q = ConjunctiveQuery(
+            [
+                Atom("R1", ["A0", "A1"]),
+                Atom("R2", ["A0", "A2"]),
+                Atom("R3", ["A1", "A3"]),
+                Atom("R4", ["A2", "A4"]),
+                Atom("R5", ["A2", "A5"]),
+            ]
+        )
+        flat = minimize_depth(q, join_tree(q))
+        assert verify_join_tree(q, flat)
+        assert tree_depth(flat) <= 2
+
+    def test_result_always_valid(self):
+        q = star_query(3)
+        flat = minimize_depth(q, join_tree(q))
+        # Exactly one root, every node present.
+        roots = [n for n, p in flat.items() if n == p]
+        assert len(roots) == 1
+        assert set(flat) == {a.name for a in q.atoms}

@@ -1,0 +1,88 @@
+"""Tests for the sort-based similarity (band) join (slide 99)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.relation import Relation
+from repro.sorting.band_join import band_join, reference_band_join
+
+
+def rel_of(name, key, values, payload_offset=0):
+    return Relation(
+        name, [key, "tag"], [(v, payload_offset + i) for i, v in enumerate(values)]
+    )
+
+
+class TestCorrectness:
+    def test_small_example(self):
+        r = rel_of("R", "a", [1, 5, 10])
+        s = rel_of("S", "b", [2, 6, 20], payload_offset=100)
+        run = band_join(r, s, "a", "b", epsilon=1.5, p=3)
+        expected = reference_band_join(r, s, "a", "b", 1.5)
+        assert sorted(run.output.rows()) == expected
+        assert len(expected) == 2  # (1,2) and (5,6)
+
+    def test_random_uniform(self):
+        rng = np.random.default_rng(1)
+        r = rel_of("R", "a", rng.uniform(0, 100, size=150).tolist())
+        s = rel_of("S", "b", rng.uniform(0, 100, size=150).tolist(), 1000)
+        run = band_join(r, s, "a", "b", epsilon=0.8, p=6)
+        assert sorted(run.output.rows()) == reference_band_join(r, s, "a", "b", 0.8)
+
+    def test_epsilon_zero_is_equijoin(self):
+        r = rel_of("R", "a", [1, 2, 3, 3])
+        s = rel_of("S", "b", [3, 4], payload_offset=50)
+        run = band_join(r, s, "a", "b", epsilon=0, p=3)
+        assert len(run.output) == 2  # the two a=3 rows match b=3
+
+    def test_huge_epsilon_is_full_product(self):
+        r = rel_of("R", "a", [1, 2, 3])
+        s = rel_of("S", "b", [100, 200], payload_offset=9)
+        run = band_join(r, s, "a", "b", epsilon=10**6, p=4)
+        assert len(run.output) == 6
+
+    def test_boundary_pairs_not_missed_or_duplicated(self):
+        # Dense duplicates around likely splitter values.
+        r = rel_of("R", "a", [10] * 30 + [20] * 30)
+        s = rel_of("S", "b", [11] * 30 + [19] * 30, payload_offset=500)
+        run = band_join(r, s, "a", "b", epsilon=1, p=5)
+        expected = reference_band_join(r, s, "a", "b", 1)
+        assert sorted(run.output.rows()) == expected
+
+    def test_negative_epsilon_rejected(self):
+        r = rel_of("R", "a", [1])
+        s = rel_of("S", "b", [1], 5)
+        with pytest.raises(ValueError):
+            band_join(r, s, "a", "b", epsilon=-1, p=2)
+
+    def test_empty_inputs(self):
+        r = Relation("R", ["a", "tag"])
+        s = rel_of("S", "b", [1, 2], 5)
+        run = band_join(r, s, "a", "b", epsilon=1, p=3)
+        assert len(run.output) == 0
+
+    @given(
+        st.lists(st.integers(0, 40), max_size=30),
+        st.lists(st.integers(0, 40), max_size=30),
+        st.integers(0, 8),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_bruteforce(self, r_vals, s_vals, eps, p):
+        r = rel_of("R", "a", r_vals)
+        s = rel_of("S", "b", s_vals, payload_offset=1000)
+        run = band_join(r, s, "a", "b", epsilon=eps, p=p)
+        assert sorted(run.output.rows()) == reference_band_join(r, s, "a", "b", eps)
+
+
+class TestCosts:
+    def test_loads_reasonable_for_small_epsilon(self):
+        rng = np.random.default_rng(2)
+        n, p = 2000, 8
+        r = rel_of("R", "a", rng.uniform(0, 10_000, size=n).tolist())
+        s = rel_of("S", "b", rng.uniform(0, 10_000, size=n).tolist(), 10**6)
+        run = band_join(r, s, "a", "b", epsilon=1.0, p=p)
+        # Partition ≈ 2N/p; replication adds only boundary items.
+        assert run.load < 3 * (2 * n) / p

@@ -1,0 +1,78 @@
+"""Tests for sample/splitter selection."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sorting.splitters import (
+    bucket_of,
+    choose_splitters,
+    random_sample,
+    regular_sample,
+)
+
+
+class TestRegularSample:
+    def test_count(self):
+        assert len(regular_sample(list(range(100)), 7)) == 7
+
+    def test_sample_is_spread(self):
+        s = regular_sample(list(range(100)), 3)
+        assert s == [25, 50, 75]
+
+    def test_short_input_returns_all(self):
+        assert regular_sample([1, 2], 5) == [1, 2]
+
+    def test_empty(self):
+        assert regular_sample([], 3) == []
+        assert regular_sample([1, 2, 3], 0) == []
+
+
+class TestRandomSample:
+    def test_count_and_membership(self):
+        items = list(range(50))
+        s = random_sample(items, 10, seed=1)
+        assert len(s) == 10
+        assert all(x in items for x in s)
+
+    def test_no_replacement(self):
+        s = random_sample(list(range(50)), 20, seed=2)
+        assert len(set(s)) == 20
+
+    def test_deterministic(self):
+        assert random_sample(list(range(50)), 5, seed=3) == random_sample(
+            list(range(50)), 5, seed=3
+        )
+
+
+class TestChooseSplitters:
+    def test_count(self):
+        assert len(choose_splitters(list(range(100)), 8)) == 7
+
+    def test_sorted(self):
+        s = choose_splitters([5, 3, 9, 1, 7, 2, 8], 4)
+        assert s == sorted(s)
+
+    def test_single_bucket_no_splitters(self):
+        assert choose_splitters([1, 2, 3], 1) == []
+
+    def test_empty_samples(self):
+        assert choose_splitters([], 4) == []
+
+
+class TestBucketOf:
+    def test_boundaries(self):
+        splitters = [10, 20]
+        assert bucket_of(5, splitters) == 0
+        assert bucket_of(10, splitters) == 0  # equal goes left
+        assert bucket_of(15, splitters) == 1
+        assert bucket_of(25, splitters) == 2
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=50), st.integers(0, 1000))
+    def test_bucket_respects_order(self, samples, value):
+        splitters = choose_splitters(samples, 5)
+        b = bucket_of(value, splitters)
+        assert 0 <= b <= len(splitters)
+        if b > 0:
+            assert splitters[b - 1] < value
+        if b < len(splitters):
+            assert value <= splitters[b]

@@ -1,0 +1,139 @@
+"""Tests for the Engine facade and the query parser."""
+
+import pytest
+
+from repro.data.generators import single_value_relation, uniform_relation
+from repro.data.graphs import count_triangles, random_edges, triangle_relations
+from repro.data.relation import Relation
+from repro.engine import Engine
+from repro.errors import QueryError
+from repro.query.parser import parse_query
+
+
+class TestParser:
+    def test_body_only(self):
+        q = parse_query("R(x, y), S(y, z)")
+        assert [str(a) for a in q.atoms] == ["R(x, y)", "S(y, z)"]
+        assert q.variables == ("x", "y", "z")
+
+    def test_with_head(self):
+        q = parse_query("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)")
+        assert len(q.atoms) == 3
+
+    def test_unicode_names(self):
+        q = parse_query("Δ(x,y,z) :- R(x,y), S(y,z), T(z,x)")
+        assert q.variables == ("x", "y", "z")
+
+    def test_whitespace_insensitive(self):
+        q = parse_query("  R( x ,y ) ,S(y,  z)  ")
+        assert q.variables == ("x", "y", "z")
+
+    def test_head_missing_variable_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("Q(x) :- R(x, y)")
+
+    def test_head_extra_variable_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("Q(x, y, w) :- R(x, y)")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT * FROM R")
+        with pytest.raises(QueryError):
+            parse_query("R(x, y) S(y, z)")  # missing comma
+        with pytest.raises(QueryError):
+            parse_query("R()")
+        with pytest.raises(QueryError):
+            parse_query("")
+
+
+class TestEngineCatalog:
+    def test_register_and_lookup(self):
+        engine = Engine(p=4)
+        r = Relation("R", ["x", "y"], [(1, 2)])
+        engine.register(r)
+        assert engine.relation("R") is r
+        assert engine.names() == ["R"]
+
+    def test_register_under_alias(self):
+        engine = Engine(p=4)
+        engine.register(Relation("R", ["x", "y"], [(1, 2)]), name="Edges")
+        assert engine.names() == ["Edges"]
+
+    def test_missing_relation_raises(self):
+        with pytest.raises(QueryError):
+            Engine(p=4).relation("Nope")
+
+    def test_invalid_p(self):
+        with pytest.raises(QueryError):
+            Engine(p=0)
+
+
+class TestEngineQueries:
+    def test_two_way_join(self):
+        engine = Engine(p=8)
+        r = uniform_relation("R", ["x", "y"], 300, 60, seed=1)
+        s = uniform_relation("S", ["y", "z"], 300, 60, seed=2)
+        engine.register(r)
+        engine.register(s)
+        result = engine.query("R(x, y), S(y, z)")
+        assert sorted(result.output.rows()) == sorted(r.join(s).rows())
+        assert result.plan.algorithm == "hash"
+        assert result.rounds >= 1
+
+    def test_triangle_query(self):
+        engine = Engine(p=8)
+        edges = random_edges(200, 30, seed=3)
+        r, s, t = triangle_relations(edges)
+        for rel in (r, s, t):
+            engine.register(rel)
+        result = engine.query("Δ(x,y,z) :- R(x,y), S(y,z), T(z,x)")
+        assert len(result.output) == count_triangles(edges)
+        assert result.plan.algorithm in ("hypercube", "skewhc")
+
+    def test_single_atom_scan(self):
+        engine = Engine(p=4)
+        engine.register(Relation("R", ["x", "y"], [(1, 2), (3, 4)]))
+        result = engine.query("R(x, y)")
+        assert sorted(result.output.rows()) == [(1, 2), (3, 4)]
+        assert result.load == 0  # no communication needed
+
+    def test_skewed_join_picks_skew_algorithm(self):
+        engine = Engine(p=8)
+        engine.register(single_value_relation("R", ["x", "y"], 150, "y"))
+        engine.register(single_value_relation("S", ["y", "z"], 150, "y"))
+        result = engine.query("R(x,y), S(y,z)")
+        assert result.plan.algorithm == "skew"
+        assert len(result.output) == 150 * 150
+
+    def test_acyclic_multiway_uses_gym(self):
+        engine = Engine(p=16)
+        for i in range(1, 4):
+            engine.register(
+                uniform_relation(f"R{i}", [f"A{i-1}", f"A{i}"], 200, 300, seed=i)
+            )
+        result = engine.query("R1(A0,A1), R2(A1,A2), R3(A2,A3)")
+        assert result.plan.algorithm == "gym"
+
+    def test_query_object_accepted(self):
+        from repro.query.cq import two_way_join
+
+        engine = Engine(p=4)
+        engine.register(uniform_relation("R", ["x", "y"], 50, 20, seed=4))
+        engine.register(uniform_relation("S", ["y", "z"], 50, 20, seed=5))
+        result = engine.query(two_way_join())
+        expected = engine.relation("R").join(engine.relation("S"))
+        assert sorted(result.output.rows()) == sorted(expected.rows())
+
+    def test_unregistered_atom_raises(self):
+        engine = Engine(p=4)
+        engine.register(Relation("R", ["x", "y"], [(1, 2)]))
+        with pytest.raises(QueryError):
+            engine.query("R(x,y), S(y,z)")
+
+    def test_mismatched_schema_raises(self):
+        engine = Engine(p=4)
+        engine.register(Relation("R", ["a", "b"], [(1, 2)]))
+        engine.register(Relation("S", ["y", "z"], [(2, 3)]))
+        with pytest.raises(QueryError):
+            engine.query("R(x,y), S(y,z)")

@@ -1,0 +1,40 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ClusterError,
+    DecompositionError,
+    LoadExceededError,
+    OptimizationError,
+    QueryError,
+    ReproError,
+    SchemaError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [SchemaError, QueryError, ClusterError, DecompositionError, OptimizationError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_load_exceeded_is_cluster_error(self):
+        assert issubclass(LoadExceededError, ClusterError)
+
+    def test_load_exceeded_carries_context(self):
+        err = LoadExceededError(server=3, load=100, cap=50)
+        assert err.server == 3
+        assert err.load == 100
+        assert err.cap == 50
+        assert "server 3" in str(err)
+        assert "100" in str(err) and "50" in str(err)
+
+    def test_catch_all_library_errors(self):
+        """A caller can guard any repro call with one except clause."""
+        from repro.data.schema import Schema
+
+        with pytest.raises(ReproError):
+            Schema([])

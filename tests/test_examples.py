@@ -1,0 +1,39 @@
+"""Smoke tests: the example scripts run end-to-end and report success.
+
+Only the fast examples run in CI cadence; the heavyweight ones are
+executed with reduced visibility (still checked for import errors via
+compileall-style compilation).
+"""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).resolve().parent.parent / "examples").glob("*.py"))
+FAST = {"quickstart.py", "matmul_pipeline.py", "engine_demo.py"}
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        assert len(EXAMPLES) >= 8
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    @pytest.mark.parametrize(
+        "path", [p for p in EXAMPLES if p.name in FAST], ids=lambda p: p.name
+    )
+    def test_fast_examples_run(self, path):
+        result = subprocess.run(
+            [sys.executable, str(path)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip()
+        assert "MISMATCH" not in result.stdout

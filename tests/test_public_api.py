@@ -1,0 +1,68 @@
+"""The public API surface: every export resolves, every module imports."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.data",
+    "repro.mpc",
+    "repro.query",
+    "repro.joins",
+    "repro.multiway",
+    "repro.sorting",
+    "repro.matmul",
+    "repro.theory",
+    "repro.planner",
+]
+
+
+class TestImports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_package_imports(self, package):
+        importlib.import_module(package)
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_exports_resolve(self, package):
+        module = importlib.import_module(package)
+        assert hasattr(module, "__all__"), package
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.{name} missing"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_is_sorted_and_unique(self, package):
+        module = importlib.import_module(package)
+        exports = list(module.__all__)
+        assert len(exports) == len(set(exports)), f"{package} duplicates"
+
+    def test_every_submodule_importable(self):
+        for package in PACKAGES[1:]:
+            module = importlib.import_module(package)
+            for info in pkgutil.iter_modules(module.__path__):
+                importlib.import_module(f"{package}.{info.name}")
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_package_has_docstring(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__ and module.__doc__.strip()
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_public_callables_documented(self, package):
+        module = importlib.import_module(package)
+        undocumented = []
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if callable(obj) and not (obj.__doc__ or "").strip():
+                undocumented.append(name)
+        assert not undocumented, f"{package}: {undocumented}"
+
+
+class TestVersioning:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2

@@ -1,0 +1,83 @@
+"""Tests for the Chernoff load analysis (slides 24–26)."""
+
+import math
+
+import pytest
+
+from repro.theory.chernoff import (
+    degree_threshold,
+    empirical_overload_probability,
+    overload_probability_bound,
+    threshold_curve,
+)
+
+
+class TestOverloadBound:
+    def test_formula(self):
+        # p·exp(−δ²·IN/(3pd)) by hand.
+        val = overload_probability_bound(10**6, 100, 10, 0.3)
+        expected = 100 * math.exp(-0.09 * 10**6 / (3 * 100 * 10))
+        assert val == pytest.approx(expected)
+
+    def test_capped_at_one(self):
+        assert overload_probability_bound(10, 1000, 1000, 0.01) == 1.0
+
+    def test_monotone_in_degree(self):
+        low = overload_probability_bound(10**6, 100, 1, 0.3)
+        high = overload_probability_bound(10**6, 100, 1000, 0.3)
+        assert low <= high
+
+    def test_monotone_in_p(self):
+        few = overload_probability_bound(10**6, 10, 10, 0.3)
+        many = overload_probability_bound(10**6, 1000, 10, 0.3)
+        assert few <= many
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            overload_probability_bound(0, 10, 1, 0.3)
+        with pytest.raises(ValueError):
+            overload_probability_bound(10, 10, 1, 0)
+
+
+class TestDegreeThreshold:
+    def test_slide26_p100_value(self):
+        # Slide 26 annotates p = 100 → d ≈ 4,000,000 at IN = 10¹¹.
+        d = degree_threshold(10**11, 100, delta=0.3, confidence=0.95)
+        assert 3.0e6 < d < 5.0e6
+
+    def test_decreasing_in_p(self):
+        curve = threshold_curve(10**11, [50, 100, 200, 400, 800])
+        values = [d for _, d in curve]
+        assert values == sorted(values, reverse=True)
+
+    def test_threshold_consistent_with_bound(self):
+        # At the threshold degree, the bound equals the failure probability.
+        in_size, p = 10**9, 64
+        d = degree_threshold(in_size, p, delta=0.3, confidence=0.95)
+        assert overload_probability_bound(in_size, p, d, 0.3) == pytest.approx(0.05)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            degree_threshold(10**6, 10, confidence=1.0)
+
+
+class TestEmpiricalValidation:
+    def test_bound_upper_bounds_reality_low_degree(self):
+        n_keys, degree, p, delta = 2000, 1, 10, 0.3
+        measured = empirical_overload_probability(
+            n_keys, degree, p, delta, trials=60, seed=1
+        )
+        bound = overload_probability_bound(n_keys * degree, p, degree, delta)
+        assert measured <= bound + 0.05
+
+    def test_high_degree_overloads_often(self):
+        # Degree near IN/p: a single value can tip a server over (1+δ)IN/p.
+        measured = empirical_overload_probability(
+            n_keys=20, degree=100, p=10, delta=0.3, trials=60, seed=2
+        )
+        assert measured > 0.5
+
+    def test_deterministic_given_seed(self):
+        a = empirical_overload_probability(100, 2, 8, 0.3, trials=20, seed=3)
+        b = empirical_overload_probability(100, 2, 8, 0.3, trials=20, seed=3)
+        assert a == b

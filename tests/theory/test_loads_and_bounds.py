@@ -1,0 +1,148 @@
+"""Tests for cost profiles, speedup curves, and lower bounds."""
+
+import pytest
+
+from repro.query.cq import (
+    Atom,
+    ConjunctiveQuery,
+    path_query,
+    triangle_query,
+    two_path_query,
+)
+from repro.theory.loads import (
+    cost_profile,
+    hypercube_speedup,
+    required_processors_for_speedup,
+)
+from repro.theory.lower_bounds import (
+    join_load_lower_bound,
+    matmul_communication_lower_bound,
+    matmul_one_round_communication_lower_bound,
+    matmul_products_per_server,
+    matmul_rounds_lower_bound,
+    sort_communication_lower_bound,
+    sort_rounds_lower_bound,
+)
+
+APPROX = pytest.approx
+
+
+class TestCostProfiles:
+    def test_triangle_row(self):
+        # Slide 54 row 1: τ* = 3/2, ψ* = 2, ρ* = 3/2.
+        profile = cost_profile(triangle_query())
+        assert profile.tau_star == APPROX(1.5)
+        assert profile.psi_star == APPROX(2.0)
+        assert profile.rho_star == APPROX(1.5)
+
+    def test_two_way_join_row(self):
+        # Slide 54 row 2: τ* = 1, ψ* = 2, ρ* = 2.
+        q = ConjunctiveQuery([Atom("R", ["x", "y"]), Atom("S", ["y", "z"])])
+        profile = cost_profile(q)
+        assert profile.tau_star == APPROX(1.0)
+        assert profile.psi_star == APPROX(2.0)
+        assert profile.rho_star == APPROX(2.0)
+
+    def test_two_path_row(self):
+        # Slide 54 row 3: τ* = 2, ψ* = 2, ρ* = 1.
+        profile = cost_profile(two_path_query())
+        assert profile.tau_star == APPROX(2.0)
+        assert profile.psi_star == APPROX(2.0)
+        assert profile.rho_star == APPROX(1.0)
+
+    def test_load_formulas(self):
+        profile = cost_profile(triangle_query())
+        assert profile.one_round_load_no_skew(1000, 8) == APPROX(1000 / 4)
+        assert profile.one_round_load_skew(1000, 16) == APPROX(250)
+        assert profile.multi_round_load_no_skew(1000, 8) == APPROX(125)
+
+
+class TestSpeedup:
+    def test_curve_capped_by_tau(self):
+        curve = hypercube_speedup(exponent_sum=1.0, tau=1.5, p_values=[2, 8, 64])
+        for p, s in curve:
+            assert s == APPROX(min(p, p ** (2 / 3)))
+
+    def test_slide62_scalability_warning(self):
+        # τ* = 10 (the 20-atom path): 2× speedup needs 1024× processors.
+        from repro.query.fractional import tau_star
+
+        tau = tau_star(path_query(20))
+        assert tau == APPROX(10.0)
+        assert required_processors_for_speedup(2.0, tau) == APPROX(1024.0)
+
+    def test_invalid_speedup(self):
+        with pytest.raises(ValueError):
+            required_processors_for_speedup(0, 2)
+
+
+class TestJoinLowerBound:
+    def test_matches_slide56_shape(self):
+        # With OUT = IN^ρ* and r = O(1): L = Ω(IN / p^{1/ρ*}).
+        in_size, rho, p = 10**6, 1.5, 64
+        out = in_size**rho
+        bound = join_load_lower_bound(out, rho, p, rounds=1)
+        assert bound == APPROX(in_size / p ** (1 / rho))
+
+    def test_more_rounds_weaker_bound(self):
+        b1 = join_load_lower_bound(10**9, 1.5, 64, rounds=1)
+        b3 = join_load_lower_bound(10**9, 1.5, 64, rounds=3)
+        assert b3 < b1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            join_load_lower_bound(0, 1.5, 4, 1)
+
+
+class TestSortBounds:
+    def test_rounds_bound(self):
+        assert sort_rounds_lower_bound(10**6, 10**3) == APPROX(2.0)
+
+    def test_communication_bound(self):
+        assert sort_communication_lower_bound(10**6, 10**3) == APPROX(2 * 10**6)
+
+    def test_independent_of_p(self):
+        # Slide 105: more processors do not reduce rounds.
+        assert sort_rounds_lower_bound(10**6, 100) == sort_rounds_lower_bound(
+            10**6, 100
+        )
+
+    def test_invalid_load(self):
+        with pytest.raises(ValueError):
+            sort_rounds_lower_bound(10, 1)
+
+
+class TestMatmulBounds:
+    def test_products_per_server_agm(self):
+        assert matmul_products_per_server(100) == APPROX(1000.0)
+
+    def test_communication_bound(self):
+        assert matmul_communication_lower_bound(100, 400) == APPROX(100**3 / 20)
+
+    def test_one_round_bound_stronger_at_small_load(self):
+        n = 100
+        small_load = 50  # < n²: one-round bound n⁴/L > multi-round n³/√L
+        assert matmul_one_round_communication_lower_bound(
+            n, small_load
+        ) > matmul_communication_lower_bound(n, small_load)
+
+    def test_rounds_bound_regimes(self):
+        # Compute-bound regime: few servers.
+        assert matmul_rounds_lower_bound(100, p=10, load=200) == APPROX(
+            100**3 / (10 * 200**1.5)
+        )
+        # Aggregation-bound regime: many servers.
+        many = matmul_rounds_lower_bound(100, p=10**9, load=4)
+        assert many == APPROX(math_log_ratio(100, 4))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            matmul_communication_lower_bound(10, 0)
+        with pytest.raises(ValueError):
+            matmul_rounds_lower_bound(10, 2, 1)
+
+
+def math_log_ratio(n, load):
+    import math
+
+    return math.log(n) / math.log(load)

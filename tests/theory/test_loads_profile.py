@@ -1,0 +1,47 @@
+"""Remaining coverage for QueryCostProfile and load formulas."""
+
+import pytest
+
+from repro.query.cq import triangle_query, two_path_query
+from repro.theory.loads import QueryCostProfile, cost_profile, hypercube_speedup
+
+
+class TestProfileMethods:
+    def test_multi_round_skew_uses_rho(self):
+        # 2-path: ρ* = 1 -> multi-round skew load IN/p.
+        profile = cost_profile(two_path_query())
+        assert profile.multi_round_load_skew(1600, 16) == pytest.approx(100.0)
+
+    def test_triangle_multi_round_skew(self):
+        # ρ* = 3/2 -> IN/p^(2/3).
+        profile = cost_profile(triangle_query())
+        assert profile.multi_round_load_skew(1000, 8) == pytest.approx(250.0)
+
+    def test_ordering_of_regimes(self):
+        """Slide 54: multi-round ≤ no-skew 1-round ≤ skew 1-round loads."""
+        profile = cost_profile(triangle_query())
+        in_size, p = 10**6, 64
+        multi = profile.multi_round_load_no_skew(in_size, p)
+        one_no_skew = profile.one_round_load_no_skew(in_size, p)
+        one_skew = profile.one_round_load_skew(in_size, p)
+        assert multi <= one_no_skew <= one_skew
+
+    def test_profile_is_frozen(self):
+        profile = QueryCostProfile("q", 1.5, 2.0, 1.5)
+        with pytest.raises(AttributeError):
+            profile.tau_star = 2.0  # type: ignore[misc]
+
+    def test_query_string_recorded(self):
+        profile = cost_profile(triangle_query())
+        assert "R(x, y)" in profile.query
+
+
+class TestSpeedupCurve:
+    def test_returns_pairs_for_all_p(self):
+        curve = hypercube_speedup(1.0, 1.5, [1, 2, 4])
+        assert [p for p, _ in curve] == [1, 2, 4]
+
+    def test_monotone(self):
+        curve = hypercube_speedup(0.9, 1.5, [1, 4, 16, 64])
+        speedups = [s for _, s in curve]
+        assert speedups == sorted(speedups)

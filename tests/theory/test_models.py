@@ -1,0 +1,55 @@
+"""Tests for the model-translation formulas (slide 19)."""
+
+import pytest
+
+from repro.mpc.stats import RoundStats, RunStats
+from repro.theory.models import (
+    brent_bound,
+    circuit_of_mpc,
+    circuit_of_run,
+    pram_time_of_run,
+)
+
+
+def run_stats(p, loads_per_round):
+    stats = RunStats(p)
+    for i, loads in enumerate(loads_per_round):
+        stats.rounds.append(RoundStats(f"r{i}", loads))
+    return stats
+
+
+class TestCircuitOfMpc:
+    def test_dictionary(self):
+        shape = circuit_of_mpc(p=16, rounds=3, load=100)
+        assert shape.size == 48
+        assert shape.depth == 3
+        assert shape.fan_in == 100
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            circuit_of_mpc(0, 1, 1)
+
+    def test_of_run(self):
+        stats = run_stats(4, [[5, 1, 0, 0], [2, 2, 2, 2]])
+        shape = circuit_of_run(stats)
+        assert shape.depth == 2
+        assert shape.fan_in == 5
+        assert shape.size == 8
+
+
+class TestBrent:
+    def test_formula(self):
+        assert brent_bound(1000, 10, 100) == pytest.approx(20.0)
+
+    def test_more_processors_saturates_at_depth(self):
+        assert brent_bound(1000, 10, 10**9) == pytest.approx(10.0, rel=1e-3)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            brent_bound(10, 1, 0)
+
+    def test_pram_time_of_run_decreases_with_p(self):
+        stats = run_stats(4, [[100, 100, 100, 100]])
+        t4 = pram_time_of_run(stats, p=4)
+        t400 = pram_time_of_run(stats, p=400)
+        assert t400 < t4
