@@ -24,7 +24,12 @@ class ClusterError(ReproError):
 
 
 class LoadExceededError(ClusterError):
-    """A server received more tuples in a round than the configured load cap."""
+    """A round tried to deliver more units to a server than the load cap.
+
+    Raised at the round barrier *before* any tuple is delivered: the
+    offending round is recorded in the statistics (marked undelivered)
+    but no server fragment is mutated, so the cluster stays usable.
+    """
 
     def __init__(self, server: int, load: int, cap: int) -> None:
         super().__init__(
@@ -34,6 +39,21 @@ class LoadExceededError(ClusterError):
         self.server = server
         self.load = load
         self.cap = cap
+
+
+class AuditError(ClusterError):
+    """A conservation invariant of the MPC simulator was violated.
+
+    Raised by :mod:`repro.mpc.audit` when a round's accounting does not
+    add up (tuples sent ≠ tuples received, charged units ≠ recorded
+    loads, free-round units charged, or combined sub-cluster stats that
+    do not partition the server budget).
+    """
+
+    def __init__(self, check: str, detail: str) -> None:
+        super().__init__(f"audit check {check!r} failed: {detail}")
+        self.check = check
+        self.detail = detail
 
 
 class DecompositionError(ReproError):

@@ -19,12 +19,13 @@ def broadcast_join(
     p: int,
     seed: int = 0,
     output_name: str = "OUT",
+    audit: bool | None = None,
 ) -> JoinRun:
     """Broadcast the smaller of R, S; join against the bigger in place."""
     require_join_key(r, s)
     small, big = (r, s) if len(r) <= len(s) else (s, r)
 
-    cluster = Cluster(p, seed=seed)
+    cluster = Cluster(p, seed=seed, audit=audit)
     big_frag = cluster.scatter(big, f"{big.name}@in")
     small_frag = cluster.scatter(small, f"{small.name}@in")
 

@@ -55,6 +55,7 @@ def cartesian_product(
     p: int,
     seed: int = 0,
     output_name: str = "OUT",
+    audit: bool | None = None,
 ) -> JoinRun:
     """Distributed Cartesian product of R and S on a ``p``-server grid.
 
@@ -64,7 +65,7 @@ def cartesian_product(
         raise QueryError(
             f"{r.name} and {s.name} share attributes; use a join algorithm"
         )
-    cluster = Cluster(p, seed=seed)
+    cluster = Cluster(p, seed=seed, audit=audit)
     cartesian_on_cluster(cluster, r, s, output_fragment="out")
     attrs = list(r.schema.attributes) + list(s.schema.attributes)
     output = cluster.gather_relation("out", output_name, attrs)

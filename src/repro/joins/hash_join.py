@@ -20,10 +20,15 @@ def parallel_hash_join(
     p: int,
     seed: int = 0,
     output_name: str = "OUT",
+    audit: bool | None = None,
 ) -> JoinRun:
-    """One-round hash-partitioned natural join of R and S on ``p`` servers."""
+    """One-round hash-partitioned natural join of R and S on ``p`` servers.
+
+    ``audit=True`` runs the round under the conservation checks of
+    :mod:`repro.mpc.audit` (default: the ambient ``audited()`` setting).
+    """
     require_join_key(r, s)
-    cluster = Cluster(p, seed=seed)
+    cluster = Cluster(p, seed=seed, audit=audit)
     hash_partition_join(cluster, r, s, output_fragment="out")
     output = cluster.gather_relation("out", output_name, _out_attrs(r, s))
     return JoinRun(output, cluster.stats)

@@ -43,6 +43,7 @@ def skew_join(
     seed: int = 0,
     output_name: str = "OUT",
     threshold: float | None = None,
+    audit: bool | None = None,
 ) -> JoinRun:
     """Skew-aware natural join: hash join for light values, grid products
     for heavy ones, all in one (model) round on disjoint server pools.
@@ -91,14 +92,14 @@ def skew_join(
     out_rows: list[Row] = []
 
     if p_light > 0 and (len(r_light) or len(s_light)):
-        light_cluster = Cluster(p_light, seed=seed)
+        light_cluster = Cluster(p_light, seed=seed, audit=audit)
         _light_hash_join(light_cluster, r_light, s_light, shared)
         out_rows.extend(light_cluster.gather("out"))
         runs.append(light_cluster.stats)
 
     if heavy_keys and p_heavy > 0:
         heavy_rows, heavy_runs = heavy_value_products(
-            r, s, shared, heavy_keys, p_heavy, seed=seed
+            r, s, shared, heavy_keys, p_heavy, seed=seed, audit=audit
         )
         out_rows.extend(heavy_rows)
         runs.extend(heavy_runs)

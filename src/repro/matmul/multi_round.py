@@ -28,7 +28,12 @@ from repro.mpc.stats import RunStats
 
 
 def square_block_matmul(
-    a: np.ndarray, b: np.ndarray, p: int, block_size: int, seed: int = 0
+    a: np.ndarray,
+    b: np.ndarray,
+    p: int,
+    block_size: int,
+    seed: int = 0,
+    audit: bool | None = None,
 ) -> tuple[np.ndarray, RunStats]:
     """Multi-round C = A·B with ``H = ⌈n/block_size⌉`` block groups.
 
@@ -40,7 +45,7 @@ def square_block_matmul(
         raise ValueError("square-block algorithm expects square same-size matrices")
     h = block_count(n, block_size)
     units = block_size * block_size
-    cluster = Cluster(p, seed=seed)
+    cluster = Cluster(p, seed=seed, audit=audit)
 
     # Output-block ownership and replication: with p ≥ H² each block gets
     # c = p // H² replicas that split the H products; otherwise blocks

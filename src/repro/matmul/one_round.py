@@ -24,7 +24,11 @@ from repro.mpc.topology import Grid
 
 
 def rectangle_block_matmul(
-    a: np.ndarray, b: np.ndarray, groups: int, seed: int = 0
+    a: np.ndarray,
+    b: np.ndarray,
+    groups: int,
+    seed: int = 0,
+    audit: bool | None = None,
 ) -> tuple[np.ndarray, RunStats]:
     """One-round C = A·B on a ``groups × groups`` server grid.
 
@@ -40,7 +44,7 @@ def rectangle_block_matmul(
     k = groups
     t = math.ceil(n / k)
     grid = Grid([k, k])
-    cluster = Cluster(grid.size, seed=seed)
+    cluster = Cluster(grid.size, seed=seed, audit=audit)
 
     with cluster.round("rectangle-distribute") as rnd:
         for row in range(n):

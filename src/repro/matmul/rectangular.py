@@ -25,7 +25,12 @@ from repro.mpc.topology import Grid
 
 
 def rectangular_block_matmul(
-    a: np.ndarray, b: np.ndarray, row_groups: int, col_groups: int, seed: int = 0
+    a: np.ndarray,
+    b: np.ndarray,
+    row_groups: int,
+    col_groups: int,
+    seed: int = 0,
+    audit: bool | None = None,
 ) -> tuple[np.ndarray, RunStats]:
     """One-round C = A·B for rectangular A (n1×n2), B (n2×n3).
 
@@ -44,7 +49,7 @@ def rectangular_block_matmul(
     t1 = math.ceil(n1 / row_groups)
     t3 = math.ceil(n3 / col_groups)
     grid = Grid([row_groups, col_groups])
-    cluster = Cluster(grid.size, seed=seed)
+    cluster = Cluster(grid.size, seed=seed, audit=audit)
 
     with cluster.round("rectangular-distribute") as rnd:
         for row in range(n1):

@@ -1,5 +1,20 @@
-"""The MPC (Massively Parallel Communication) simulator substrate."""
+"""The MPC (Massively Parallel Communication) simulator substrate.
 
+The round lifecycle is exception-safe (a failed round leaves the cluster
+usable — see :mod:`repro.mpc.cluster`), the ``load_cap`` is enforced
+before delivery, and the whole subsystem can self-audit its conservation
+invariants via ``Cluster(p, audit=True)`` or the
+:func:`repro.mpc.audit.audited` context manager.
+"""
+
+from repro.mpc.audit import (
+    AuditReport,
+    AuditViolation,
+    ClusterAuditor,
+    audited,
+    verify_combined,
+    verify_partition,
+)
 from repro.mpc.cluster import (
     Cluster,
     RoundContext,
@@ -13,7 +28,10 @@ from repro.mpc.topology import Grid
 from repro.mpc.trace import busiest_server, load_histogram, round_table, trace
 
 __all__ = [
+    "AuditReport",
+    "AuditViolation",
     "Cluster",
+    "ClusterAuditor",
     "Grid",
     "HashFamily",
     "HashFunction",
@@ -21,6 +39,7 @@ __all__ = [
     "RoundStats",
     "RunStats",
     "Server",
+    "audited",
     "busiest_server",
     "combine_parallel",
     "combine_sequential",
@@ -28,4 +47,6 @@ __all__ = [
     "round_table",
     "splitmix64",
     "trace",
+    "verify_combined",
+    "verify_partition",
 ]

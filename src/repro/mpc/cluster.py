@@ -20,6 +20,26 @@ Costs follow the tutorial's conventions: the *load* of a server in a
 round is the number of tuples it receives; ``L`` is the max over servers
 and rounds; the initial ``scatter`` placement is free (the model grants
 an O(IN/p) initial distribution), though it can optionally be recorded.
+
+Lifecycle guarantees
+--------------------
+
+The round lifecycle is exception-safe:
+
+- An exception raised *inside* the ``with`` block aborts the round: the
+  pending sends are discarded, nothing is delivered or charged, the
+  round is closed, and the cluster can immediately open a new round
+  (``RunStats.aborted`` counts such aborts).
+- The ``load_cap`` is enforced at the barrier *before* any tuple is
+  delivered: a violating round raises
+  :class:`~repro.errors.LoadExceededError`, mutates no server fragment,
+  and is recorded in the statistics with ``delivered=False`` so the
+  failure is inspectable — and the cluster remains usable.
+
+With ``Cluster(p, audit=True)`` (or inside
+:func:`repro.mpc.audit.audited`) every delivered round is additionally
+checked against the conservation invariants of
+:mod:`repro.mpc.audit`; the report is surfaced on ``cluster.stats.audit``.
 """
 
 from __future__ import annotations
@@ -28,6 +48,7 @@ from collections.abc import Iterable, Sequence
 
 from repro.data.relation import Relation
 from repro.errors import ClusterError, LoadExceededError
+from repro.mpc.audit import AuditReport, ClusterAuditor, audit_enabled_by_default
 from repro.mpc.hashing import HashFamily, HashFunction
 from repro.mpc.server import Row, Server
 from repro.mpc.stats import RoundStats, RunStats
@@ -44,6 +65,7 @@ class RoundContext:
         self._buffers: list[dict[str, list[Row]]] = [{} for _ in range(cluster.p)]
         self._units: list[int] = [0] * cluster.p
         self._closed = False
+        self.aborted = False
 
     # ------------------------------------------------------------- sending
 
@@ -73,27 +95,42 @@ class RoundContext:
 
     # ------------------------------------------------------------- barrier
 
-    def _deliver(self) -> RoundStats:
-        self._closed = True
-        cluster = self._cluster
+    def _make_stats(self) -> RoundStats:
+        """The round's load record (zeros when the round is uncharged)."""
+        units = list(self._units) if self.charged else [0] * self._cluster.p
+        return RoundStats(self.label, units)
+
+    def _cap_violation(self) -> tuple[int, int] | None:
+        """(server, load) of the worst cap violation, or None when within cap."""
+        cap = self._cluster.load_cap
+        if cap is None or not self.charged:
+            return None
+        worst: tuple[int, int] | None = None
+        for sid, got in enumerate(self._units):
+            if got > cap and (worst is None or got > worst[1]):
+                worst = (sid, got)
+        return worst
+
+    def _deliver_buffers(self) -> None:
+        """Move every buffered tuple into its destination fragment."""
+        servers = self._cluster.servers
         for dest, fragments in enumerate(self._buffers):
-            server = cluster.servers[dest]
+            server = servers[dest]
             for fragment, rows in fragments.items():
                 server.fragment(fragment).extend(rows)
-        units = list(self._units) if self.charged else [0] * cluster.p
-        stats = RoundStats(self.label, units)
-        if cluster.load_cap is not None and self.charged:
-            for sid, got in enumerate(self._units):
-                if got > cluster.load_cap:
-                    raise LoadExceededError(sid, got, cluster.load_cap)
-        return stats
 
     def __enter__(self) -> "RoundContext":
         return self
 
     def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        # Exception-safe: the cluster's round state is released on every
+        # exit path. A clean exit runs the barrier (which may itself raise
+        # LoadExceededError or AuditError); an exceptional exit aborts the
+        # round without delivering and lets the exception propagate.
         if exc_type is None:
             self._cluster._finish_round(self)
+        else:
+            self._cluster._abort_round(self)
 
 
 class Cluster:
@@ -107,12 +144,25 @@ class Cluster:
         Seed of the cluster's hash-function family (all algorithms draw
         their hash functions from here, so runs are reproducible).
     load_cap:
-        Optional hard cap on per-server per-round load; exceeding it
-        raises :class:`LoadExceededError`. Used to *verify* that an
-        algorithm stays within a promised load L.
+        Optional hard cap on per-server per-round load; a round that
+        would exceed it raises :class:`LoadExceededError` at the barrier
+        *before delivering anything* — the round is recorded with
+        ``delivered=False`` and the cluster stays usable. Used to
+        *verify* that an algorithm stays within a promised load L.
+    audit:
+        ``True`` attaches a :class:`~repro.mpc.audit.ClusterAuditor`
+        that re-checks conservation invariants after every round (see
+        :mod:`repro.mpc.audit`); ``None`` (default) follows
+        :func:`repro.mpc.audit.audited`'s ambient setting.
     """
 
-    def __init__(self, p: int, seed: int = 0, load_cap: int | None = None) -> None:
+    def __init__(
+        self,
+        p: int,
+        seed: int = 0,
+        load_cap: int | None = None,
+        audit: bool | None = None,
+    ) -> None:
         if p <= 0:
             raise ClusterError("a cluster needs at least one server")
         self.p = p
@@ -121,6 +171,11 @@ class Cluster:
         self.load_cap = load_cap
         self._hash_family = HashFamily(seed)
         self._in_round = False
+        if audit is None:
+            audit = audit_enabled_by_default()
+        self.auditor: ClusterAuditor | None = ClusterAuditor(self) if audit else None
+        if self.auditor is not None:
+            self.stats.audit = self.auditor.report
 
     # ----------------------------------------------------------- utilities
 
@@ -130,27 +185,70 @@ class Cluster:
 
     def round(self, label: str) -> RoundContext:
         """Open a communication round. Use as a context manager."""
-        if self._in_round:
-            raise ClusterError("rounds cannot be nested")
-        self._in_round = True
-        return RoundContext(self, label)
-
-    def _finish_round(self, rnd: RoundContext) -> None:
-        stats = rnd._deliver()
-        self.stats.rounds.append(stats)
-        self._in_round = False
+        return self._open_round(label, charged=True)
 
     def free_round(self, label: str) -> RoundContext:
         """A round whose communication is *not* charged (initial placement).
 
         The MPC model grants the initial O(IN/p) distribution for free;
         this provides the same mechanics as :meth:`round` but records a
-        zero-load entry in the statistics.
+        zero-load entry in the statistics (and ignores ``load_cap``).
         """
+        return self._open_round(label, charged=False)
+
+    def _open_round(self, label: str, charged: bool) -> RoundContext:
         if self._in_round:
             raise ClusterError("rounds cannot be nested")
         self._in_round = True
-        return RoundContext(self, label, charged=False)
+        return RoundContext(self, label, charged=charged)
+
+    def _finish_round(self, rnd: RoundContext) -> None:
+        """The barrier: enforce the cap, deliver, record, audit.
+
+        The cap is checked *before* delivery so a rejected round cannot
+        corrupt server state; its stats are still recorded (marked
+        undelivered) for post-mortem inspection. ``_in_round`` is
+        released on every path so a failure never wedges the cluster.
+        """
+        try:
+            rnd._closed = True
+            stats = rnd._make_stats()
+            violation = rnd._cap_violation()
+            if violation is not None:
+                sid, got = violation
+                stats.delivered = False
+                self.stats.rounds.append(stats)
+                if self.auditor is not None:
+                    self.auditor.record_rejected(rnd, stats)
+                assert self.load_cap is not None
+                raise LoadExceededError(sid, got, self.load_cap)
+            before = c_before = None
+            if self.auditor is not None:
+                before = self.auditor.snapshot()
+                c_before = self.stats.total_communication
+            rnd._deliver_buffers()
+            self.stats.rounds.append(stats)
+            if self.auditor is not None:
+                assert before is not None and c_before is not None
+                self.auditor.after_delivery(rnd, stats, before, c_before)
+        finally:
+            self._in_round = False
+
+    def _abort_round(self, rnd: RoundContext) -> None:
+        """Abandon a round after an exception inside its block.
+
+        Pending sends are discarded — nothing is delivered or charged.
+        Local fragment mutations made inside the block (``take``/``put``)
+        are *not* rolled back; the guarantee is that the cluster's round
+        lifecycle and accounting stay consistent and usable.
+        """
+        rnd._closed = True
+        rnd.aborted = True
+        rnd._buffers = [{} for _ in range(self.p)]
+        self.stats.aborted += 1
+        if self.auditor is not None:
+            self.auditor.record_abort(rnd)
+        self._in_round = False
 
     # ------------------------------------------------------- data placement
 
@@ -199,35 +297,68 @@ class Cluster:
         return f"Cluster(p={self.p}, {self.stats.summary()})"
 
 
-def combine_sequential(p_total: int, runs: Sequence[RunStats]) -> RunStats:
+def combine_sequential(
+    p_total: int, runs: Sequence[RunStats], audit: bool = False
+) -> RunStats:
     """Combine stats of algorithm phases run *one after another*.
 
     Multi-round plans (iterative binary joins, GYM) execute phases in
     sequence on the same servers: rounds concatenate, ``L`` is the max
-    over phases, ``C`` the sum.
+    over phases, ``C`` the sum. With ``audit=True`` the combination
+    arithmetic is re-checked (:func:`repro.mpc.audit.verify_combined`).
     """
     combined = RunStats(p_total)
     for run in runs:
         combined.rounds.extend(run.rounds)
+        combined.aborted += run.aborted
+    combined.audit = AuditReport.merged(
+        run.audit for run in runs if run.audit is not None
+    )
+    if audit:
+        from repro.mpc.audit import verify_combined
+
+        verify_combined(combined, runs, parallel=False)
     return combined
 
 
-def combine_parallel(p_total: int, runs: Sequence[RunStats]) -> RunStats:
+def combine_parallel(
+    p_total: int, runs: Sequence[RunStats], audit: bool = False
+) -> RunStats:
     """Combine stats of algorithms run *in parallel on disjoint servers*.
 
     SkewHC runs each residual query on its own exclusive sub-cluster; in
     the MPC model those executions happen simultaneously. The combined
     cost has ``r = max rounds``, per-round ``L = max over sub-runs`` and
-    ``C = Σ``. Rounds are aligned by index.
+    ``C = Σ``. Rounds are aligned by index (undelivered — cap-rejected —
+    sub-rounds are excluded: they moved nothing).
+
+    With ``audit=True`` the sub-cluster sizes must partition ``p_total``
+    (:func:`repro.mpc.audit.verify_partition`) and the combination
+    arithmetic is re-checked. This is opt-in rather than tied to the
+    ambient audit default because some callers (the parallel sort join)
+    intentionally account heavy-value fallback servers on top of ``p``.
     """
+    if audit:
+        from repro.mpc.audit import verify_partition
+
+        verify_partition(p_total, runs)
     combined = RunStats(p_total)
-    depth = max((len(r.rounds) for r in runs), default=0)
+    combined.aborted = sum(run.aborted for run in runs)
+    sequences = [[rd for rd in run.rounds if rd.delivered] for run in runs]
+    depth = max((len(seq) for seq in sequences), default=0)
     for i in range(depth):
         received: list[int] = []
         labels: list[str] = []
-        for run in runs:
-            if i < len(run.rounds):
-                received.extend(run.rounds[i].received)
-                labels.append(run.rounds[i].label)
+        for seq in sequences:
+            if i < len(seq):
+                received.extend(seq[i].received)
+                labels.append(seq[i].label)
         combined.rounds.append(RoundStats("+".join(dict.fromkeys(labels)), received))
+    combined.audit = AuditReport.merged(
+        run.audit for run in runs if run.audit is not None
+    )
+    if audit:
+        from repro.mpc.audit import verify_combined
+
+        verify_combined(combined, runs, parallel=True)
     return combined

@@ -9,19 +9,43 @@ The tutorial measures exactly two quantities (slide 20):
 We additionally track total communication ``C = Σ loads`` (used in the
 matrix-multiplication section, where ``C = p · r · L`` up to balance) and
 the per-round load distribution, so experiments can report realized skew.
+
+Lifecycle bookkeeping
+---------------------
+
+A :class:`RoundStats` entry is recorded for every round that reached the
+barrier, including one rejected by the load cap: such an entry carries
+``delivered=False`` and is *excluded* from the ``L``/``r``/``C``
+aggregates (nothing was communicated) while staying inspectable in
+``rounds``. Rounds aborted by an exception inside the ``with`` block
+never reach the barrier; they only bump :attr:`RunStats.aborted`.
+
+When the owning cluster was created with ``audit=True``, the
+:attr:`RunStats.audit` field holds the live
+:class:`~repro.mpc.audit.AuditReport` of invariant checks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mpc.audit import AuditReport
 
 
 @dataclass
 class RoundStats:
-    """Loads of one communication round."""
+    """Loads of one communication round.
+
+    ``delivered`` is ``False`` for a round rejected by the load cap at
+    the barrier: its attempted loads are recorded for post-mortem
+    inspection but nothing actually moved.
+    """
 
     label: str
     received: list[int]
+    delivered: bool = True
 
     @property
     def max_load(self) -> int:
@@ -44,9 +68,10 @@ class RoundStats:
         return self.max_load / mean if mean else 0.0
 
     def __repr__(self) -> str:
+        flag = "" if self.delivered else ", undelivered"
         return (
             f"RoundStats({self.label!r}, L={self.max_load}, "
-            f"total={self.total}, imbalance={self.imbalance:.2f})"
+            f"total={self.total}, imbalance={self.imbalance:.2f}{flag})"
         )
 
 
@@ -56,21 +81,23 @@ class RunStats:
 
     p: int
     rounds: list[RoundStats] = field(default_factory=list)
+    aborted: int = 0
+    audit: "AuditReport | None" = None
 
     @property
     def num_rounds(self) -> int:
         """r: rounds that actually communicated at least one tuple."""
-        return sum(1 for r in self.rounds if r.total > 0)
+        return sum(1 for r in self.rounds if r.delivered and r.total > 0)
 
     @property
     def max_load(self) -> int:
         """L: the max per-server per-round load over the whole run."""
-        return max((r.max_load for r in self.rounds), default=0)
+        return max((r.max_load for r in self.rounds if r.delivered), default=0)
 
     @property
     def total_communication(self) -> int:
         """C: total tuples communicated over all rounds and servers."""
-        return sum(r.total for r in self.rounds)
+        return sum(r.total for r in self.rounds if r.delivered)
 
     def load_of(self, label: str) -> int:
         """Max load of the round(s) with the given label."""
@@ -81,10 +108,16 @@ class RunStats:
 
     def summary(self) -> str:
         """One-line human-readable cost summary."""
-        return (
+        text = (
             f"p={self.p} r={self.num_rounds} L={self.max_load} "
             f"C={self.total_communication}"
         )
+        if self.aborted:
+            text += f" aborted={self.aborted}"
+        rejected = sum(1 for r in self.rounds if not r.delivered)
+        if rejected:
+            text += f" rejected={rejected}"
+        return text
 
     def __repr__(self) -> str:
         return f"RunStats({self.summary()})"

@@ -11,6 +11,12 @@ skew is visible at a glance::
       s00 ████████████████████ 1154
       s01 █████████████▌        812
       ...
+
+Labels longer than the 24-character column are truncated with an
+ellipsis so the table stays aligned; a round rejected by the load cap
+(recorded but undelivered) is marked with a trailing ``!``. When the run
+was audited (``Cluster(p, audit=True)``), :func:`trace` appends the
+audit summary line.
 """
 
 from __future__ import annotations
@@ -18,39 +24,77 @@ from __future__ import annotations
 from repro.mpc.stats import RoundStats, RunStats
 
 _BAR_WIDTH = 24
+_LABEL_WIDTH = 24
+_FULL_BLOCK = "█"
+_HALF_BLOCK = "▌"
+_MIN_TICK = "▏"
+
+
+def _fit_label(label: str, width: int = _LABEL_WIDTH) -> str:
+    """Truncate a label to the table's column width with an ellipsis."""
+    if len(label) <= width:
+        return label
+    return label[: width - 1] + "…"
 
 
 def round_table(stats: RunStats) -> str:
-    """A per-round summary table (label, L, total, imbalance)."""
-    lines = [f"{'round':<24} {'L':>8} {'total':>10} {'imbalance':>10}"]
+    """A per-round summary table (label, L, total, imbalance).
+
+    Undelivered rounds (rejected by the load cap at the barrier) are
+    flagged with ``!`` after the label and excluded from the totals, as
+    in :class:`~repro.mpc.stats.RunStats`.
+    """
+    lines = [f"{'round':<{_LABEL_WIDTH}} {'L':>8} {'total':>10} {'imbalance':>10}"]
     for rd in stats.rounds:
+        # Truncate before flagging so the "!" survives long labels.
+        if rd.delivered:
+            label = _fit_label(rd.label)
+        else:
+            label = _fit_label(rd.label, _LABEL_WIDTH - 2) + " !"
         lines.append(
-            f"{rd.label:<24} {rd.max_load:>8} {rd.total:>10} {rd.imbalance:>10.2f}"
+            f"{label:<{_LABEL_WIDTH}} {rd.max_load:>8} {rd.total:>10} "
+            f"{rd.imbalance:>10.2f}"
         )
     lines.append(
-        f"{'TOTAL':<24} {stats.max_load:>8} {stats.total_communication:>10} "
-        f"{'r=' + str(stats.num_rounds):>10}"
+        f"{'TOTAL':<{_LABEL_WIDTH}} {stats.max_load:>8} "
+        f"{stats.total_communication:>10} {'r=' + str(stats.num_rounds):>10}"
     )
     return "\n".join(lines)
 
 
 def load_histogram(round_stats: RoundStats, width: int = _BAR_WIDTH) -> str:
-    """An ASCII bar per server for one round's received loads."""
+    """A bar per server for one round's received loads.
+
+    Bars use the block characters promised by the module docstring: full
+    blocks ``█`` with a half block ``▌`` for the fractional remainder; a
+    tiny-but-nonzero load always shows at least a ``▏`` tick.
+    """
     peak = max(round_stats.max_load, 1)
-    lines = [f"server loads [{round_stats.label}]"]
+    lines = [f"server loads [{_fit_label(round_stats.label)}]"]
     for sid, load in enumerate(round_stats.received):
-        bar = "#" * max(1 if load else 0, round(load / peak * width))
+        scaled = load / peak * width
+        bar = _FULL_BLOCK * int(scaled)
+        if scaled - int(scaled) >= 0.5:
+            bar += _HALF_BLOCK
+        if load and not bar:
+            bar = _MIN_TICK
         lines.append(f"  s{sid:02d} {bar:<{width}} {load}")
     return "\n".join(lines)
 
 
 def trace(stats: RunStats, histograms: bool = False) -> str:
-    """Full trace: the round table, optionally with per-round histograms."""
+    """Full trace: the round table, optionally with per-round histograms.
+
+    Audited runs (see :mod:`repro.mpc.audit`) get their audit summary
+    appended as the last line.
+    """
     parts = [round_table(stats)]
     if histograms:
         for rd in stats.rounds:
-            if rd.total:
+            if rd.total and rd.delivered:
                 parts.append(load_histogram(rd))
+    if stats.audit is not None:
+        parts.append(stats.audit.summary())
     return "\n\n".join(parts)
 
 
@@ -60,6 +104,8 @@ def busiest_server(stats: RunStats) -> tuple[int, int]:
         return (0, 0)
     totals = [0] * stats.p
     for rd in stats.rounds:
+        if not rd.delivered:
+            continue
         for sid, load in enumerate(rd.received):
             totals[sid] += load
     sid = max(range(stats.p), key=lambda i: totals[i])

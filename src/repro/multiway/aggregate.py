@@ -40,12 +40,13 @@ def group_by(
     p: int,
     seed: int = 0,
     output_name: str = "AGG",
+    audit: bool | None = None,
 ) -> tuple[Relation, RunStats]:
     """One-phase hash GROUP BY: route rows by key, fold each group locally."""
     key_idx = relation.schema.indices(keys)
     value_idx = relation.schema.index(value)
 
-    cluster = Cluster(p, seed=seed)
+    cluster = Cluster(p, seed=seed, audit=audit)
     cluster.scatter(relation, "G@in")
     h = cluster.hash_function(0)
     with cluster.round("groupby-shuffle") as rnd:
@@ -74,6 +75,7 @@ def two_phase_group_by(
     p: int,
     seed: int = 0,
     output_name: str = "AGG",
+    audit: bool | None = None,
 ) -> tuple[Relation, RunStats]:
     """Combiner-based GROUP BY: local partials, then shuffle one row per
     (server, group). ``merge`` combines the partial ``fold`` results.
@@ -81,7 +83,7 @@ def two_phase_group_by(
     key_idx = relation.schema.indices(keys)
     value_idx = relation.schema.index(value)
 
-    cluster = Cluster(p, seed=seed)
+    cluster = Cluster(p, seed=seed, audit=audit)
     cluster.scatter(relation, "G@in")
     h = cluster.hash_function(0)
     with cluster.round("groupby-partials") as rnd:

@@ -58,6 +58,7 @@ def shuffle_join(
     seed: int = 0,
     label: str = "join",
     output_name: str = "J",
+    audit: bool | None = None,
 ) -> tuple[Relation, RunStats]:
     """One-round hash join; returns the (gathered) result and its cost."""
     shared = r.schema.common(s.schema)
@@ -66,7 +67,7 @@ def shuffle_join(
             f"{r.name} ⋈ {s.name} has no shared attributes; use the "
             f"Cartesian product primitive"
         )
-    cluster = Cluster(p, seed=seed)
+    cluster = Cluster(p, seed=seed, audit=audit)
     r_frag = cluster.scatter(r, "L@in")
     s_frag = cluster.scatter(s, "R@in")
     h = cluster.hash_function(0)
@@ -92,9 +93,12 @@ def shuffle_semijoin(
     p: int,
     seed: int = 0,
     label: str = "semijoin",
+    audit: bool | None = None,
 ) -> tuple[Relation, RunStats]:
     """One-round distributed semijoin ``target ⋉ reducer``."""
-    result, stats = shuffle_multi_semijoin(target, [reducer], p, seed=seed, label=label)
+    result, stats = shuffle_multi_semijoin(
+        target, [reducer], p, seed=seed, label=label, audit=audit
+    )
     return result, stats
 
 
@@ -104,6 +108,7 @@ def shuffle_multi_semijoin(
     p: int,
     seed: int = 0,
     label: str = "semijoin",
+    audit: bool | None = None,
 ) -> tuple[Relation, RunStats]:
     """Reduce ``target`` by several reducers in a single round, skew-aware.
 
@@ -139,7 +144,7 @@ def shuffle_multi_semijoin(
     threshold = max(in_size / p, 2.0)
     heavy = {k for k, c in degrees.items() if c >= threshold}
 
-    cluster = Cluster(p, seed=seed)
+    cluster = Cluster(p, seed=seed, audit=audit)
     t_frag = cluster.scatter(target, "T@in")
     reducer_frags = []
     reducer_key_sets: list[set[Row]] = []
@@ -197,13 +202,14 @@ def shuffle_aggregate(
     p: int,
     seed: int = 0,
     label: str = "aggregate",
+    audit: bool | None = None,
 ) -> tuple[list[Row], RunStats]:
     """One-round hash aggregation: route rows by key, fold groups locally.
 
     ``combine(key, group_rows) -> row`` produces one output row per group.
     Used by the SQL-on-MPC matrix multiplication's GROUP BY stage.
     """
-    cluster = Cluster(p, seed=seed)
+    cluster = Cluster(p, seed=seed, audit=audit)
     cluster.scatter_rows(rows, "A@in")
     h = cluster.hash_function(0)
     with cluster.round(label) as rnd:

@@ -37,6 +37,7 @@ def hypercube_join(
     shares: dict[str, int] | None = None,
     output_name: str = "OUT",
     local: str = "plan",
+    audit: bool | None = None,
 ) -> MultiwayRun:
     """One-round HyperCube evaluation of a full conjunctive query.
 
@@ -60,7 +61,7 @@ def hypercube_join(
     if grid.size > p:
         raise QueryError(f"shares {shares} need {grid.size} servers, only {p} given")
 
-    cluster = Cluster(p, seed=seed)
+    cluster = Cluster(p, seed=seed, audit=audit)
     hash_functions = {
         v: cluster.hash_function(i, extents[i]) for i, v in enumerate(query.variables)
     }
@@ -131,8 +132,11 @@ def triangle_hypercube(
     t: Relation,
     p: int,
     seed: int = 0,
+    audit: bool | None = None,
 ) -> MultiwayRun:
     """Convenience wrapper: HyperCube on Δ(x,y,z) = R(x,y) ⋈ S(y,z) ⋈ T(z,x)."""
     from repro.query.cq import triangle_query
 
-    return hypercube_join(triangle_query(), {"R": r, "S": s, "T": t}, p, seed=seed)
+    return hypercube_join(
+        triangle_query(), {"R": r, "S": s, "T": t}, p, seed=seed, audit=audit
+    )

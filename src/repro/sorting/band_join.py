@@ -33,6 +33,7 @@ def band_join(
     p: int,
     seed: int = 0,
     output_name: str = "OUT",
+    audit: bool | None = None,
 ) -> JoinRun:
     """All pairs (r_row, s_row) with |r.key − s.key| ≤ ε, distributed.
 
@@ -43,7 +44,7 @@ def band_join(
     r_pos = r.schema.index(r_key)
     s_pos = s.schema.index(s_key)
 
-    cluster = Cluster(p, seed=seed)
+    cluster = Cluster(p, seed=seed, audit=audit)
     union_rows = [(row[r_pos], 0, i, row) for i, row in enumerate(r)]
     union_rows += [(row[s_pos], 1, len(r) + i, row) for i, row in enumerate(s)]
     cluster.scatter_rows(union_rows, "U")

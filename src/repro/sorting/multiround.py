@@ -33,6 +33,7 @@ def multiround_sort(
     load_cap: int,
     key: Key = lambda item: item,
     seed: int = 0,
+    audit: bool | None = None,
 ) -> tuple[list[Any], RunStats]:
     """Sort with per-round load ≈ ``load_cap`` in O(log_L N) rounds.
 
@@ -42,7 +43,7 @@ def multiround_sort(
     """
     if load_cap < 2:
         raise ValueError("load_cap must be at least 2")
-    cluster = Cluster(p, seed=seed)
+    cluster = Cluster(p, seed=seed, audit=audit)
     cluster.scatter_rows([(x,) for x in items], "run")
     row_key = lambda row: key(row[0])  # noqa: E731 - tiny adapter
 

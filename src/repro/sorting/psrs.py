@@ -85,6 +85,7 @@ def psrs_sort(
     key: Key = lambda item: item,
     seed: int = 0,
     use_random_sampling: bool = False,
+    audit: bool | None = None,
 ) -> tuple[list[Any], RunStats]:
     """Sort ``items`` on a fresh ``p``-server cluster with PSRS.
 
@@ -93,7 +94,7 @@ def psrs_sort(
     the item's original position, so heavily duplicated keys still spread
     evenly across servers (the partition load stays O(N/p)).
     """
-    cluster = Cluster(p, seed=seed)
+    cluster = Cluster(p, seed=seed, audit=audit)
     cluster.scatter_rows([(x, i) for i, x in enumerate(items)], "items")
     psrs_partition(
         cluster,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.data.relation import Relation
 from repro.errors import ClusterError, LoadExceededError
-from repro.mpc.cluster import Cluster, combine_parallel
+from repro.mpc.cluster import Cluster, combine_parallel, combine_sequential
 from repro.mpc.stats import RoundStats, RunStats
 
 
@@ -153,12 +153,118 @@ class TestLoadCap:
             rnd.send(0, "A", (0,))
         assert c.stats.max_load == 2
 
+    def test_cap_enforced_before_delivery(self):
+        """Regression: a cap violation must not mutate server fragments."""
+        c = Cluster(2, load_cap=2)
+        c.servers[0].put("A", [(99,)])
+        with pytest.raises(LoadExceededError):
+            with c.round("r") as rnd:
+                for _ in range(3):
+                    rnd.send(0, "A", (0,))
+                rnd.send(1, "B", (1,))
+        # Nothing was delivered anywhere — not even to the within-cap server.
+        assert c.servers[0].get("A") == [(99,)]
+        assert c.servers[1].get("B") == []
+
+    def test_rejected_round_recorded_but_not_aggregated(self):
+        """Regression: the violating round's stats stay inspectable."""
+        c = Cluster(2, load_cap=2)
+        with pytest.raises(LoadExceededError):
+            with c.round("over") as rnd:
+                for _ in range(5):
+                    rnd.send(0, "A", (0,))
+        assert len(c.stats.rounds) == 1
+        rejected = c.stats.rounds[0]
+        assert rejected.label == "over"
+        assert not rejected.delivered
+        assert rejected.received == [5, 0]
+        # Undelivered rounds don't count toward L, r, or C.
+        assert c.stats.max_load == 0
+        assert c.stats.num_rounds == 0
+        assert c.stats.total_communication == 0
+        assert "rejected=1" in c.stats.summary()
+
+    def test_cluster_usable_after_cap_violation(self):
+        """Regression: LoadExceededError used to wedge the cluster."""
+        c = Cluster(2, load_cap=2)
+        with pytest.raises(LoadExceededError):
+            with c.round("over") as rnd:
+                for _ in range(3):
+                    rnd.send(0, "A", (0,))
+        with c.round("ok") as rnd:
+            rnd.send(0, "A", (1,))
+            rnd.send(1, "A", (2,))
+        assert c.servers[0].get("A") == [(1,)]
+        assert c.stats.max_load == 1
+        assert c.stats.num_rounds == 1
+
     def test_free_round_ignores_cap(self):
         c = Cluster(2, load_cap=1)
         with c.free_round("place") as rnd:
             for _ in range(5):
                 rnd.send(0, "A", (0,))
         assert c.servers[0].get("A") == [(0,)] * 5
+
+
+class TestExceptionSafety:
+    def test_exception_in_round_releases_cluster(self):
+        """Regression: an exception inside `with round(...)` used to leave
+        _in_round=True forever ("rounds cannot be nested")."""
+        c = Cluster(2)
+        with pytest.raises(RuntimeError):
+            with c.round("doomed") as rnd:
+                rnd.send(0, "A", (1,))
+                raise RuntimeError("algorithm bug")
+        # The cluster must accept a new round immediately.
+        with c.round("next") as rnd:
+            rnd.send(1, "A", (2,))
+        assert c.servers[1].get("A") == [(2,)]
+
+    def test_aborted_round_delivers_nothing(self):
+        c = Cluster(2)
+        with pytest.raises(RuntimeError):
+            with c.round("doomed") as rnd:
+                rnd.send(0, "A", (1,))
+                raise RuntimeError
+        assert c.servers[0].get("A") == []
+        assert c.stats.total_communication == 0
+        assert c.stats.rounds == []  # never reached the barrier
+
+    def test_aborted_rounds_counted(self):
+        c = Cluster(2)
+        for _ in range(3):
+            with pytest.raises(ValueError):
+                with c.round("x"):
+                    raise ValueError
+        assert c.stats.aborted == 3
+        assert "aborted=3" in c.stats.summary()
+
+    def test_abort_closes_the_round_context(self):
+        c = Cluster(2)
+        with pytest.raises(RuntimeError):
+            with c.round("doomed") as rnd:
+                raise RuntimeError
+        assert rnd.aborted
+        with pytest.raises(ClusterError):
+            rnd.send(0, "A", (1,))
+
+    def test_send_error_aborts_cleanly(self):
+        c = Cluster(2)
+        with pytest.raises(ClusterError):
+            with c.round("r") as rnd:
+                rnd.send(5, "A", (1,))
+        with c.round("again") as rnd:
+            rnd.send(0, "A", (1,))
+        assert c.servers[0].get("A") == [(1,)]
+
+    def test_exception_in_free_round_releases_cluster(self):
+        c = Cluster(2)
+        with pytest.raises(RuntimeError):
+            with c.free_round("place"):
+                raise RuntimeError
+        with c.free_round("place2") as rnd:
+            rnd.send(0, "A", (1,))
+        assert c.servers[0].get("A") == [(1,)]
 
 
 class TestStats:
@@ -211,6 +317,88 @@ class TestCombineParallel:
     def test_empty(self):
         combined = combine_parallel(4, [])
         assert combined.num_rounds == 0
+
+    def test_labels_deduplicated(self):
+        a = RunStats(1)
+        a.rounds.append(RoundStats("shuffle", [1]))
+        b = RunStats(1)
+        b.rounds.append(RoundStats("shuffle", [2]))
+        c = RunStats(1)
+        c.rounds.append(RoundStats("probe", [3]))
+        combined = combine_parallel(3, [a, b, c])
+        assert combined.rounds[0].label == "shuffle+probe"
+
+    def test_undelivered_subrounds_excluded(self):
+        """Cap-rejected sub-rounds moved nothing and must not misalign."""
+        a = RunStats(2)
+        a.rounds.append(RoundStats("bad", [9, 0], delivered=False))
+        a.rounds.append(RoundStats("good", [1, 1]))
+        b = RunStats(2)
+        b.rounds.append(RoundStats("other", [2, 2]))
+        combined = combine_parallel(4, [a, b])
+        assert combined.num_rounds == 1
+        assert combined.rounds[0].label == "good+other"
+        assert combined.max_load == 2
+        assert combined.total_communication == 6
+
+    def test_aborted_counts_summed(self):
+        a = RunStats(2, aborted=2)
+        b = RunStats(2, aborted=1)
+        assert combine_parallel(4, [a, b]).aborted == 3
+
+
+class TestCombineSequential:
+    def test_rounds_concatenate(self):
+        a = RunStats(4)
+        a.rounds.append(RoundStats("x", [5, 1, 0, 0]))
+        b = RunStats(4)
+        b.rounds.append(RoundStats("y", [2, 2, 2, 2]))
+        combined = combine_sequential(4, [a, b])
+        assert combined.num_rounds == 2
+        assert combined.max_load == 5
+        assert combined.total_communication == 6 + 8
+
+    def test_aborted_counts_summed(self):
+        a = RunStats(4, aborted=1)
+        b = RunStats(4, aborted=2)
+        assert combine_sequential(4, [a, b]).aborted == 3
+
+    def test_undelivered_rounds_stay_inspectable(self):
+        a = RunStats(2)
+        a.rounds.append(RoundStats("bad", [9, 0], delivered=False))
+        b = RunStats(2)
+        b.rounds.append(RoundStats("ok", [1, 1]))
+        combined = combine_sequential(2, [a, b])
+        assert len(combined.rounds) == 2
+        assert combined.num_rounds == 1
+        assert combined.max_load == 1
+
+
+class TestFreeRoundAccounting:
+    def test_free_round_records_zero_loads(self):
+        c = Cluster(3)
+        with c.free_round("place") as rnd:
+            for sid in range(3):
+                rnd.send(sid, "A", (sid,))
+        assert c.stats.rounds[0].received == [0, 0, 0]
+        assert c.stats.rounds[0].delivered
+
+    def test_free_round_not_counted_as_round(self):
+        c = Cluster(2)
+        with c.free_round("place") as rnd:
+            rnd.send(0, "A", (1,))
+        with c.round("work") as rnd:
+            rnd.send(1, "A", (2,))
+        assert c.stats.num_rounds == 1
+        assert c.stats.max_load == 1
+        assert c.stats.total_communication == 1
+
+    def test_free_round_custom_units_uncharged(self):
+        c = Cluster(2)
+        with c.free_round("place") as rnd:
+            rnd.send(0, "A", (1, 2, 3), units=3)
+        assert c.stats.max_load == 0
+        assert c.servers[0].get("A") == [(1, 2, 3)]
 
 
 class TestHashFunctionAccess:
