@@ -5,9 +5,13 @@ Usage::
     python -m repro list                 # show available experiments
     python -m repro run t3 f5 ...        # run selected experiments
     python -m repro run all              # run everything (minutes)
+    python -m repro selftest             # differential correctness gate
 
 Each experiment prints the same rows the tutorial reports; the mapping
-from ids to slides lives in DESIGN.md.
+from ids to slides lives in DESIGN.md. ``selftest`` validates every
+algorithm entry point against the single-node oracle on randomized
+instances (see :mod:`repro.testing.selftest`); extra arguments are
+forwarded, e.g. ``python -m repro selftest --instances 16``.
 """
 
 from __future__ import annotations
@@ -66,6 +70,19 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("list", help="list experiment ids")
     run = sub.add_parser("run", help="run experiments by id (or 'all')")
     run.add_argument("ids", nargs="+", help="experiment ids, e.g. t3 f5, or 'all'")
+    sub.add_parser(
+        "selftest",
+        help="differentially validate every algorithm against the oracle",
+        add_help=False,
+    )
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv[:1] == ["selftest"]:
+        # Forward everything after the subcommand to the selftest parser
+        # (its own --help documents the options).
+        from repro.testing.selftest import main as selftest_main
+
+        return selftest_main(argv[1:])
     args = parser.parse_args(argv)
 
     if args.command == "list":

@@ -15,7 +15,9 @@ the object a downstream user actually wants::
 The engine plans every query with :mod:`repro.planner` (two-way joins
 get the broadcast/hash/skew/Cartesian decision; multiway queries get
 GYM / HyperCube / SkewHC) and returns the output with the run's cost
-statistics.
+statistics. Pass ``verify=True`` to cross-check the distributed result
+against the single-node oracle (:mod:`repro.testing.oracle`); a
+disagreement raises :class:`repro.errors.OracleMismatchError`.
 """
 
 from __future__ import annotations
@@ -23,12 +25,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.data.relation import Relation
-from repro.errors import QueryError
+from repro.errors import OracleMismatchError, QueryError
 from repro.mpc.stats import RunStats
 from repro.planner.multiway import MultiwayPlan, execute_multiway_join
 from repro.planner.two_way import TwoWayPlan, execute_two_way_join
 from repro.query.cq import ConjunctiveQuery
 from repro.query.parser import parse_query
+from repro.testing.oracle import multiset_diff, oracle_join
 
 
 @dataclass
@@ -78,8 +81,37 @@ class Engine:
     # --------------------------------------------------------------- queries
 
     def query(self, text_or_query: str | ConjunctiveQuery,
-              out_estimate: int | None = None) -> QueryResult:
-        """Plan and execute a conjunctive query over registered relations."""
+              out_estimate: int | None = None, verify: bool = False) -> QueryResult:
+        """Plan and execute a conjunctive query over registered relations.
+
+        With ``verify=True`` the distributed output is compared — as a
+        multiset — against the trusted single-node oracle; a mismatch
+        raises :class:`~repro.errors.OracleMismatchError` carrying the
+        inspectable bag difference.
+        """
+        result = self._query(text_or_query, out_estimate)
+        if verify:
+            if isinstance(text_or_query, str):
+                cq = parse_query(text_or_query)
+            else:
+                cq = text_or_query
+            expected = self.oracle(cq)
+            diff = multiset_diff(expected.rows(), result.output.rows())
+            if diff:
+                raise OracleMismatchError(f"engine query {cq}", diff)
+        return result
+
+    def oracle(self, text_or_query: str | ConjunctiveQuery) -> Relation:
+        """The trusted single-node answer (rows in query-variable order)."""
+        if isinstance(text_or_query, str):
+            cq = parse_query(text_or_query)
+        else:
+            cq = text_or_query
+        bindings = {a.name: self.relation(a.name) for a in cq.atoms}
+        return oracle_join(cq, bindings)
+
+    def _query(self, text_or_query: str | ConjunctiveQuery,
+               out_estimate: int | None = None) -> QueryResult:
         if isinstance(text_or_query, str):
             cq = parse_query(text_or_query)
         else:

@@ -56,6 +56,22 @@ class AuditError(ClusterError):
         self.detail = detail
 
 
+class OracleMismatchError(ReproError):
+    """A distributed execution disagreed with the single-node oracle.
+
+    Raised by the differential harness (:mod:`repro.testing`) and by
+    ``Engine.query(..., verify=True)`` when an algorithm's output differs
+    from the trusted nested-loop evaluation as a multiset. Carries the
+    inspectable bag difference.
+    """
+
+    def __init__(self, context: str, diff: object) -> None:
+        summary = getattr(diff, "summary", lambda: str(diff))()
+        super().__init__(f"{context}: {summary}")
+        self.context = context
+        self.diff = diff
+
+
 class DecompositionError(ReproError):
     """A hypertree decomposition could not be built (e.g. cyclic query)."""
 

@@ -42,3 +42,17 @@ def output_within_agm(query: ConjunctiveQuery, sizes: dict[str, int],
     A tolerance of 0.5 absorbs float rounding of the LP exponentials.
     """
     return out_size <= agm_bound(query, sizes) + 0.5
+
+
+def agm_ratio(query: ConjunctiveQuery, sizes: dict[str, int],
+              out_size: int) -> float:
+    """``out_size`` as a fraction of the AGM bound (0.0 for an empty bound).
+
+    The differential harness reports this per instance: a ratio above
+    1.0 (modulo float rounding) is a theorem violation — some algorithm
+    produced tuples a correct evaluation cannot.
+    """
+    bound = agm_bound(query, sizes)
+    if bound == 0.0:
+        return 0.0 if out_size == 0 else float("inf")
+    return out_size / bound

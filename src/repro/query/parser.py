@@ -72,6 +72,15 @@ def parse_query(text: str) -> ConjunctiveQuery:
     return query
 
 
+def unparse_query(query: ConjunctiveQuery) -> str:
+    """Render a query back into the notation :func:`parse_query` accepts.
+
+    Round-trip guarantee: ``parse_query(unparse_query(q))`` yields a
+    query with the same atoms (names, variable lists and order) as ``q``.
+    """
+    return ", ".join(str(atom) for atom in query.atoms)
+
+
 def _parse_atom(text: str) -> Atom:
     match = _ATOM.fullmatch(text)
     if not match:

@@ -1,0 +1,84 @@
+"""Differential-testing oracle subsystem.
+
+The correctness backbone of the reproduction: a trusted single-node
+oracle (:mod:`repro.testing.oracle`), a randomized differential runner
+covering all sixteen MPC algorithm entry points
+(:mod:`repro.testing.differential`), metamorphic and analytic-bound
+conformance checks (:mod:`repro.testing.properties`), and the
+``python -m repro selftest`` gate (:mod:`repro.testing.selftest`).
+"""
+
+from repro.testing.differential import (
+    ALGORITHMS,
+    AlgorithmCase,
+    CaseRun,
+    DifferentialRecord,
+    DifferentialReport,
+    Instance,
+    LoadClaim,
+    algorithm,
+    generate_instances,
+    reference_output,
+    run_case,
+    run_differential,
+)
+from repro.testing.oracle import (
+    MultisetDiff,
+    matrices_close,
+    multiset_diff,
+    oracle_band_join,
+    oracle_join,
+    oracle_matmul,
+    oracle_product,
+    oracle_sort,
+    oracle_two_way,
+    same_bag,
+)
+from repro.testing.properties import (
+    METAMORPHIC_CHECKS,
+    PropertyResult,
+    check_load_monotonicity,
+    check_p_stability,
+    check_seed_invariance,
+    check_tuple_permutation,
+    permuted_instance,
+    run_metamorphic,
+    with_servers,
+)
+from repro.testing.selftest import SelftestReport, run_selftest
+
+__all__ = [
+    "ALGORITHMS",
+    "METAMORPHIC_CHECKS",
+    "AlgorithmCase",
+    "CaseRun",
+    "DifferentialRecord",
+    "DifferentialReport",
+    "Instance",
+    "LoadClaim",
+    "MultisetDiff",
+    "PropertyResult",
+    "SelftestReport",
+    "algorithm",
+    "check_load_monotonicity",
+    "check_p_stability",
+    "check_seed_invariance",
+    "check_tuple_permutation",
+    "generate_instances",
+    "matrices_close",
+    "multiset_diff",
+    "oracle_band_join",
+    "oracle_join",
+    "oracle_matmul",
+    "oracle_product",
+    "oracle_sort",
+    "oracle_two_way",
+    "permuted_instance",
+    "reference_output",
+    "run_case",
+    "run_differential",
+    "run_metamorphic",
+    "run_selftest",
+    "same_bag",
+    "with_servers",
+]

@@ -1,0 +1,214 @@
+"""A trusted single-node oracle for every workload the simulator runs.
+
+The differential harness (:mod:`repro.testing.differential`) executes the
+distributed algorithms and compares their outputs against this module.
+The oracle is deliberately *independent* of the MPC code paths: no
+cluster, no hashing, no ``Relation.join`` (which the distributed local
+evaluators reuse) — conjunctive queries are answered by a naive
+backtracking nested loop over the raw tuple lists, matrices by a plain
+triple loop, sorting by Python's ``sorted``. Slow and obviously correct
+is exactly the point.
+
+All comparisons are *multiset* comparisons (the simulator uses bag
+semantics throughout); :func:`multiset_diff` produces an inspectable
+report of missing/extra tuples rather than a bare boolean.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.data.relation import Relation, Row
+from repro.query.cq import ConjunctiveQuery
+
+
+# ------------------------------------------------------------ multiset diffs
+
+
+@dataclass(frozen=True)
+class MultisetDiff:
+    """The difference between two bags of tuples.
+
+    ``missing`` counts tuples the reference has but the candidate lacks;
+    ``extra`` counts tuples the candidate has but the reference lacks.
+    An empty diff (both counters empty) means the bags are equal.
+    """
+
+    missing: Counter
+    extra: Counter
+
+    def __bool__(self) -> bool:
+        return bool(self.missing) or bool(self.extra)
+
+    @property
+    def missing_count(self) -> int:
+        return sum(self.missing.values())
+
+    @property
+    def extra_count(self) -> int:
+        return sum(self.extra.values())
+
+    def summary(self, limit: int = 3) -> str:
+        if not self:
+            return "outputs agree"
+        parts = []
+        if self.missing:
+            sample = list(self.missing.items())[:limit]
+            parts.append(f"missing {self.missing_count} (e.g. {sample})")
+        if self.extra:
+            sample = list(self.extra.items())[:limit]
+            parts.append(f"extra {self.extra_count} (e.g. {sample})")
+        return "; ".join(parts)
+
+
+def multiset_diff(expected: Iterable[Row], got: Iterable[Row]) -> MultisetDiff:
+    """Bag difference of two tuple collections (empty diff = equal bags)."""
+    want = Counter(expected)
+    have = Counter(got)
+    return MultisetDiff(missing=want - have, extra=have - want)
+
+
+def same_bag(expected: Iterable[Row], got: Iterable[Row]) -> bool:
+    """Whether two tuple collections are equal as multisets."""
+    return not multiset_diff(expected, got)
+
+
+# ------------------------------------------------------- conjunctive queries
+
+
+def oracle_join(
+    query: ConjunctiveQuery, relations: Mapping[str, Relation]
+) -> Relation:
+    """Naive nested-loop evaluation of a full conjunctive query.
+
+    Backtracks over the atoms in query order: for every combination of
+    one tuple per atom whose shared variables agree, emit one output
+    tuple (bag semantics — multiplicities are products of input
+    multiplicities, exactly as the natural join defines). No indexes, no
+    hashing, no reuse of :meth:`Relation.join`.
+    """
+    atom_rows: list[tuple[tuple[str, ...], list[Row]]] = []
+    for atom in query.atoms:
+        rel = relations[atom.name]
+        positions = [rel.schema.index(v) for v in atom.variables]
+        rows = [tuple(row[i] for i in positions) for row in rel.rows()]
+        atom_rows.append((atom.variables, rows))
+
+    out_rows: list[Row] = []
+    binding: dict[str, Any] = {}
+
+    def descend(depth: int) -> None:
+        if depth == len(atom_rows):
+            out_rows.append(tuple(binding[v] for v in query.variables))
+            return
+        variables, rows = atom_rows[depth]
+        for row in rows:
+            bound_here = []
+            consistent = True
+            for v, value in zip(variables, row):
+                if v in binding:
+                    if binding[v] != value:
+                        consistent = False
+                        break
+                else:
+                    binding[v] = value
+                    bound_here.append(v)
+            if consistent:
+                descend(depth + 1)
+            for v in bound_here:
+                del binding[v]
+
+    descend(0)
+    return Relation("OUT", list(query.variables), out_rows)
+
+
+def oracle_two_way(r: Relation, s: Relation, name: str = "OUT") -> Relation:
+    """Nested-loop natural join with the two-way algorithms' output schema.
+
+    The distributed two-way joins emit R's attributes followed by S's
+    non-shared attributes; this mirrors that convention.
+    """
+    shared = [a for a in r.schema.attributes if a in s.schema]
+    r_idx = [r.schema.index(a) for a in shared]
+    s_idx = [s.schema.index(a) for a in shared]
+    extra = [a for a in s.schema.attributes if a not in r.schema]
+    extra_idx = [s.schema.index(a) for a in extra]
+    out_rows = [
+        r_row + tuple(s_row[i] for i in extra_idx)
+        for r_row in r.rows()
+        for s_row in s.rows()
+        if all(r_row[i] == s_row[j] for i, j in zip(r_idx, s_idx))
+    ]
+    return Relation(name, list(r.schema.attributes) + extra, out_rows)
+
+
+def oracle_product(r: Relation, s: Relation, name: str = "OUT") -> Relation:
+    """Nested-loop Cartesian product (disjoint schemas)."""
+    out_rows = [r_row + s_row for r_row in r.rows() for s_row in s.rows()]
+    return Relation(name, list(r.schema.attributes) + list(s.schema.attributes), out_rows)
+
+
+def oracle_band_join(
+    r: Relation, s: Relation, r_key: str, s_key: str, epsilon: float
+) -> list[Row]:
+    """All pairs with ``|r.key − s.key| ≤ ε`` by exhaustive comparison."""
+    r_pos = r.schema.index(r_key)
+    s_pos = s.schema.index(s_key)
+    return [
+        r_row + s_row
+        for r_row in r.rows()
+        for s_row in s.rows()
+        if abs(r_row[r_pos] - s_row[s_pos]) <= epsilon
+    ]
+
+
+# ------------------------------------------------------------------- sorting
+
+
+def oracle_sort(
+    items: Sequence[Any], key: Callable[[Any], Any] = lambda item: item
+) -> list[Any]:
+    """Stable single-node sort — the ground truth for the parallel sorts."""
+    return sorted(items, key=key)
+
+
+# ------------------------------------------------- matrix multiplication
+
+
+def oracle_matmul(a, b):
+    """C = A·B by the definition: a pure-Python triple loop.
+
+    Independent of ``numpy.matmul`` (and of the block/SQL algorithms'
+    accumulation orders); returns a nested list so callers can compare
+    with a tolerance via :func:`matrices_close`.
+    """
+    n1 = len(a)
+    n2 = len(a[0]) if n1 else 0
+    n3 = len(b[0]) if len(b) else 0
+    out = [[0.0] * n3 for _ in range(n1)]
+    for i in range(n1):
+        a_row = a[i]
+        for k in range(n3):
+            acc = 0.0
+            for j in range(n2):
+                acc += float(a_row[j]) * float(b[j][k])
+            out[i][k] = acc
+    return out
+
+
+def matrices_close(expected, got, tolerance: float = 1e-8) -> bool:
+    """Element-wise comparison with absolute+relative tolerance."""
+    rows = len(expected)
+    if rows != len(got):
+        return False
+    for i in range(rows):
+        exp_row, got_row = expected[i], got[i]
+        if len(exp_row) != len(got_row):
+            return False
+        for e, g in zip(exp_row, got_row):
+            if abs(float(e) - float(g)) > tolerance * (1.0 + abs(float(e))):
+                return False
+    return True

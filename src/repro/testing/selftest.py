@@ -1,0 +1,167 @@
+"""``python -m repro selftest`` — the repo-wide correctness gate.
+
+One command that differentially validates all sixteen algorithm entry
+points against the single-node oracle on a budget of randomized
+instances (uniform, Zipf-skewed, graph-shaped), runs the metamorphic
+checks on a sample of them, and verifies the analytic-bound conformance
+(load formulas and the AGM output bound). Exit status 0 means every
+check passed; the report table lists per-algorithm outcomes either way.
+
+Intended uses:
+
+- CI gate: ``python -m repro selftest`` (defaults: 120 instances);
+- quick local smoke: ``python -m repro selftest --instances 16``;
+- debugging one algorithm: ``python -m repro selftest --algorithm
+  skew_join --verbose``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+
+from repro.testing.differential import (
+    ALGORITHMS,
+    DifferentialReport,
+    algorithm,
+    generate_instances,
+    run_differential,
+)
+from repro.testing.properties import PropertyResult, run_metamorphic
+
+
+@dataclass
+class SelftestReport:
+    """Everything one selftest run measured."""
+
+    differential: DifferentialReport
+    metamorphic: list[PropertyResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.differential.ok and all(r.ok for r in self.metamorphic)
+
+    @property
+    def failures(self) -> list[str]:
+        lines = [r.describe() for r in self.differential.failures]
+        lines += [r.describe() for r in self.metamorphic if not r.ok]
+        return lines
+
+    def summary_table(self) -> str:
+        """Per-algorithm rollup of the differential sweep."""
+        header = (
+            f"{'algorithm':<24} {'runs':>5} {'output':>7} {'agm':>5} "
+            f"{'load':>5} {'maxL':>6} {'claim-use':>10}"
+        )
+        lines = [header, "-" * len(header)]
+        for name, records in sorted(self.differential.by_algorithm().items()):
+            out_ok = sum(1 for r in records if r.output_ok)
+            agm_ok = sum(1 for r in records if r.agm_ok)
+            load_ok = sum(1 for r in records if r.load_ok)
+            max_load = max((r.max_load for r in records), default=0)
+            ratios = [r.claim.ratio(r.max_load) for r in records if r.claim is not None]
+            worst = max(ratios, default=0.0)
+            lines.append(
+                f"{name:<24} {len(records):>5} {out_ok:>3}/{len(records):<3} "
+                f"{agm_ok:>5} {load_ok:>5} {max_load:>6} {worst:>9.0%}"
+            )
+        meta_ok = sum(1 for r in self.metamorphic if r.ok)
+        lines.append("-" * len(header))
+        lines.append(
+            f"instances={self.differential.instances} "
+            f"executions={len(self.differential.records)} "
+            f"metamorphic={meta_ok}/{len(self.metamorphic)} "
+            f"verdict={'PASS' if self.ok else 'FAIL'}"
+        )
+        return "\n".join(lines)
+
+
+def run_selftest(
+    instances: int = 120,
+    seed: int = 0,
+    kinds: list[str] | None = None,
+    algorithms: list[str] | None = None,
+    metamorphic_every: int = 8,
+    monotonic_every: int = 24,
+    audit: bool = True,
+    verbose: bool = False,
+) -> SelftestReport:
+    """Run the whole harness under one instance budget.
+
+    Every instance goes through the differential sweep; every
+    ``metamorphic_every``-th also gets the metamorphic checks and every
+    ``monotonic_every``-th the (4-run) load-monotonicity ladder, keeping
+    the total execution count proportional to the budget.
+    """
+    cases = (
+        ALGORITHMS
+        if algorithms is None
+        else tuple(algorithm(name) for name in algorithms)
+    )
+    workload = generate_instances(instances, seed=seed, kinds=kinds)
+
+    def narrate(record) -> None:
+        if verbose:
+            print(record.describe())
+
+    differential = run_differential(
+        workload, cases, audit=audit, on_record=narrate if verbose else None
+    )
+
+    metamorphic: list[PropertyResult] = []
+    if metamorphic_every:
+        sample = workload[::metamorphic_every]
+        metamorphic += run_metamorphic(sample, cases, monotonicity=False)
+    if monotonic_every:
+        sample = workload[::monotonic_every]
+        metamorphic += run_metamorphic(sample, cases, checks=(), monotonicity=True)
+    if verbose:
+        for result in metamorphic:
+            print(result.describe())
+    return SelftestReport(differential, metamorphic)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro selftest",
+        description="Differentially validate every MPC algorithm against the oracle.",
+    )
+    parser.add_argument("--instances", type=int, default=120,
+                        help="randomized instance budget (default 120)")
+    parser.add_argument("--seed", type=int, default=0, help="generator seed")
+    parser.add_argument("--kinds", nargs="*", default=None,
+                        help="restrict instance kinds (two_way triangle path "
+                             "star product sort band matmul)")
+    parser.add_argument("--algorithm", action="append", dest="algorithms",
+                        default=None, help="restrict to one entry point "
+                        "(repeatable)")
+    parser.add_argument("--no-metamorphic", action="store_true",
+                        help="skip the metamorphic checks")
+    parser.add_argument("--no-audit", action="store_true",
+                        help="skip the cluster conservation audits")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print every record as it completes")
+    args = parser.parse_args(argv)
+
+    report = run_selftest(
+        instances=args.instances,
+        seed=args.seed,
+        kinds=args.kinds,
+        algorithms=args.algorithms,
+        metamorphic_every=0 if args.no_metamorphic else 8,
+        monotonic_every=0 if args.no_metamorphic else 24,
+        audit=not args.no_audit,
+        verbose=args.verbose,
+    )
+    print(report.summary_table())
+    if not report.ok:
+        print("\nfailures:", file=sys.stderr)
+        for line in report.failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

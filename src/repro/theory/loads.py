@@ -52,6 +52,42 @@ def cost_profile(query: ConjunctiveQuery) -> QueryCostProfile:
     )
 
 
+def one_round_load_bound(
+    query: ConjunctiveQuery, in_size: float, p: int, skewed: bool = False
+) -> float:
+    """The tutorial's one-round load formula for a query and input size.
+
+    Skew-free data: IN/p^{1/τ*}; skewed data: IN/p^{1/ψ*} (the best any
+    one-round algorithm can promise). Used by the conformance checks of
+    :mod:`repro.testing.properties` as the analytic reference that
+    measured loads are compared against.
+    """
+    profile = cost_profile(query)
+    if skewed:
+        return profile.one_round_load_skew(in_size, p)
+    return profile.one_round_load_no_skew(in_size, p)
+
+
+def multi_round_load_bound(in_size: float, out_size: float, p: int) -> float:
+    """The multi-round (GYM / Yannakakis-style) load formula O((IN+OUT)/p)."""
+    return (in_size + out_size) / p
+
+
+def load_conforms(
+    measured: float,
+    predicted: float,
+    factor: float = 4.0,
+    additive: float = 0.0,
+) -> bool:
+    """Whether a measured load is within a constant factor of a prediction.
+
+    The tutorial's bounds are asymptotic, so conformance means
+    ``measured ≤ factor · predicted + additive``; the additive term
+    absorbs small-instance constants (splitter broadcasts, ceil effects).
+    """
+    return measured <= factor * predicted + additive
+
+
 def hypercube_speedup(
     exponent_sum: float, tau: float, p_values: list[int]
 ) -> list[tuple[int, float]]:

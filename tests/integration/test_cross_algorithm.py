@@ -24,6 +24,8 @@ from repro.multiway import (
 )
 from repro.query.cq import path_query, star_query, triangle_query
 
+pytestmark = pytest.mark.slow
+
 
 class TestTwoWayAgreement:
     rows = st.lists(st.tuples(st.integers(0, 12), st.integers(0, 12)), max_size=40)

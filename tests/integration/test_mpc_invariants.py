@@ -20,6 +20,8 @@ from repro.mpc.cluster import Cluster
 from repro.multiway import triangle_hypercube
 from repro.data.graphs import random_edges, triangle_relations
 
+pytestmark = pytest.mark.slow
+
 
 class TestShuffleConservation:
     @given(

@@ -17,6 +17,8 @@ from repro.multiway.yannakakis import yannakakis
 from repro.query.cq import Atom, ConjunctiveQuery
 from repro.query.hypergraph import is_acyclic
 
+pytestmark = pytest.mark.slow
+
 
 @st.composite
 def random_acyclic_instance(draw):

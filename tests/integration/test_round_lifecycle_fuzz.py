@@ -25,6 +25,8 @@ from repro.mpc.cluster import Cluster
 from repro.multiway.hypercube import triangle_hypercube
 from repro.sorting.psrs import psrs_sort
 
+pytestmark = [pytest.mark.fuzz, pytest.mark.slow]
+
 
 class _Abort(Exception):
     """Deliberate mid-round failure injected by the fuzzer."""

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.matmul",
     "repro.theory",
     "repro.planner",
+    "repro.testing",
 ]
 
 

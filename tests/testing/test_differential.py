@@ -1,0 +1,222 @@
+"""The differential runner: registry shape, instance generation, and the
+harness's ability to (a) pass on the real algorithms and (b) actually
+catch an injected bug."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.testing.differential import (
+    ALGORITHMS,
+    AlgorithmCase,
+    CaseRun,
+    LoadClaim,
+    algorithm,
+    generate_instances,
+    reference_output,
+    run_case,
+    run_differential,
+)
+
+# ------------------------------------------------------------------- registry
+
+
+def test_registry_covers_all_sixteen_entry_points():
+    assert len(ALGORITHMS) == 16
+    names = [case.name for case in ALGORITHMS]
+    assert len(set(names)) == 16
+
+
+def test_registry_family_breakdown():
+    families = {}
+    for case in ALGORITHMS:
+        families.setdefault(case.family, []).append(case.name)
+    assert len(families["joins"]) == 5
+    assert len(families["multiway"]) == 5
+    assert len(families["sorting"]) == 3
+    assert len(families["matmul"]) == 3
+
+
+def test_every_kind_is_exercised_by_some_algorithm():
+    covered = set()
+    for case in ALGORITHMS:
+        covered.update(case.kinds)
+    kinds = {i.kind for i in generate_instances(24, seed=0)}
+    assert kinds <= covered
+
+
+def test_algorithm_lookup():
+    case = algorithm("hypercube_join")
+    assert case.name == "hypercube_join"
+    with pytest.raises(KeyError):
+        algorithm("no_such_algorithm")
+
+
+# ------------------------------------------------------------------ instances
+
+
+def test_generate_instances_deterministic():
+    a = generate_instances(12, seed=3)
+    b = generate_instances(12, seed=3)
+    assert [i.label for i in a] == [j.label for j in b]
+    for x, y in zip(a, b):
+        if x.relations:
+            assert {k: r.rows() for k, r in x.relations.items()} == \
+                   {k: r.rows() for k, r in y.relations.items()}
+        assert x.items == y.items
+
+
+def test_generate_instances_seed_changes_data():
+    a = generate_instances(12, seed=0)
+    b = generate_instances(12, seed=99)
+    assert any(
+        x.relations and y.relations and
+        {k: r.rows() for k, r in x.relations.items()} !=
+        {k: r.rows() for k, r in y.relations.items()}
+        for x, y in zip(a, b) if x.kind == y.kind
+    )
+
+
+def test_generate_instances_respects_count_and_kinds():
+    instances = generate_instances(10, seed=1, kinds=["two_way"])
+    assert len(instances) == 10
+    assert all(i.kind == "two_way" for i in instances)
+    assert all(i.p in (4, 8, 16) for i in instances)
+
+
+def test_instances_cover_skewed_and_graph_profiles():
+    profiles = {i.profile for i in generate_instances(40, seed=0)}
+    assert "zipf" in profiles
+    assert any(p.startswith("graph") for p in profiles)
+
+
+# ------------------------------------------------------------------ the sweep
+
+
+def test_small_sweep_is_clean():
+    instances = generate_instances(6, seed=5)
+    report = run_differential(instances, ALGORITHMS)
+    assert report.instances == 6
+    assert report.records, "no (algorithm, instance) pairs executed"
+    assert report.ok, [r.describe() for r in report.failures]
+    assert not report.mismatches
+    assert not report.bound_violations
+
+
+def test_sweep_catches_injected_output_bug():
+    """A runner that silently drops a tuple must be flagged."""
+    base = algorithm("parallel_hash_join")
+
+    def buggy_run(instance, seed):
+        run = base.run(instance, seed)
+        return CaseRun(run.rows[:-1], run.matrix, run.stats, run.details)
+
+    buggy = AlgorithmCase(base.name, base.family, base.kinds, buggy_run, base.claim)
+    instances = [i for i in generate_instances(20, seed=0, kinds=["two_way"])
+                 if reference_output(i)]
+    report = run_differential(instances[:2], [buggy])
+    assert not report.ok
+    assert report.mismatches
+    assert any("mismatch" in r.describe() for r in report.mismatches)
+
+
+def test_sweep_catches_injected_duplicate_bug():
+    """Bag semantics: an extra duplicate tuple is a failure too."""
+    base = algorithm("hypercube_join")
+
+    def buggy_run(instance, seed):
+        run = base.run(instance, seed)
+        rows = run.rows + run.rows[:1]
+        return CaseRun(rows, run.matrix, run.stats, run.details)
+
+    buggy = AlgorithmCase(base.name, base.family, base.kinds, buggy_run, base.claim)
+    instances = [i for i in generate_instances(20, seed=0, kinds=["triangle"])
+                 if reference_output(i)]
+    report = run_differential(instances[:1], [buggy])
+    assert report.mismatches
+
+
+def test_run_case_records_exceptions_instead_of_raising():
+    base = algorithm("gym")
+
+    def exploding_run(instance, seed):
+        raise RuntimeError("boom")
+
+    bad = AlgorithmCase(base.name, base.family, base.kinds, exploding_run, None)
+    instance = generate_instances(4, seed=0, kinds=["path"])[0]
+    record = run_case(bad, instance, reference=reference_output(instance))
+    assert record.error is not None and "boom" in record.error
+    assert not record.output_ok
+
+
+# -------------------------------------------------------------------- claims
+
+
+def test_load_claim_arithmetic():
+    claim = LoadClaim(predicted=10.0, factor=2.0, additive=5.0)
+    assert claim.conforms(25)
+    assert not claim.conforms(26)
+    assert claim.ratio(25) == pytest.approx(1.0)
+
+
+def test_hash_claim_gated_on_skewed_profiles():
+    case = algorithm("parallel_hash_join")
+    skewed = next(i for i in generate_instances(30, seed=0, kinds=["two_way"])
+                  if i.profile == "zipf")
+    record = run_case(case, skewed, reference=reference_output(skewed))
+    assert record.claim is None          # theory makes no IN/p promise here
+    assert record.load_ok                # so conformance cannot fail
+
+
+def test_skewhc_claim_gated_on_job_granularity():
+    """With more residual jobs than servers the formula makes no promise."""
+    case = algorithm("skewhc_join")
+    instances = generate_instances(60, seed=0, kinds=["star", "path"])
+    gated = ungated = 0
+    for instance in instances:
+        record = run_case(case, instance, reference=reference_output(instance))
+        assert record.load_ok, record.describe()
+        if record.claim is None:
+            gated += 1
+        else:
+            ungated += 1
+    assert ungated, "the skewhc claim never applied — gate is too broad"
+
+
+def test_claims_attach_for_uniform_two_way():
+    uniform = next(i for i in generate_instances(30, seed=0, kinds=["two_way"])
+                   if i.profile == "uniform")
+    reference = reference_output(uniform)
+    for name in ("broadcast_join", "parallel_hash_join", "skew_join"):
+        record = run_case(algorithm(name), uniform, reference=reference)
+        assert record.claim is not None, name
+        assert record.load_ok, record.describe()
+
+
+def test_bound_violation_detected_when_claim_is_tight():
+    """An absurdly tight claim must produce a load_ok=False record."""
+    base = algorithm("cartesian_product")
+
+    def impossible_claim(instance, run, out_size):
+        return LoadClaim(predicted=0.0, factor=1.0, additive=0.0)
+
+    strict = AlgorithmCase(base.name, base.family, base.kinds, base.run,
+                           impossible_claim)
+    instance = generate_instances(10, seed=0, kinds=["product"])[0]
+    record = run_case(strict, instance, reference=reference_output(instance))
+    assert record.output_ok
+    assert not record.load_ok
+    report = run_differential([instance], [strict])
+    assert report.bound_violations
+
+
+# ---------------------------------------------------------- instance plumbing
+
+
+def test_with_different_p_same_reference():
+    instance = generate_instances(6, seed=2, kinds=["sort"])[0]
+    reference = reference_output(instance)
+    other = replace(instance, p=4 if instance.p != 4 else 8)
+    assert reference_output(other) == reference

@@ -1,0 +1,190 @@
+"""The oracle itself is cross-checked against *independent* evaluators.
+
+The differential harness trusts :mod:`repro.testing.oracle`; these tests
+earn that trust by comparing the oracle against implementations it
+deliberately does not share code with — ``Relation.join``,
+``ConjunctiveQuery.evaluate``, ``numpy.matmul``, and the band join's
+brute-force reference.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.data.generators import skewed_relation, uniform_relation
+from repro.data.relation import Relation
+from repro.query.parser import parse_query
+from repro.sorting.band_join import reference_band_join
+from repro.testing.oracle import (
+    MultisetDiff,
+    matrices_close,
+    multiset_diff,
+    oracle_band_join,
+    oracle_join,
+    oracle_matmul,
+    oracle_product,
+    oracle_sort,
+    oracle_two_way,
+    same_bag,
+)
+
+
+# --------------------------------------------------------------- multiset diff
+
+
+def test_multiset_diff_empty_on_equal_bags():
+    rows = [(1, 2), (1, 2), (3, 4)]
+    diff = multiset_diff(rows, list(reversed(rows)))
+    assert not diff
+    assert same_bag(rows, rows)
+
+
+def test_multiset_diff_counts_missing_and_extra():
+    diff = multiset_diff([(1,), (1,), (2,)], [(1,), (3,)])
+    assert diff
+    assert diff.missing[(1,)] == 1
+    assert diff.missing[(2,)] == 1
+    assert diff.extra[(3,)] == 1
+    assert not same_bag([(1,)], [(1,), (1,)])
+
+
+def test_multiset_diff_is_bag_not_set():
+    # Same support, different multiplicities: a set compare would miss it.
+    assert multiset_diff([(1,), (1,)], [(1,)])
+
+
+def test_multiset_diff_summary_mentions_counts():
+    diff = multiset_diff([(1,), (2,)], [(3,)])
+    text = diff.summary()
+    assert "missing" in text and "extra" in text
+
+
+def test_multiset_diff_type():
+    assert isinstance(multiset_diff([], []), MultisetDiff)
+
+
+# ------------------------------------------------------------ join vs Relation
+
+
+def _random_relation(name, attrs, n, domain, seed):
+    rng = random.Random(seed)
+    rows = [tuple(rng.randrange(domain) for _ in attrs) for _ in range(n)]
+    return Relation(name, list(attrs), rows)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_oracle_two_way_matches_relation_join(seed):
+    r = _random_relation("R", ["x", "y"], 60, 12, seed)
+    s = _random_relation("S", ["y", "z"], 60, 12, seed + 100)
+    expected = r.join(s)
+    got = oracle_two_way(r, s)
+    assert set(got.schema.attributes) == set(expected.schema.attributes)
+    aligned = expected.project(list(got.schema.attributes))
+    assert same_bag(aligned.rows(), got.rows())
+
+
+@pytest.mark.parametrize("text", [
+    "R(x, y), S(y, z), T(z, x)",          # triangle
+    "R1(a, b), R2(b, c), R3(c, d)",       # path
+    "R1(h, a), R2(h, b), R3(h, c)",       # star
+])
+@pytest.mark.parametrize("seed", [0, 7])
+def test_oracle_join_matches_cq_evaluate(text, seed):
+    query = parse_query(text)
+    relations = {
+        atom.name: _random_relation(atom.name, atom.variables, 40, 8, seed + i)
+        for i, atom in enumerate(query.atoms)
+    }
+    expected = query.evaluate(relations)
+    got = oracle_join(query, relations)
+    assert got.schema.attributes == expected.schema.attributes
+    assert same_bag(expected.rows(), got.rows())
+
+
+def test_oracle_join_bag_semantics():
+    # Duplicate input tuples multiply: 2 copies × 3 copies = 6 outputs.
+    r = Relation("R", ["x", "y"], [(1, 2)] * 2)
+    s = Relation("S", ["y", "z"], [(2, 9)] * 3)
+    query = parse_query("R(x, y), S(y, z)")
+    out = oracle_join(query, {"R": r, "S": s})
+    assert out.rows() == [(1, 2, 9)] * 6
+
+
+def test_oracle_join_handles_misordered_schema():
+    # The registered relation stores columns in a different order than
+    # the atom uses them; the oracle must align by name.
+    r = Relation("R", ["y", "x"], [(2, 1)])
+    s = Relation("S", ["y", "z"], [(2, 9)])
+    query = parse_query("R(x, y), S(y, z)")
+    out = oracle_join(query, {"R": r, "S": s})
+    assert out.rows() == [(1, 2, 9)]
+
+
+def test_oracle_join_on_generated_data():
+    query = parse_query("R(x, y), S(y, z)")
+    r = uniform_relation("R", ["x", "y"], 80, 20, seed=3)
+    s = skewed_relation("S", ["y", "z"], 80, "y", 20, 1.2, seed=4)
+    expected = query.evaluate({"R": r, "S": s})
+    got = oracle_join(query, {"R": r, "S": s})
+    assert same_bag(expected.rows(), got.rows())
+
+
+def test_oracle_product():
+    r = Relation("R", ["a"], [(1,), (2,)])
+    s = Relation("S", ["b"], [(10,), (20,), (30,)])
+    out = oracle_product(r, s)
+    assert len(out) == 6
+    assert out.schema.attributes == ("a", "b")
+    assert (2, 30) in out.rows()
+
+
+# ------------------------------------------------------------------- band join
+
+
+@pytest.mark.parametrize("epsilon", [0.0, 3.0, 50.0])
+def test_oracle_band_join_matches_reference(epsilon):
+    r = _random_relation("R", ["k", "u"], 50, 40, 11)
+    s = _random_relation("S", ["m", "v"], 50, 40, 12)
+    expected = sorted(reference_band_join(r, s, "k", "m", epsilon))
+    got = sorted(oracle_band_join(r, s, "k", "m", epsilon))
+    assert got == expected
+
+
+# --------------------------------------------------------------------- sorting
+
+
+def test_oracle_sort_matches_sorted():
+    rng = random.Random(5)
+    items = [rng.randrange(1000) for _ in range(300)]
+    assert oracle_sort(items) == sorted(items)
+
+
+def test_oracle_sort_is_stable_under_key():
+    items = [(1, "b"), (0, "a"), (1, "a"), (0, "b")]
+    got = oracle_sort(items, key=lambda t: t[0])
+    assert got == [(0, "a"), (0, "b"), (1, "b"), (1, "a")]
+
+
+# ---------------------------------------------------------------------- matmul
+
+
+@pytest.mark.parametrize("n", [1, 4, 9])
+def test_oracle_matmul_matches_numpy(n):
+    rng = np.random.default_rng(n)
+    a = rng.standard_normal((n, n + 1))
+    b = rng.standard_normal((n + 1, n + 2))
+    got = oracle_matmul(a.tolist(), b.tolist())
+    assert matrices_close((a @ b).tolist(), got, tolerance=1e-9)
+
+
+def test_matrices_close_rejects_shape_mismatch():
+    assert not matrices_close([[1.0]], [[1.0], [2.0]])
+    assert not matrices_close([[1.0, 2.0]], [[1.0]])
+
+
+def test_matrices_close_tolerance():
+    assert matrices_close([[100.0]], [[100.0 + 1e-7]], tolerance=1e-8)
+    assert not matrices_close([[1.0]], [[1.1]], tolerance=1e-8)

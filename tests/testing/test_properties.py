@@ -1,0 +1,159 @@
+"""Metamorphic checks: the transformations themselves and the checks'
+pass/fail behaviour on real and sabotaged algorithms."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.testing.differential import (
+    AlgorithmCase,
+    CaseRun,
+    algorithm,
+    generate_instances,
+    reference_output,
+)
+from repro.testing.properties import (
+    METAMORPHIC_CHECKS,
+    check_load_monotonicity,
+    check_p_stability,
+    check_seed_invariance,
+    check_tuple_permutation,
+    permuted_instance,
+    run_metamorphic,
+    with_servers,
+)
+
+# ------------------------------------------------------- the transformations
+
+
+def test_permuted_instance_preserves_multisets():
+    instance = next(i for i in generate_instances(10, seed=0, kinds=["triangle"]))
+    shuffled = permuted_instance(instance, seed=99)
+    for name, rel in instance.relations.items():
+        assert Counter(rel.rows()) == Counter(shuffled.relations[name].rows())
+        assert rel.rows() != shuffled.relations[name].rows() or len(rel) <= 1
+    assert shuffled.p == instance.p and shuffled.kind == instance.kind
+
+
+def test_permuted_instance_shuffles_sort_items():
+    instance = next(i for i in generate_instances(10, seed=0, kinds=["sort"]))
+    shuffled = permuted_instance(instance, seed=5)
+    assert Counter(instance.items) == Counter(shuffled.items)
+    assert instance.items != shuffled.items
+
+
+def test_with_servers_changes_only_p():
+    instance = generate_instances(4, seed=1)[0]
+    other = with_servers(instance, 11)
+    assert other.p == 11
+    assert other.relations is instance.relations
+    assert other.seed == instance.seed
+
+
+# -------------------------------------------------------- checks on the real
+
+
+def test_checks_pass_on_hash_join():
+    case = algorithm("parallel_hash_join")
+    instance = next(i for i in generate_instances(20, seed=0, kinds=["two_way"])
+                    if i.profile == "uniform")
+    reference = reference_output(instance)
+    for check in METAMORPHIC_CHECKS:
+        result = check(case, instance, reference=reference)
+        assert result.ok, result.describe()
+
+
+def test_monotonicity_passes_on_hypercube():
+    case = algorithm("hypercube_join")
+    instance = next(i for i in generate_instances(20, seed=0, kinds=["triangle"]))
+    result = check_load_monotonicity(case, instance)
+    assert result.ok, result.describe()
+
+
+def test_run_metamorphic_covers_applicable_algorithms_only():
+    instances = generate_instances(2, seed=3, kinds=["matmul"])
+    results = run_metamorphic(instances, monotonicity=False)
+    names = {r.algorithm for r in results}
+    assert names <= {"sql_matmul", "rectangle_block_matmul", "square_block_matmul"}
+    assert all(r.ok for r in results), [r.describe() for r in results if not r.ok]
+
+
+# ----------------------------------------------------- checks catch sabotage
+
+
+def _sabotaged(base, mutate):
+    def run(instance, seed):
+        result = base.run(instance, seed)
+        return mutate(result, instance, seed)
+    return AlgorithmCase(base.name, base.family, base.kinds, run, base.claim)
+
+
+def test_seed_invariance_catches_seed_dependent_output():
+    base = algorithm("parallel_hash_join")
+
+    def mutate(run, instance, seed):
+        rows = run.rows if seed == instance.seed else run.rows[:-1]
+        return CaseRun(rows, run.matrix, run.stats, run.details)
+
+    case = _sabotaged(base, mutate)
+    instance = next(i for i in generate_instances(20, seed=0, kinds=["two_way"])
+                    if len(reference_output(i)) > 2)
+    result = check_seed_invariance(case, instance)
+    assert not result.ok
+
+
+def test_p_stability_catches_p_dependent_output():
+    base = algorithm("broadcast_join")
+
+    def mutate(run, instance, seed):
+        rows = run.rows if instance.p == 4 else run.rows + run.rows[:1]
+        return CaseRun(rows, run.matrix, run.stats, run.details)
+
+    case = _sabotaged(base, mutate)
+    instance = next(i for i in generate_instances(20, seed=0, kinds=["two_way"])
+                    if i.p == 4 and len(reference_output(i)) > 2)
+    result = check_p_stability(case, instance)
+    assert not result.ok
+
+
+def test_tuple_permutation_catches_order_sensitivity():
+    base = algorithm("parallel_hash_join")
+
+    def mutate(run, instance, seed):
+        # "First input tuple leaks into the output" — order-sensitive.
+        first = next(iter(instance.relations["R"].rows()))
+        key = first + ("sentinel",)
+        return CaseRun(run.rows + [key[:len(run.rows[0])] if run.rows else key],
+                       run.matrix, run.stats, run.details)
+
+    # The sabotage above adds a row derived from input order; permuting
+    # the input changes which row is added, so the two runs disagree
+    # with the oracle in different ways.
+    case = _sabotaged(base, mutate)
+    instance = next(i for i in generate_instances(20, seed=0, kinds=["two_way"])
+                    if len(reference_output(i)) > 2)
+    result = check_tuple_permutation(case, instance)
+    assert not result.ok
+
+
+def test_monotonicity_catches_load_explosion():
+    base = algorithm("parallel_hash_join")
+
+    def mutate(run, instance, seed):
+        if instance.p >= 16:
+            # Fake a load blow-up at scale: report a giant max load.
+            from repro.mpc.stats import RoundStats, RunStats
+
+            stats = RunStats(instance.p)
+            stats.rounds = list(run.stats.rounds)
+            stats.rounds.append(
+                RoundStats("sabotage", received=[10_000] + [0] * (instance.p - 1))
+            )
+            return CaseRun(run.rows, run.matrix, stats, run.details)
+        return run
+
+    case = _sabotaged(base, mutate)
+    instance = next(i for i in generate_instances(20, seed=0, kinds=["two_way"]))
+    result = check_load_monotonicity(case, instance)
+    assert not result.ok
+    assert "grew" in result.detail
