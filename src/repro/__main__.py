@@ -6,6 +6,7 @@ Usage::
     python -m repro run t3 f5 ...        # run selected experiments
     python -m repro run all              # run everything (minutes)
     python -m repro selftest             # differential correctness gate
+    python -m repro bench --quick        # measured wall-time benchmarks
 
 Each experiment prints the same rows the tutorial reports; the mapping
 from ids to slides lives in DESIGN.md. ``selftest`` validates every
@@ -75,6 +76,11 @@ def main(argv: list[str] | None = None) -> int:
         help="differentially validate every algorithm against the oracle",
         add_help=False,
     )
+    sub.add_parser(
+        "bench",
+        help="run the measured benchmarks and write BENCH_3.json",
+        add_help=False,
+    )
     if argv is None:
         argv = sys.argv[1:]
     if argv[:1] == ["selftest"]:
@@ -83,6 +89,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.testing.selftest import main as selftest_main
 
         return selftest_main(argv[1:])
+    if argv[:1] == ["bench"]:
+        from repro.bench.runner import main as bench_main
+
+        return bench_main(argv[1:])
     args = parser.parse_args(argv)
 
     if args.command == "list":

@@ -1,0 +1,117 @@
+"""Diff two BENCH files and flag wall-time regressions.
+
+``compare_bench`` matches experiments by name and classifies each one:
+
+- ``regressed`` — current time exceeds baseline by more than the
+  threshold (default 20%), and the pair is above the noise floor;
+- ``improved`` — current time beats baseline by more than the threshold;
+- ``ok`` — within the threshold, or both runs under the noise floor
+  (``min_seconds``), where ratios are dominated by timer jitter;
+- ``missing`` — the baseline experiment did not run at all this time
+  (treated as a failure: silently dropping a benchmark is how
+  regressions hide);
+- ``new`` — present now but not in the baseline (informational).
+
+Comparing files measured at different sizes (``--quick`` vs full) is
+refused: the ratio would be meaningless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["BenchComparison", "ComparisonEntry", "compare_bench"]
+
+
+@dataclass(frozen=True)
+class ComparisonEntry:
+    """One experiment's baseline-vs-current verdict."""
+
+    name: str
+    baseline_seconds: float | None
+    current_seconds: float | None
+    status: str  # ok | improved | regressed | missing | new
+
+    @property
+    def ratio(self) -> float | None:
+        """current / baseline, when both sides exist and baseline > 0."""
+        if not self.baseline_seconds or self.current_seconds is None:
+            return None
+        return self.current_seconds / self.baseline_seconds
+
+
+@dataclass
+class BenchComparison:
+    """All per-experiment verdicts of one baseline/current diff."""
+
+    threshold: float
+    min_seconds: float
+    entries: list[ComparisonEntry] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[ComparisonEntry]:
+        return [e for e in self.entries if e.status in ("regressed", "missing")]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def format_table(self) -> str:
+        header = f"{'experiment':<22} {'baseline':>9} {'current':>9} {'ratio':>7}  status"
+        lines = [header, "-" * len(header)]
+        for e in self.entries:
+            base = f"{e.baseline_seconds:.3f}s" if e.baseline_seconds is not None else "-"
+            cur = f"{e.current_seconds:.3f}s" if e.current_seconds is not None else "-"
+            ratio = f"{e.ratio:.2f}x" if e.ratio is not None else "-"
+            lines.append(f"{e.name:<22} {base:>9} {cur:>9} {ratio:>7}  {e.status}")
+        verdict = "PASS" if self.ok else f"FAIL ({len(self.regressions)} regressions)"
+        lines.append("-" * len(header))
+        lines.append(f"threshold=+{self.threshold:.0%} floor={self.min_seconds}s "
+                     f"verdict={verdict}")
+        return "\n".join(lines)
+
+
+def _times_by_name(document: dict[str, Any]) -> dict[str, float]:
+    return {
+        record["name"]: float(record["seconds"])
+        for record in document.get("experiments", [])
+    }
+
+
+def compare_bench(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    threshold: float = 0.20,
+    min_seconds: float = 0.05,
+) -> BenchComparison:
+    """Classify every experiment of ``baseline``/``current`` (see module doc)."""
+    if baseline.get("quick") != current.get("quick"):
+        raise ValueError(
+            "refusing to compare BENCH files at different sizes: "
+            f"baseline quick={baseline.get('quick')}, "
+            f"current quick={current.get('quick')}"
+        )
+    base_times = _times_by_name(baseline)
+    cur_times = _times_by_name(current)
+    comparison = BenchComparison(threshold=threshold, min_seconds=min_seconds)
+    for name, base_s in base_times.items():
+        if name not in cur_times:
+            comparison.entries.append(
+                ComparisonEntry(name, base_s, None, "missing")
+            )
+            continue
+        cur_s = cur_times[name]
+        if base_s < min_seconds and cur_s < min_seconds:
+            status = "ok"  # both under the noise floor
+        elif base_s > 0 and cur_s > base_s * (1 + threshold):
+            status = "regressed"
+        elif base_s > 0 and cur_s < base_s / (1 + threshold):
+            status = "improved"
+        else:
+            status = "ok"
+        comparison.entries.append(ComparisonEntry(name, base_s, cur_s, status))
+    for name, cur_s in cur_times.items():
+        if name not in base_times:
+            comparison.entries.append(ComparisonEntry(name, None, cur_s, "new"))
+    return comparison

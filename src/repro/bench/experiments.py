@@ -1,0 +1,243 @@
+"""Curated measured benchmarks: fixed seeds, fixed sizes, real wall time.
+
+Each :class:`Experiment` separates *preparation* (input generation and
+columnar ingest — untimed, as loading data into a columnar store happens
+before a query arrives) from *execution* (the distributed run — timed).
+Executions return ``(load, rounds, output_rows)`` so the runner can
+record the model-measured cost next to the wall time and verify that
+kernels change neither.
+
+Sizes come in a full and a ``--quick`` variant; both use the same seeds,
+so two BENCH files at the same size are comparable run-to-run.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.data.generators import skewed_relation, uniform_relation
+from repro.data.relation import Relation
+from repro.joins.hash_join import parallel_hash_join
+from repro.multiway.base import shuffle_multi_semijoin
+from repro.multiway.hypercube import triangle_hypercube
+from repro.sorting.psrs import psrs_sort
+
+Row = tuple[Any, ...]
+ExecResult = tuple[int, int, list[Any]]  # (L_max, rounds, output items)
+
+__all__ = ["EXPERIMENTS", "Experiment", "experiment", "triangle_oracle_rows"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One named benchmark: prepare inputs once, time the execution."""
+
+    name: str
+    n: int
+    quick_n: int
+    p: int
+    seed: int
+    prepare: Callable[[int, int], Any]
+    execute: Callable[[Any, int, int], ExecResult]
+    speedup_pair: bool = False
+    oracle: Callable[[Any], list[Row]] | None = None
+
+    def size(self, quick: bool) -> int:
+        return self.quick_n if quick else self.n
+
+
+def _warm(*relations: Relation) -> None:
+    # Columnar ingest: building the cached column arrays is part of
+    # loading, not of query execution.
+    for rel in relations:
+        rel.columns()
+
+
+def _prepare_join_uniform(n: int, seed: int) -> tuple[Relation, Relation]:
+    # Domain 10n keeps the output ≈ n/10: the benchmark measures the
+    # shuffle + probe cost, not output materialization.
+    r = uniform_relation("R", ["x", "y"], n, 10 * n, seed=seed)
+    s = uniform_relation("S", ["y", "z"], n, 10 * n, seed=seed + 1)
+    _warm(r, s)
+    return r, s
+
+
+def _execute_join(inputs: tuple[Relation, Relation], p: int, seed: int) -> ExecResult:
+    run = parallel_hash_join(inputs[0], inputs[1], p=p, seed=seed)
+    return run.load, run.rounds, run.output.rows()
+
+
+def _dict_join_rows(r: Relation, s: Relation) -> list[Row]:
+    """Single-node dict-index natural join — the bench-scale oracle.
+
+    The exhaustive nested-loop ``repro.testing.oracle`` references are
+    quadratic and infeasible at bench sizes; this reference shares no
+    code with the kernels (plain dicts and tuples) and is itself
+    differentially validated against those oracles by the selftest.
+    """
+    shared = r.schema.common(s.schema)
+    r_idx = r.schema.indices(shared)
+    s_idx = s.schema.indices(shared)
+    extra_idx = s.schema.indices(
+        [a for a in s.schema.attributes if a not in r.schema]
+    )
+    index: dict[Row, list[Row]] = {}
+    for row in s.rows():
+        index.setdefault(tuple(row[i] for i in s_idx), []).append(row)
+    return [
+        r_row + tuple(s_row[i] for i in extra_idx)
+        for r_row in r.rows()
+        for s_row in index.get(tuple(r_row[i] for i in r_idx), ())
+    ]
+
+
+def _oracle_join(inputs: tuple[Relation, Relation]) -> list[Row]:
+    return _dict_join_rows(inputs[0], inputs[1])
+
+
+def _prepare_join_zipf(n: int, seed: int) -> tuple[Relation, Relation]:
+    r = skewed_relation("R", ["x", "y"], n, "y", n, s=1.1, seed=seed)
+    s = uniform_relation("S", ["y", "z"], n, n, seed=seed + 1)
+    _warm(r, s)
+    return r, s
+
+
+def _prepare_triangle(n: int, seed: int) -> tuple[Relation, Relation, Relation]:
+    r = uniform_relation("R", ["x", "y"], n, n, seed=seed)
+    s = uniform_relation("S", ["y", "z"], n, n, seed=seed + 1)
+    t = uniform_relation("T", ["z", "x"], n, n, seed=seed + 2)
+    _warm(r, s, t)
+    return r, s, t
+
+
+def _execute_triangle(
+    inputs: tuple[Relation, Relation, Relation], p: int, seed: int
+) -> ExecResult:
+    run = triangle_hypercube(*inputs, p=p, seed=seed)
+    return run.load, run.rounds, run.output.rows()
+
+
+def triangle_oracle_rows(
+    inputs: tuple[Relation, Relation, Relation]
+) -> list[Row]:
+    """Single-node triangle reference: two independent dict-index joins."""
+    r, s, t = inputs
+    rs = Relation.wrap("RS", ["x", "y", "z"], _dict_join_rows(r, s))
+    return _dict_join_rows(rs, t)
+
+
+def _prepare_semijoin(n: int, seed: int) -> tuple[Relation, list[Relation]]:
+    universe = max(n // 4, 16)
+    target = uniform_relation("T", ["x", "y"], n, universe, seed=seed)
+    reducers = [
+        Relation("K1", ["y"], [(v,) for v in range(0, universe, 2)]),
+        Relation("K2", ["y"], [(v,) for v in range(0, universe, 3)]),
+    ]
+    _warm(target, *reducers)
+    return target, reducers
+
+
+def _execute_semijoin(
+    inputs: tuple[Relation, list[Relation]], p: int, seed: int
+) -> ExecResult:
+    result, stats = shuffle_multi_semijoin(inputs[0], inputs[1], p=p, seed=seed)
+    return stats.max_load, stats.num_rounds, result.rows()
+
+
+def _prepare_sort(n: int, seed: int) -> list[int]:
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 10 * n, size=n).tolist()
+
+
+def _execute_sort(items: list[int], p: int, seed: int) -> ExecResult:
+    ordered, stats = psrs_sort(items, p=p, seed=seed)
+    return stats.max_load, stats.num_rounds, ordered
+
+
+def _prepare_matmul(n: int, seed: int) -> tuple[Any, Any]:
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    return rng.random((n, n)), rng.random((n, n))
+
+
+def _execute_matmul(inputs: tuple[Any, Any], p: int, seed: int) -> ExecResult:
+    from repro.matmul.sql import sql_matmul
+
+    c, stats = sql_matmul(inputs[0], inputs[1], p=p, seed=seed)
+    return stats.max_load, stats.num_rounds, c.ravel().tolist()
+
+
+EXPERIMENTS: tuple[Experiment, ...] = (
+    Experiment(
+        name="hash_join_uniform",
+        n=200_000,
+        quick_n=20_000,
+        p=64,
+        seed=3,
+        prepare=_prepare_join_uniform,
+        execute=_execute_join,
+        speedup_pair=True,
+        oracle=_oracle_join,
+    ),
+    Experiment(
+        name="hash_join_zipf",
+        n=100_000,
+        quick_n=10_000,
+        p=64,
+        seed=4,
+        prepare=_prepare_join_zipf,
+        execute=_execute_join,
+    ),
+    Experiment(
+        name="hypercube_triangle",
+        n=100_000,
+        quick_n=10_000,
+        p=64,
+        seed=5,
+        prepare=_prepare_triangle,
+        execute=_execute_triangle,
+        speedup_pair=True,
+        oracle=triangle_oracle_rows,
+    ),
+    Experiment(
+        name="multi_semijoin",
+        n=200_000,
+        quick_n=20_000,
+        p=64,
+        seed=6,
+        prepare=_prepare_semijoin,
+        execute=_execute_semijoin,
+    ),
+    Experiment(
+        name="psrs_sort",
+        n=300_000,
+        quick_n=30_000,
+        p=64,
+        seed=7,
+        prepare=_prepare_sort,
+        execute=_execute_sort,
+    ),
+    Experiment(
+        name="sql_matmul",
+        n=96,
+        quick_n=32,
+        p=16,
+        seed=8,
+        prepare=_prepare_matmul,
+        execute=_execute_matmul,
+    ),
+)
+
+
+def experiment(name: str) -> Experiment:
+    """Look an experiment up by name."""
+    for exp in EXPERIMENTS:
+        if exp.name == name:
+            return exp
+    raise KeyError(f"unknown experiment {name!r}; have "
+                   f"{[e.name for e in EXPERIMENTS]}")

@@ -1,0 +1,245 @@
+"""``python -m repro bench`` — run the measured benchmarks, write BENCH JSON.
+
+The runner executes every curated experiment (untimed preparation, timed
+execution), then runs the kernels on/off *speedup pairs*: the same
+experiment under both modes, verifying that the measured ``L_max`` and
+round count are identical and that the outputs agree with each other and
+with the single-node oracle — the wall clock is the only thing the
+kernels are allowed to change.
+
+The resulting document (schema ``repro-bench/1``, see
+:mod:`repro.bench.schema`) is validated before it is written. A second
+BENCH file can be diffed against it with ``--baseline`` (or standalone
+via ``--diff A B``); regressions beyond the threshold fail the run
+unless ``--warn-only``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from collections.abc import Sequence
+from pathlib import Path
+from typing import Any
+
+from repro.bench.compare import compare_bench
+from repro.bench.experiments import EXPERIMENTS, Experiment
+from repro.bench.schema import SCHEMA_VERSION, validate_bench
+from repro.kernels.config import kernels_enabled, use_kernels
+
+__all__ = ["machine_info", "main", "run_bench", "run_experiment", "run_speedup"]
+
+
+def machine_info() -> dict[str, Any]:
+    """The environment fields recorded in every BENCH file."""
+    import numpy
+
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def _timed(
+    experiment: Experiment, inputs: Any, repeats: int
+) -> tuple[float, int, int, list[Any]]:
+    """Best wall time over ``repeats`` runs, plus the run's results."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        load, rounds, output = experiment.execute(inputs, experiment.p, experiment.seed)
+        best = min(best, time.perf_counter() - start)
+    return best, load, rounds, output
+
+
+def run_experiment(
+    experiment: Experiment, quick: bool = False, repeats: int = 1
+) -> dict[str, Any]:
+    """One experiment record: ``{name, n, p, seconds, L_max, rounds, out_size}``."""
+    n = experiment.size(quick)
+    inputs = experiment.prepare(n, experiment.seed)
+    seconds, load, rounds, output = _timed(experiment, inputs, repeats)
+    return {
+        "name": experiment.name,
+        "n": n,
+        "p": experiment.p,
+        "seconds": seconds,
+        "L_max": load,
+        "rounds": rounds,
+        "out_size": len(output),
+    }
+
+
+def run_speedup(
+    experiment: Experiment, quick: bool = False, repeats: int = 2
+) -> dict[str, Any]:
+    """Kernels on-vs-off record for one experiment (same inputs, same seed)."""
+    from repro.testing.oracle import multiset_diff
+
+    n = experiment.size(quick)
+    inputs = experiment.prepare(n, experiment.seed)
+    with use_kernels(True):
+        on_s, on_load, on_rounds, on_out = _timed(experiment, inputs, repeats)
+    with use_kernels(False):
+        off_s, off_load, off_rounds, off_out = _timed(experiment, inputs, repeats)
+    identical = (
+        on_load == off_load
+        and on_rounds == off_rounds
+        and not multiset_diff(off_out, on_out)
+    )
+    oracle_ok = True
+    if experiment.oracle is not None:
+        oracle_ok = not multiset_diff(experiment.oracle(inputs), on_out)
+    return {
+        "name": experiment.name,
+        "n": n,
+        "p": experiment.p,
+        "seconds_on": on_s,
+        "seconds_off": off_s,
+        "speedup": off_s / on_s if on_s > 0 else 0.0,
+        "L_max": on_load,
+        "rounds": on_rounds,
+        "identical": identical,
+        "oracle_ok": oracle_ok,
+    }
+
+
+def run_bench(
+    quick: bool = False,
+    include_speedups: bool = True,
+    echo: bool = True,
+) -> dict[str, Any]:
+    """Run everything and assemble the BENCH document."""
+
+    def say(message: str) -> None:
+        if echo:
+            print(message, flush=True)
+
+    repeats = 3 if quick else 1
+    records = []
+    for experiment in EXPERIMENTS:
+        record = run_experiment(experiment, quick=quick, repeats=repeats)
+        say(
+            f"  {record['name']:<22} n={record['n']:<8} p={record['p']:<3} "
+            f"{record['seconds']:.3f}s  L_max={record['L_max']} "
+            f"rounds={record['rounds']} out={record['out_size']}"
+        )
+        records.append(record)
+    speedups = []
+    if include_speedups:
+        say("kernel speedup pairs (on vs off):")
+        for experiment in EXPERIMENTS:
+            if not experiment.speedup_pair:
+                continue
+            record = run_speedup(
+                experiment, quick=quick, repeats=3 if quick else 2
+            )
+            say(
+                f"  {record['name']:<22} on={record['seconds_on']:.3f}s "
+                f"off={record['seconds_off']:.3f}s "
+                f"speedup={record['speedup']:.1f}x "
+                f"identical={record['identical']} oracle={record['oracle_ok']}"
+            )
+            speedups.append(record)
+    return {
+        "schema": SCHEMA_VERSION,
+        "machine": machine_info(),
+        "kernels": kernels_enabled(),
+        "quick": quick,
+        "experiments": records,
+        "speedups": speedups,
+    }
+
+
+def _load(path: str) -> dict[str, Any]:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _diff(baseline_path: str, current_path: str, threshold: float) -> Any:
+    baseline, current = _load(baseline_path), _load(current_path)
+    for name, doc in (("baseline", baseline), ("current", current)):
+        errors = validate_bench(doc)
+        if errors:
+            raise ValueError(f"{name} file is not a valid BENCH document: {errors}")
+    return compare_bench(baseline, current, threshold=threshold)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point for ``python -m repro bench`` (see ``--help``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Run the measured benchmarks and write a BENCH JSON file.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes (CI smoke; ~seconds instead of minutes)")
+    parser.add_argument("--out", default="BENCH_3.json",
+                        help="output path (default BENCH_3.json)")
+    parser.add_argument("--baseline", default=None,
+                        help="BENCH file to diff the fresh run against")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions without failing")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="regression threshold as a fraction (default 0.20)")
+    parser.add_argument("--no-speedups", action="store_true",
+                        help="skip the kernels on/off pairs")
+    parser.add_argument("--diff", nargs=2, metavar=("BASELINE", "CURRENT"),
+                        default=None,
+                        help="compare two existing BENCH files and exit")
+    args = parser.parse_args(argv)
+
+    if args.diff is not None:
+        try:
+            comparison = _diff(args.diff[0], args.diff[1], args.threshold)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"diff failed: {exc}", file=sys.stderr)
+            return 2
+        print(comparison.format_table())
+        return 0 if (comparison.ok or args.warn_only) else 1
+
+    print(f"running {'quick' if args.quick else 'full'} benchmarks "
+          f"(kernels={'on' if kernels_enabled() else 'off'}):")
+    document = run_bench(quick=args.quick, include_speedups=not args.no_speedups)
+    errors = validate_bench(document)
+    if errors:
+        print("generated document violates the BENCH schema:", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 2
+    Path(args.out).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.out}")
+
+    bad_pairs = [
+        record["name"]
+        for record in document["speedups"]
+        if not (record["identical"] and record["oracle_ok"])
+    ]
+    if bad_pairs:
+        print(f"kernel equivalence FAILED for: {bad_pairs}", file=sys.stderr)
+        return 1
+
+    if args.baseline:
+        try:
+            baseline = _load(args.baseline)
+            comparison = compare_bench(
+                baseline, document, threshold=args.threshold
+            )
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"baseline comparison failed: {exc}", file=sys.stderr)
+            return 0 if args.warn_only else 2
+        print(comparison.format_table())
+        if not comparison.ok and not args.warn_only:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,128 @@
+"""The BENCH file schema (``repro-bench/1``) and its validator.
+
+A BENCH file is a JSON document::
+
+    {
+      "schema": "repro-bench/1",
+      "machine": {"platform": str, "python": str, "numpy": str,
+                  "cpu_count": int},
+      "kernels": bool,          # kernels enabled for the experiment runs
+      "quick": bool,            # --quick sizes
+      "experiments": [
+        {"name": str, "n": int, "p": int, "seconds": float,
+         "L_max": int, "rounds": int, "out_size": int}, ...
+      ],
+      "speedups": [             # kernels on-vs-off pairs
+        {"name": str, "n": int, "p": int,
+         "seconds_on": float, "seconds_off": float, "speedup": float,
+         "L_max": int, "rounds": int,
+         "identical": bool,    # on/off stats + output byte-identical
+         "oracle_ok": bool}, ...
+      ]
+    }
+
+Validation is hand-rolled (no jsonschema dependency): it returns a flat
+list of human-readable error strings, empty when the document conforms.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+SCHEMA_VERSION = "repro-bench/1"
+
+__all__ = ["SCHEMA_VERSION", "validate_bench"]
+
+_MACHINE_FIELDS: dict[str, type] = {
+    "platform": str,
+    "python": str,
+    "numpy": str,
+    "cpu_count": int,
+}
+
+_EXPERIMENT_FIELDS: dict[str, tuple[type, ...]] = {
+    "name": (str,),
+    "n": (int,),
+    "p": (int,),
+    "seconds": (int, float),
+    "L_max": (int,),
+    "rounds": (int,),
+    "out_size": (int,),
+}
+
+_SPEEDUP_FIELDS: dict[str, tuple[type, ...]] = {
+    "name": (str,),
+    "n": (int,),
+    "p": (int,),
+    "seconds_on": (int, float),
+    "seconds_off": (int, float),
+    "speedup": (int, float),
+    "L_max": (int,),
+    "rounds": (int,),
+    "identical": (bool,),
+    "oracle_ok": (bool,),
+}
+
+
+def _check_record(
+    record: Any, fields: dict[str, tuple[type, ...]], where: str, errors: list[str]
+) -> None:
+    if not isinstance(record, dict):
+        errors.append(f"{where}: expected an object, got {type(record).__name__}")
+        return
+    for field, types in fields.items():
+        if field not in record:
+            errors.append(f"{where}: missing field {field!r}")
+            continue
+        value = record[field]
+        # bool is an int subclass; only accept it where bool is expected.
+        if isinstance(value, bool) and bool not in types:
+            errors.append(f"{where}.{field}: expected {types[0].__name__}, got bool")
+        elif not isinstance(value, types):
+            errors.append(
+                f"{where}.{field}: expected {types[0].__name__}, "
+                f"got {type(value).__name__}"
+            )
+        elif field != "name" and not isinstance(value, bool) and value < 0:
+            errors.append(f"{where}.{field}: must be non-negative, got {value!r}")
+
+
+def validate_bench(document: Any) -> list[str]:
+    """All schema violations in ``document`` (empty list = valid)."""
+    errors: list[str] = []
+    if not isinstance(document, dict):
+        return [f"top level: expected an object, got {type(document).__name__}"]
+    if document.get("schema") != SCHEMA_VERSION:
+        errors.append(
+            f"schema: expected {SCHEMA_VERSION!r}, got {document.get('schema')!r}"
+        )
+    machine = document.get("machine")
+    if not isinstance(machine, dict):
+        errors.append("machine: expected an object")
+    else:
+        for field, typ in _MACHINE_FIELDS.items():
+            value = machine.get(field)
+            if not isinstance(value, typ) or isinstance(value, bool):
+                errors.append(f"machine.{field}: expected {typ.__name__}")
+    for flag in ("kernels", "quick"):
+        if not isinstance(document.get(flag), bool):
+            errors.append(f"{flag}: expected a bool")
+    experiments = document.get("experiments")
+    if not isinstance(experiments, list) or not experiments:
+        errors.append("experiments: expected a non-empty list")
+    else:
+        seen: set[str] = set()
+        for i, record in enumerate(experiments):
+            _check_record(record, _EXPERIMENT_FIELDS, f"experiments[{i}]", errors)
+            name = record.get("name") if isinstance(record, dict) else None
+            if isinstance(name, str):
+                if name in seen:
+                    errors.append(f"experiments[{i}]: duplicate name {name!r}")
+                seen.add(name)
+    speedups = document.get("speedups", [])  # optional: absent == none run
+    if not isinstance(speedups, list):
+        errors.append("speedups: expected a list")
+    else:
+        for i, record in enumerate(speedups):
+            _check_record(record, _SPEEDUP_FIELDS, f"speedups[{i}]", errors)
+    return errors

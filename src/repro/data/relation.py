@@ -15,6 +15,9 @@ from typing import Any
 
 from repro.data.schema import Schema
 from repro.errors import SchemaError
+from repro.kernels.columnar import key_columns
+from repro.kernels.config import kernels_enabled
+from repro.kernels.join import join_rows_columnar, semijoin_mask
 
 Row = tuple[Any, ...]
 
@@ -29,7 +32,7 @@ class Relation:
     [(1,), (1,)]
     """
 
-    __slots__ = ("name", "schema", "_rows")
+    __slots__ = ("name", "schema", "_rows", "_columns")
 
     def __init__(
         self,
@@ -39,6 +42,7 @@ class Relation:
     ) -> None:
         self.name = name
         self.schema = schema if isinstance(schema, Schema) else Schema(schema)
+        self._columns: tuple[int, list | None] | None = None
         self._rows: list[Row] = []
         arity = self.schema.arity
         for row in rows:
@@ -54,6 +58,58 @@ class Relation:
     def rows(self) -> list[Row]:
         """The tuple store (the live list; callers must not mutate it)."""
         return self._rows
+
+    @classmethod
+    def wrap(
+        cls, name: str, schema: Schema | Sequence[str], rows: list[Row]
+    ) -> "Relation":
+        """Adopt ``rows`` as the tuple store without copying.
+
+        The caller hands over ownership of the list (and guarantees the
+        rows are tuples of the right arity) — the fast-path constructor
+        for internal code assembling row lists itself.
+        """
+        out = cls(name, schema)
+        out._rows = rows
+        return out
+
+    def columns(self) -> list | None:
+        """Cached columnar view: one ``int64``/``uint64`` array per attribute.
+
+        ``None`` when any column holds non-integer values (the kernels
+        then have no fast path for this relation). The view is cached and
+        invalidated by :meth:`add`/:meth:`extend`; it is a *snapshot* —
+        mutating the relation after taking it does not grow the arrays.
+        """
+        cached = self._columns
+        if cached is not None and cached[0] == len(self._rows):
+            return cached[1]
+        cols = key_columns(self._rows, range(self.schema.arity))
+        self._columns = (len(self._rows), cols)
+        return cols
+
+    def prime_columns(self, cols: list | None) -> None:
+        """Install a precomputed columnar view (e.g. a delivered side-car).
+
+        ``cols`` must be one array per attribute, each as long as the
+        relation; anything else is ignored rather than trusted.
+        """
+        if cols is not None and (
+            len(cols) == self.schema.arity
+            and all(len(c) == len(self._rows) for c in cols)
+        ):
+            self._columns = (len(self._rows), list(cols))
+
+    def _cached_key_columns(self, idx: Sequence[int]) -> list | None:
+        """The cached columns at ``idx``, or ``None`` when the cache is cold.
+
+        Never forces an extraction — callers that merely *prefer* columnar
+        input use this so cache misses cost nothing.
+        """
+        cached = self._columns
+        if cached is None or cached[0] != len(self._rows) or cached[1] is None:
+            return None
+        return [cached[1][i] for i in idx]
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -91,6 +147,7 @@ class Relation:
                 f"tuple {t!r} has arity {len(t)}, schema {self.name} expects "
                 f"{self.schema.arity}"
             )
+        self._columns = None
         self._rows.append(t)
 
     def extend(self, rows: Iterable[Row]) -> None:
@@ -127,9 +184,9 @@ class Relation:
         return out
 
     def rename(self, mapping: dict[str, str], name: str | None = None) -> "Relation":
-        """Rename attributes (tuples are shared, not copied)."""
+        """Rename attributes (the row list is copied, tuples shared)."""
         out = Relation(name or self.name, self.schema.rename(mapping))
-        out._rows = self._rows
+        out._rows = list(self._rows)
         return out
 
     def key(self, attributes: Sequence[str]) -> list[Row]:
@@ -173,6 +230,20 @@ class Relation:
             out._rows = [l + r for l in self._rows for r in other._rows]
             return out
 
+        if kernels_enabled():
+            joined = join_rows_columnar(
+                self._rows,
+                other._rows,
+                left_idx,
+                right_idx,
+                extra_idx,
+                left_cols=self._cached_key_columns(left_idx),
+                right_cols=other._cached_key_columns(right_idx),
+            )
+            if joined is not None:
+                out._rows = joined
+                return out
+
         index: dict[Row, list[Row]] = {}
         for row in other._rows:
             index.setdefault(tuple(row[i] for i in right_idx), []).append(row)
@@ -190,8 +261,16 @@ class Relation:
             out._rows = list(self._rows) if len(other) else []
             return out
         left_idx = self.schema.indices(shared)
-        right_keys = {tuple(row[i] for i in other.schema.indices(shared)) for row in other}
+        right_idx = other.schema.indices(shared)
         out = Relation(name or self.name, self.schema)
+        if kernels_enabled():
+            mask = semijoin_mask(
+                self._rows, left_idx, [tuple(r[i] for i in right_idx) for r in other]
+            )
+            if mask is not None:
+                out._rows = [row for row, keep in zip(self._rows, mask) if keep]
+                return out
+        right_keys = {tuple(row[i] for i in right_idx) for row in other}
         out._rows = [
             row for row in self._rows if tuple(row[i] for i in left_idx) in right_keys
         ]

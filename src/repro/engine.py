@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 from repro.data.relation import Relation
 from repro.errors import OracleMismatchError, QueryError
+from repro.kernels.config import use_kernels
 from repro.mpc.stats import RunStats
 from repro.planner.multiway import MultiwayPlan, execute_multiway_join
 from repro.planner.two_way import TwoWayPlan, execute_two_way_join
@@ -54,11 +55,16 @@ class QueryResult:
 class Engine:
     """A registry of relations plus a planner-driven query runner."""
 
-    def __init__(self, p: int, seed: int = 0) -> None:
+    def __init__(
+        self, p: int, seed: int = 0, kernels: bool | None = None
+    ) -> None:
         if p <= 0:
             raise QueryError("the engine needs at least one server")
         self.p = p
         self.seed = seed
+        # None: follow the ambient REPRO_KERNELS setting; True/False: force
+        # the columnar kernels on/off for this engine's query executions.
+        self.kernels = kernels
         self._relations: dict[str, Relation] = {}
 
     # --------------------------------------------------------------- catalog
@@ -118,31 +124,32 @@ class Engine:
             cq = text_or_query
         bindings = {a.name: self.relation(a.name) for a in cq.atoms}
 
-        if len(cq.atoms) == 2:
-            left, right = (bindings[a.name] for a in cq.atoms)
-            left, right = self._align(cq, 0, left), self._align(cq, 1, right)
-            plan, run = execute_two_way_join(left, right, self.p, seed=self.seed)
-            output = run.output.project(list(cq.variables), name="OUT")
-            return QueryResult(output, plan, run.stats)
+        with use_kernels(self.kernels):
+            if len(cq.atoms) == 2:
+                left, right = (bindings[a.name] for a in cq.atoms)
+                left, right = self._align(cq, 0, left), self._align(cq, 1, right)
+                plan, run = execute_two_way_join(left, right, self.p, seed=self.seed)
+                output = run.output.project(list(cq.variables), name="OUT")
+                return QueryResult(output, plan, run.stats)
 
-        if len(cq.atoms) == 1:
-            atom = cq.atoms[0]
-            rel = self._align(cq, 0, bindings[atom.name])
-            from repro.planner.statistics import JoinStatistics
+            if len(cq.atoms) == 1:
+                atom = cq.atoms[0]
+                rel = self._align(cq, 0, bindings[atom.name])
+                from repro.planner.statistics import JoinStatistics
 
-            plan = TwoWayPlan(
-                "scan",
-                0.0,
-                JoinStatistics(len(rel), 0, (), len(rel), 0, 0),
+                plan = TwoWayPlan(
+                    "scan",
+                    0.0,
+                    JoinStatistics(len(rel), 0, (), len(rel), 0, 0),
+                )
+                return QueryResult(
+                    rel.project(list(cq.variables), name="OUT"), plan, RunStats(self.p)
+                )
+
+            plan, run = execute_multiway_join(
+                cq, bindings, self.p, seed=self.seed, out_estimate=out_estimate
             )
-            return QueryResult(
-                rel.project(list(cq.variables), name="OUT"), plan, RunStats(self.p)
-            )
-
-        plan, run = execute_multiway_join(
-            cq, bindings, self.p, seed=self.seed, out_estimate=out_estimate
-        )
-        return QueryResult(run.output, plan, run.stats)
+            return QueryResult(run.output, plan, run.stats)
 
     def _align(self, cq: ConjunctiveQuery, index: int, rel: Relation) -> Relation:
         atom = cq.atoms[index]

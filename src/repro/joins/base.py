@@ -13,6 +13,8 @@ from dataclasses import dataclass
 from repro.data.relation import Relation
 from repro.data.schema import Schema
 from repro.errors import QueryError
+from repro.kernels.config import kernels_enabled
+from repro.kernels.join import join_rows_columnar
 from repro.mpc.server import Server
 from repro.mpc.stats import RunStats
 
@@ -62,11 +64,33 @@ def local_join(
     """Join the server's two local fragments and store the result locally.
 
     ``left`` and ``right`` supply the schemas; only the fragments' rows
-    are read. Consumes both input fragments.
+    are read. Consumes both input fragments. When a kernel-routed shuffle
+    delivered the fragments with their key-column side-cars, the columnar
+    join kernel reuses them directly.
     """
-    l_rel = Relation(left.name, left.schema, ())
-    l_rel.rows().extend(server.take(left_fragment))
-    r_rel = Relation(right.name, right.schema, ())
-    r_rel.rows().extend(server.take(right_fragment))
+    shared = left.schema.common(right.schema)
+    if kernels_enabled() and shared:
+        l_idx = left.schema.indices(shared)
+        r_idx = right.schema.indices(shared)
+        l_rows, l_cols = server.take_with_columns(left_fragment, tuple(l_idx))
+        r_rows, r_cols = server.take_with_columns(right_fragment, tuple(r_idx))
+        extra = [a for a in right.schema.attributes if a not in left.schema]
+        joined_rows = join_rows_columnar(
+            l_rows,
+            r_rows,
+            l_idx,
+            r_idx,
+            right.schema.indices(extra),
+            left_cols=l_cols,
+            right_cols=r_cols,
+        )
+        if joined_rows is not None:
+            server.fragment(out_fragment).extend(joined_rows)
+            return
+        l_rel = Relation.wrap(left.name, left.schema, l_rows)
+        r_rel = Relation.wrap(right.name, right.schema, r_rows)
+    else:
+        l_rel = Relation.wrap(left.name, left.schema, server.take(left_fragment))
+        r_rel = Relation.wrap(right.name, right.schema, server.take(right_fragment))
     joined = l_rel.join(r_rel)
     server.fragment(out_fragment).extend(joined.rows())

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.data.relation import Relation
 from repro.joins.base import JoinRun, local_join, require_join_key
+from repro.kernels.partition import try_route
 from repro.mpc.cluster import Cluster
 
 
@@ -69,10 +70,14 @@ def shuffle_fragments_by_key(
     s_idx = s.schema.indices(shared)
     with cluster.round("hash-shuffle") as rnd:
         for server in cluster.servers:
-            for row in server.take(r_fragment):
-                rnd.send(h(tuple(row[i] for i in r_idx)), f"{r.name}@j", row)
-            for row in server.take(s_fragment):
-                rnd.send(h(tuple(row[i] for i in s_idx)), f"{s.name}@j", row)
+            rows, cols = server.take_with_columns(r_fragment, tuple(r_idx))
+            if not try_route(rnd, rows, r_idx, h, f"{r.name}@j", columns=cols):
+                for row in rows:
+                    rnd.send(h(tuple(row[i] for i in r_idx)), f"{r.name}@j", row)
+            rows, cols = server.take_with_columns(s_fragment, tuple(s_idx))
+            if not try_route(rnd, rows, s_idx, h, f"{s.name}@j", columns=cols):
+                for row in rows:
+                    rnd.send(h(tuple(row[i] for i in s_idx)), f"{s.name}@j", row)
 
 
 def _out_attrs(r: Relation, s: Relation) -> list[str]:

@@ -1,0 +1,72 @@
+"""Row-list ⇄ column-array conversion with strict type gating.
+
+The columnar fast paths only apply when a column is *losslessly*
+representable as a 64-bit integer array. Anything else — floats (numpy
+would silently truncate), strings, ``None``, nested tuples, ints outside
+64-bit range — returns ``None`` so the caller falls back to the exact
+tuple code. Booleans are accepted and widened, mirroring the scalar hash
+spec's ``bool -> int`` normalization (and Python's ``True == 1`` key
+semantics in dict-based joins).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+Row = tuple[Any, ...]
+
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+def column_array(values: Sequence[Any]) -> np.ndarray | None:
+    """The values as a 1-D integer array, or ``None`` if types forbid it.
+
+    ``np.asarray`` does the C-speed type sniffing: a list with any
+    non-integer member comes back with a non-integer dtype (or raises on
+    ragged input) and is rejected.
+    """
+    if not isinstance(values, list):
+        values = list(values)
+    if not values:
+        return np.empty(0, dtype=np.int64)
+    try:
+        arr = np.asarray(values)
+    except (ValueError, OverflowError):
+        return None
+    if arr.ndim != 1 or arr.dtype.kind not in "biu":
+        return None
+    return arr
+
+
+def key_columns(rows: Sequence[Row], key_idx: Sequence[int]) -> list[np.ndarray] | None:
+    """One integer array per key position, or ``None`` when any fails."""
+    columns = []
+    for i in key_idx:
+        column = column_array([row[i] for row in rows])
+        if column is None:
+            return None
+        columns.append(column)
+    return columns
+
+
+def comparable_int64(column: np.ndarray) -> np.ndarray | None:
+    """The column as ``int64`` preserving value-comparison semantics.
+
+    Used by the join/semijoin/splitter kernels, which compare key values
+    rather than hash them: ``uint64`` values above ``int64`` range cannot
+    be represented and force the fallback (reinterpreting them would
+    collide with negative keys).
+    """
+    if column.dtype.kind == "u":
+        if len(column) and int(column.max()) > _INT64_MAX:
+            return None
+        return column.astype(np.int64)
+    return column.astype(np.int64, copy=False)
+
+
+def take_rows(rows: Sequence[Row], indices: np.ndarray) -> list[Row]:
+    """The subset of rows at ``indices``, in index order."""
+    return [rows[i] for i in indices.tolist()]

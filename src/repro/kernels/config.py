@@ -1,0 +1,56 @@
+"""The kernel on/off gate.
+
+The vectorized columnar kernels are enabled by default and produce
+byte-identical results to the pure-Python tuple paths, so the switch
+exists for benchmarking the fallback and for differential testing, not
+for correctness escape hatches. Three layers, highest priority first:
+
+1. :func:`use_kernels` / :func:`set_kernels` — an explicit in-process
+   override (the ``Engine(kernels=...)`` flag and the selftest use it);
+2. the ``REPRO_KERNELS`` environment variable — ``off``/``0``/``false``/
+   ``no`` disables the fast paths everywhere;
+3. the default: enabled.
+
+This module is import-light on purpose (stdlib only): the data layer
+consults :func:`kernels_enabled` without pulling in numpy.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+_DISABLING = ("off", "0", "false", "no")
+
+_forced: bool | None = None
+
+
+def kernels_enabled() -> bool:
+    """Whether the vectorized fast paths should be used right now."""
+    if _forced is not None:
+        return _forced
+    return os.environ.get("REPRO_KERNELS", "").strip().lower() not in _DISABLING
+
+
+def set_kernels(enabled: bool | None) -> None:
+    """Force kernels on/off in-process (``None`` restores the env default)."""
+    global _forced
+    _forced = enabled
+
+
+@contextmanager
+def use_kernels(enabled: bool | None) -> Iterator[None]:
+    """Scoped override: force kernels on/off inside the ``with`` block.
+
+    ``None`` is a no-op (keep the ambient setting) so callers can thread
+    an optional tri-state flag straight through.
+    """
+    global _forced
+    previous = _forced
+    if enabled is not None:
+        _forced = enabled
+    try:
+        yield
+    finally:
+        _forced = previous

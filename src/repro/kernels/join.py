@@ -1,0 +1,161 @@
+"""Columnar local hash join and semijoin.
+
+Both kernels factorize key tuples into integer codes — exact equality,
+no hash collisions: single-column keys use their values directly;
+multi-column keys get per-column dense codes (one 1-d ``np.unique``
+each) combined by mixed radix, re-densified if the radix product would
+overflow. The codes feed fully vectorized match-index computation (join)
+or membership masks (semijoin). Output rows reuse the original Python
+tuples, so results are byte-identical to the dict/set based tuple code,
+including row order: left rows in input order, matches per left row in
+the right side's insertion order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.kernels.columnar import comparable_int64, key_columns
+
+Row = tuple[Any, ...]
+
+
+def _code_columns(
+    left_rows: Sequence[Row],
+    right_rows: Sequence[Row],
+    left_idx: Sequence[int],
+    right_idx: Sequence[int],
+    left_cols: Sequence[np.ndarray] | None = None,
+    right_cols: Sequence[np.ndarray] | None = None,
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Joint key codes ``(left_codes, right_codes)``, or ``None``.
+
+    Codes are injective over key tuples (equal code ⇔ equal key) but not
+    necessarily dense — :func:`join_indices` only needs them sortable.
+
+    ``left_cols``/``right_cols`` optionally supply the key columns
+    (e.g. a shuffle's column side-car) so they need not be re-extracted.
+    """
+    if left_cols is None or any(len(c) != len(left_rows) for c in left_cols):
+        left_cols = key_columns(left_rows, left_idx)
+    if right_cols is None or any(len(c) != len(right_rows) for c in right_cols):
+        right_cols = key_columns(right_rows, right_idx)
+    if left_cols is None or right_cols is None:
+        return None
+    stacked_cols = []
+    for lcol, rcol in zip(left_cols, right_cols):
+        lcol64 = comparable_int64(lcol)
+        rcol64 = comparable_int64(rcol)
+        if lcol64 is None or rcol64 is None:
+            return None
+        stacked_cols.append(np.concatenate([lcol64, rcol64]))
+    if len(stacked_cols) == 1:
+        codes = stacked_cols[0]  # values are their own (sparse) codes
+    else:
+        codes = None
+        limit = 1
+        for col in stacked_cols:
+            _, inv = np.unique(col, return_inverse=True)
+            inv = inv.reshape(-1).astype(np.int64, copy=False)
+            k = int(inv[inv.argmax()]) + 1 if inv.size else 1
+            if codes is None:
+                codes, limit = inv, k
+                continue
+            if limit > (1 << 62) // k:  # re-densify before radix overflow
+                _, codes = np.unique(codes, return_inverse=True)
+                codes = codes.reshape(-1).astype(np.int64, copy=False)
+                limit = int(codes[codes.argmax()]) + 1 if codes.size else 1
+            codes = codes * k + inv
+            limit *= k
+    return codes[: len(left_rows)], codes[len(left_rows):]
+
+
+def join_indices(
+    left_codes: np.ndarray, right_codes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Match pairs ``(left_pos, right_pos)`` in nested-loop output order.
+
+    For each left row (in order), the positions of all right rows with
+    an equal key, in right-row order — exactly the emission order of the
+    dict-index tuple join.
+    """
+    order = np.argsort(right_codes, kind="stable")
+    sorted_codes = right_codes[order]
+    starts = np.searchsorted(sorted_codes, left_codes, side="left")
+    ends = np.searchsorted(sorted_codes, left_codes, side="right")
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    left_pos = np.repeat(np.arange(len(left_codes)), counts)
+    # Within each left row's block, walk the matching right run start..end.
+    block_starts = np.repeat(starts, counts)
+    block_offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+    right_pos = order[block_starts + block_offsets]
+    return left_pos, right_pos
+
+
+def join_rows_columnar(
+    left_rows: Sequence[Row],
+    right_rows: Sequence[Row],
+    left_idx: Sequence[int],
+    right_idx: Sequence[int],
+    right_payload: Sequence[int],
+    left_cols: Sequence[np.ndarray] | None = None,
+    right_cols: Sequence[np.ndarray] | None = None,
+) -> list[Row] | None:
+    """Columnar hash join; ``None`` when the key columns are not integer.
+
+    Output rows are ``left_row + tuple(right_row[i] for i in
+    right_payload)`` in the same order as the tuple-path join.
+    """
+    if not left_rows or not right_rows:
+        return []
+    coded = _code_columns(
+        left_rows, right_rows, left_idx, right_idx, left_cols, right_cols
+    )
+    if coded is None:
+        return None
+    left_pos, right_pos = join_indices(*coded)
+    if not len(left_pos):
+        return []
+    # Build payload tuples only for matched right rows (matches can be a
+    # small fraction of the fragment when the join is selective).
+    right_payload = list(right_payload)
+    if len(right_payload) == 1:
+        j = right_payload[0]
+        payloads = [(right_rows[i][j],) for i in right_pos.tolist()]
+    else:
+        payloads = [
+            tuple(right_rows[i][j] for j in right_payload)
+            for i in right_pos.tolist()
+        ]
+    return [
+        left_rows[i] + payload
+        for i, payload in zip(left_pos.tolist(), payloads)
+    ]
+
+
+def semijoin_mask(
+    rows: Sequence[Row],
+    key_idx: Sequence[int],
+    member_keys: Sequence[Row],
+) -> np.ndarray | None:
+    """Boolean mask of rows whose key tuple appears in ``member_keys``.
+
+    ``member_keys`` are full key tuples (arity ``len(key_idx)``);
+    ``None`` when either side resists integer columns.
+    """
+    if not rows:
+        return np.empty(0, dtype=bool)
+    if not member_keys:
+        return np.zeros(len(rows), dtype=bool)
+    coded = _code_columns(rows, member_keys, key_idx, range(len(key_idx)))
+    if coded is None:
+        return None
+    row_codes, member_codes = coded
+    return np.isin(row_codes, member_codes)

@@ -1,0 +1,170 @@
+"""Radix/hash partitioning: per-destination row-index arrays in one pass.
+
+The shuffle rounds of every algorithm reduce to the same shape — compute
+a destination for each row, then move rows to per-destination buffers.
+These kernels compute all destinations vectorized and hand each
+destination one *batched* ``send_rows`` instead of a Python-level
+``send`` per tuple. Per-destination row order matches the tuple path
+exactly (stable partitioning of rows iterated in order), so fragments,
+loads, and downstream outputs are byte-identical with kernels on or off.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from itertools import product
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.kernels.columnar import key_columns
+from repro.kernels.config import kernels_enabled
+from repro.kernels.hashing import bucket_tuple_columns, bucket_value_column
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.mpc.cluster import RoundContext
+    from repro.mpc.hashing import HashFunction
+
+Row = tuple[Any, ...]
+
+
+def _shrink(destinations: np.ndarray, upper: int) -> np.ndarray:
+    """Narrow a small-valued index array so the stable (radix) argsort
+    scans 2 or 4 bytes per element instead of 8."""
+    if upper <= 1 << 16:
+        return destinations.astype(np.uint16)
+    if upper <= 1 << 32:
+        return destinations.astype(np.uint32)
+    return destinations
+
+
+def partition_indices(destinations: np.ndarray, buckets: int) -> list[np.ndarray]:
+    """Row indices grouped by destination, preserving row order per group.
+
+    One stable argsort + split; ``result[d]`` lists the positions of the
+    rows bound for bucket ``d`` in their original order.
+    """
+    order = np.argsort(destinations, kind="stable")
+    counts = np.bincount(destinations, minlength=buckets)
+    return np.split(order, np.cumsum(counts[:-1]))
+
+
+def hash_destinations(
+    rows: Sequence[Row], key_idx: Sequence[int], h: "HashFunction"
+) -> np.ndarray | None:
+    """Vectorized ``[h(tuple(row[i] for i in key_idx)) for row in rows]``.
+
+    ``None`` when any key column is not integer-typed (the caller then
+    hashes tuple-at-a-time through the identical scalar spec).
+    """
+    columns = key_columns(rows, key_idx)
+    if columns is None:
+        return None
+    return bucket_tuple_columns(columns, h.salt, h.buckets)
+
+
+def try_route(
+    rnd: "RoundContext",
+    rows: Sequence[Row],
+    key_idx: Sequence[int],
+    h: "HashFunction",
+    fragment: str,
+    columns: Sequence[np.ndarray] | None = None,
+) -> bool:
+    """Route every row to ``h(key)`` in batched sends; ``False`` = fall back.
+
+    Equivalent to ``rnd.send(h(tuple(row[i] for i in key_idx)), fragment,
+    row)`` per row — same destinations, same per-destination order, same
+    charged units. ``columns`` optionally supplies the precomputed key
+    columns (e.g. a scatter side-car); the partitioned key columns are
+    forwarded with each batch so receivers inherit the side-car.
+    """
+    if not kernels_enabled() or not rows:
+        return not rows
+    key_idx = tuple(key_idx)
+    if columns is not None and all(len(c) == len(rows) for c in columns):
+        cols = list(columns)
+    else:
+        cols = key_columns(rows, key_idx)
+    if cols is None:
+        return False
+    destinations = _shrink(bucket_tuple_columns(cols, h.salt, h.buckets), h.buckets)
+    order = np.argsort(destinations, kind="stable")
+    counts = np.bincount(destinations, minlength=h.buckets)
+    order_list = order.tolist()
+    reordered = [rows[i] for i in order_list]
+    sorted_cols = [c[order] for c in cols]
+    start = 0
+    for dest, count in enumerate(counts.tolist()):
+        if count:
+            end = start + count
+            rnd.send_rows(
+                dest,
+                fragment,
+                reordered[start:end],
+                key_idx,
+                [c[start:end] for c in sorted_cols],
+            )
+            start = end
+    return True
+
+
+def try_route_grid(
+    rnd: "RoundContext",
+    rows: Sequence[Row],
+    column_dims: Sequence[int],
+    salts: Sequence[int],
+    extents: Sequence[int],
+    strides: Sequence[int],
+    fragment: str,
+    columns: Sequence[np.ndarray] | None = None,
+) -> bool:
+    """HyperCube replication: route rows to every grid cell they match.
+
+    ``column_dims[c]`` is the grid dimension bound by row column ``c``
+    (columns are hashed left to right, later columns overwriting earlier
+    ones on a repeated dimension, as the scalar loop does); dimensions
+    bound by no column are wildcards and enumerate their full extent.
+    Equivalent to the per-row ``grid.matching(partial)`` loop.
+    """
+    if not kernels_enabled() or not rows:
+        return not rows
+    arity = len(column_dims)
+    if columns is not None and all(len(c) == len(rows) for c in columns):
+        cols = list(columns)
+    else:
+        cols = key_columns(rows, range(arity))
+    if cols is None:
+        return False
+
+    dim_buckets: dict[int, np.ndarray] = {}
+    for column, dim in zip(cols, column_dims):
+        dim_buckets[dim] = bucket_value_column(column, salts[dim], extents[dim])
+
+    base = np.zeros(len(rows), dtype=np.int64)
+    for dim, buckets in dim_buckets.items():
+        base += buckets * strides[dim]
+
+    free_dims = [d for d in range(len(extents)) if d not in dim_buckets]
+    offsets = [
+        sum(c * strides[d] for c, d in zip(combo, free_dims))
+        for combo in product(*(range(extents[d]) for d in free_dims))
+    ]
+    grid_size = math.prod(int(e) for e in extents)
+    base = _shrink(base, grid_size)
+    order = np.argsort(base, kind="stable")
+    counts = np.bincount(base, minlength=grid_size)
+    reordered = [rows[i] for i in order.tolist()]
+    sorted_cols = [c[order] for c in cols]
+    key_idx = tuple(range(arity))
+    start = 0
+    for dest_base, count in enumerate(counts.tolist()):
+        if count:
+            end = start + count
+            group = reordered[start:end]
+            group_cols = [c[start:end] for c in sorted_cols]
+            start = end
+            for offset in offsets:
+                rnd.send_rows(dest_base + offset, fragment, group, key_idx, group_cols)
+    return True

@@ -21,7 +21,7 @@ from repro.mpc.cluster import (
     combine_parallel,
     combine_sequential,
 )
-from repro.mpc.hashing import HashFamily, HashFunction, splitmix64
+from repro.mpc.hashing import HashFamily, HashFunction, hash_int_tuple, splitmix64
 from repro.mpc.server import Server
 from repro.mpc.stats import RoundStats, RunStats
 from repro.mpc.topology import Grid
@@ -43,6 +43,7 @@ __all__ = [
     "busiest_server",
     "combine_parallel",
     "combine_sequential",
+    "hash_int_tuple",
     "load_histogram",
     "round_table",
     "splitmix64",

@@ -46,8 +46,11 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+import numpy as np
+
 from repro.data.relation import Relation
 from repro.errors import ClusterError, LoadExceededError
+from repro.kernels.config import kernels_enabled
 from repro.mpc.audit import AuditReport, ClusterAuditor, audit_enabled_by_default
 from repro.mpc.hashing import HashFamily, HashFunction
 from repro.mpc.server import Row, Server
@@ -63,6 +66,12 @@ class RoundContext:
         self.charged = charged
         # _buffers[dest][fragment] = list of rows
         self._buffers: list[dict[str, list[Row]]] = [{} for _ in range(cluster.p)]
+        # Column side-cars accompanying batched sends:
+        # _column_buffers[dest][fragment] = [key_idx, per-column chunk lists,
+        # number of rows covered]. Installed on the destination server at
+        # delivery only when every row of the fragment's buffer arrived
+        # with matching columns.
+        self._column_buffers: list[dict[str, list]] = [{} for _ in range(cluster.p)]
         self._units: list[int] = [0] * cluster.p
         self._closed = False
         self.aborted = False
@@ -86,6 +95,41 @@ class RoundContext:
         """Send several tuples to one destination fragment."""
         for row in rows:
             self.send(dest, fragment, row)
+
+    def send_rows(
+        self,
+        dest: int,
+        fragment: str,
+        rows: Sequence[Row],
+        key_idx: tuple[int, ...] | None = None,
+        columns: Sequence[np.ndarray] | None = None,
+    ) -> None:
+        """Batched :meth:`send`: one call charges ``len(rows)`` units.
+
+        Buffer contents and charged units end up exactly as if each row
+        had been sent individually (the kernels' batched shuffles rely on
+        this to keep loads identical to the tuple-at-a-time path).
+
+        ``columns`` optionally carries the rows' key columns
+        (``columns[i]`` = column ``key_idx[i]``, aligned with ``rows``);
+        when the whole fragment arrives this way the destination server
+        gets the concatenated arrays as a column side-car, so local
+        computation can skip re-extracting columns from the tuples.
+        """
+        if self._closed:
+            raise ClusterError("round already closed")
+        if not 0 <= dest < self._cluster.p:
+            raise ClusterError(f"destination {dest} out of range [0, {self._cluster.p})")
+        self._buffers[dest].setdefault(fragment, []).extend(rows)
+        self._units[dest] += len(rows)
+        if columns is not None:
+            entry = self._column_buffers[dest].setdefault(
+                fragment, [key_idx, [[] for _ in columns], 0]
+            )
+            if entry[0] == key_idx and len(entry[1]) == len(columns):
+                for chunks, chunk in zip(entry[1], columns):
+                    chunks.append(chunk)
+                entry[2] += len(rows)
 
     def broadcast(self, fragment: str, row: Row, servers: Sequence[int] | None = None) -> None:
         """Send one tuple to every server (or each listed server)."""
@@ -116,8 +160,26 @@ class RoundContext:
         servers = self._cluster.servers
         for dest, fragments in enumerate(self._buffers):
             server = servers[dest]
+            side_cars = self._column_buffers[dest]
             for fragment, rows in fragments.items():
-                server.fragment(fragment).extend(rows)
+                target = server.fragment(fragment)
+                had_rows = bool(target)
+                target.extend(rows)
+                # Delivering rows invalidates any previous side-car; a new
+                # one is installed only when this round's columns cover the
+                # fragment's entire (freshly created) row list.
+                server.column_cache.pop(fragment, None)
+                entry = side_cars.get(fragment)
+                if entry is not None and not had_rows and entry[2] == len(rows):
+                    key_idx, per_column, _covered = entry
+                    server.put_columns(
+                        fragment,
+                        key_idx,
+                        [
+                            chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+                            for chunks in per_column
+                        ],
+                    )
 
     def __enter__(self) -> "RoundContext":
         return self
@@ -245,6 +307,7 @@ class Cluster:
         rnd._closed = True
         rnd.aborted = True
         rnd._buffers = [{} for _ in range(self.p)]
+        rnd._column_buffers = [{} for _ in range(self.p)]
         self.stats.aborted += 1
         if self.auditor is not None:
             self.auditor.record_abort(rnd)
@@ -258,14 +321,36 @@ class Cluster:
         Returns the fragment name used (``relation.name`` by default).
         """
         fragment = name if name is not None else relation.name
-        for i, row in enumerate(relation):
-            self.servers[i % self.p].fragment(fragment).append(row)
-        return fragment
+        columns = relation.columns() if kernels_enabled() else None
+        return self.scatter_rows(relation.rows(), fragment, columns=columns)
 
-    def scatter_rows(self, rows: Sequence[Row], name: str) -> str:
-        """Place raw rows round-robin across servers (free)."""
-        for i, row in enumerate(rows):
-            self.servers[i % self.p].fragment(name).append(row)
+    def scatter_rows(
+        self,
+        rows: Sequence[Row],
+        name: str,
+        columns: Sequence[np.ndarray] | None = None,
+    ) -> str:
+        """Place raw rows round-robin across servers (free).
+
+        Sliced placement (``rows[s::p]`` to server ``s``) — identical
+        assignment to the ``i % p`` loop, p list slices instead of n
+        Python-level appends. When a columnar view of ``rows`` is
+        available its matching slices are attached as a column side-car
+        (only on servers whose fragment was empty, so the side-car always
+        covers the full stored row list).
+        """
+        for s in range(self.p):
+            chunk = rows[s :: self.p]
+            if chunk:
+                target = self.servers[s].fragment(name)
+                fresh = not target
+                target.extend(chunk)
+                if columns is not None and fresh:
+                    self.servers[s].put_columns(
+                        name,
+                        tuple(range(len(columns))),
+                        [c[s :: self.p] for c in columns],
+                    )
         return name
 
     def gather(self, fragment: str) -> list[Row]:
@@ -281,8 +366,13 @@ class Cluster:
         return out
 
     def gather_relation(self, fragment: str, name: str, attributes: Sequence[str]) -> Relation:
-        """Gather a fragment into a :class:`Relation`."""
-        return Relation(name, attributes, self.gather(fragment))
+        """Gather a fragment into a :class:`Relation`.
+
+        The gathered list is adopted without re-checking arities: every
+        row in a fragment store was arity-checked when its relation was
+        built (delivery only moves tuples between fragments).
+        """
+        return Relation.wrap(name, attributes, self.gather(fragment))
 
     def drop(self, fragment: str) -> None:
         """Delete a fragment on every server."""

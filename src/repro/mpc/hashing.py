@@ -3,8 +3,15 @@
 The HyperCube algorithm needs *k independent* hash functions, one per
 query variable; the parallel hash join needs one. Python's built-in
 ``hash`` is salted per process for strings, so we provide a stable family
-based on splitmix64 (for integers) with a blake2b fallback for arbitrary
-hashable values. All functions are deterministic given ``(seed, index)``.
+based on splitmix64 (for integers and tuples of integers) with a blake2b
+fallback for arbitrary hashable values. All functions are deterministic
+given ``(seed, index)``.
+
+The integer paths — scalar and all-integer tuple — are the *hash spec*
+shared with the vectorized kernels of :mod:`repro.kernels.hashing`: the
+numpy implementation must reproduce them bit for bit so the columnar
+fast path partitions data identically to this tuple-at-a-time code
+(``REPRO_KERNELS=off`` must not change any destination).
 """
 
 from __future__ import annotations
@@ -15,6 +22,10 @@ from typing import Any
 
 _MASK64 = (1 << 64) - 1
 
+# Mixed into the accumulator seed of the tuple chain so that the hash of
+# the 1-tuple ``(v,)`` differs from the hash of the bare integer ``v``.
+_TUPLE_TAG = 0xA5B35705A3C9B6D1
+
 
 def splitmix64(x: int) -> int:
     """One step of the splitmix64 mixer — a fast, high-quality 64-bit hash."""
@@ -24,12 +35,42 @@ def splitmix64(x: int) -> int:
     return x ^ (x >> 31)
 
 
-def _hash_value(value: Any, salt: int) -> int:
-    """64-bit hash of one value under a salt; ints take the fast path."""
+def hash_int_tuple(values: tuple[int, ...], salt: int) -> int:
+    """The tuple chain: fold splitmix64 over all-integer key tuples.
+
+    This order-sensitive chain is the canonical spec for hashed composite
+    join keys; :func:`repro.kernels.hashing.hash_tuple_columns` is its
+    vectorized twin (one splitmix64 pass per key column).
+    """
+    acc = splitmix64((salt ^ _TUPLE_TAG ^ len(values)) & _MASK64)
+    for v in values:
+        acc = splitmix64((v & _MASK64) ^ acc)
+    return acc
+
+
+def _as_int(value: Any) -> int | None:
+    """The value as a plain int when it hashes on the integer path."""
     if isinstance(value, bool):
-        value = int(value)
+        return int(value)
     if isinstance(value, int):
-        return splitmix64((value & _MASK64) ^ splitmix64(salt))
+        return value
+    return None
+
+
+def _hash_value(value: Any, salt: int) -> int:
+    """64-bit hash of one value under a salt; int shapes take fast paths."""
+    as_int = _as_int(value)
+    if as_int is not None:
+        return splitmix64((as_int & _MASK64) ^ splitmix64(salt))
+    if isinstance(value, tuple):
+        ints = []
+        for element in value:
+            element_int = _as_int(element)
+            if element_int is None:
+                break
+            ints.append(element_int)
+        else:
+            return hash_int_tuple(tuple(ints), salt)
     data = repr(value).encode() + struct.pack("<Q", salt)
     return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "little")
 
@@ -44,6 +85,11 @@ class HashFunction:
             raise ValueError("buckets must be positive")
         self.buckets = buckets
         self._salt = salt
+
+    @property
+    def salt(self) -> int:
+        """The 64-bit salt (the vectorized kernels reuse it verbatim)."""
+        return self._salt
 
     def __call__(self, value: Any) -> int:
         return _hash_value(value, self._salt) % self.buckets

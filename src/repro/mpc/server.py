@@ -15,13 +15,25 @@ Row = tuple[Any, ...]
 
 
 class Server:
-    """One MPC server: an id and a private fragment store."""
+    """One MPC server: an id and a private fragment store.
 
-    __slots__ = ("sid", "storage")
+    Besides the row store, a server keeps an optional *column side-car*
+    per fragment: key-column arrays that travelled with a batched
+    (kernel-routed) shuffle, letting the local computation skip
+    re-extracting columns from the tuples. The side-car is a pure cache —
+    it is dropped whenever the fragment is replaced or removed, and
+    consumers must validate it against the row count (mutating the row
+    list in place leaves a stale side-car behind, which the length check
+    catches because every mutation path appends or removes rows).
+    """
+
+    __slots__ = ("sid", "storage", "column_cache")
 
     def __init__(self, sid: int) -> None:
         self.sid = sid
         self.storage: dict[str, list[Row]] = {}
+        # column_cache[name] = (key_positions, [one array per key position])
+        self.column_cache: dict[str, tuple[tuple[int, ...], list]] = {}
 
     def fragment(self, name: str) -> list[Row]:
         """The local fragment ``name``, created empty if absent."""
@@ -33,14 +45,48 @@ class Server:
 
     def take(self, name: str) -> list[Row]:
         """Remove and return the local fragment ``name`` (empty if absent)."""
+        self.column_cache.pop(name, None)
         return self.storage.pop(name, [])
 
     def put(self, name: str, rows: list[Row]) -> None:
         """Replace fragment ``name`` with ``rows``."""
+        self.column_cache.pop(name, None)
         self.storage[name] = rows
+
+    def put_columns(self, name: str, key_idx: tuple[int, ...], columns: list) -> None:
+        """Attach a column side-car for fragment ``name``.
+
+        ``columns[i]`` holds column ``key_idx[i]`` of every stored row,
+        in row order.
+        """
+        self.column_cache[name] = (key_idx, columns)
+
+    def take_with_columns(
+        self, name: str, key_idx: tuple[int, ...]
+    ) -> tuple[list[Row], list | None]:
+        """:meth:`take` plus the side-car columns at ``key_idx``, if valid.
+
+        The second element is one array per requested position (``None``
+        when the side-car is missing, covers different positions, or does
+        not match the row count — consumers then fall back to extracting
+        columns from the tuples).
+        """
+        rows = self.storage.pop(name, [])
+        cached = self.column_cache.pop(name, None)
+        if cached is None:
+            return rows, None
+        stored_idx, columns = cached
+        try:
+            selected = [columns[stored_idx.index(i)] for i in key_idx]
+        except ValueError:
+            return rows, None
+        if any(len(c) != len(rows) for c in selected):
+            return rows, None
+        return rows, selected
 
     def drop(self, name: str) -> None:
         """Delete fragment ``name`` if present."""
+        self.column_cache.pop(name, None)
         self.storage.pop(name, None)
 
     def local_size(self) -> int:

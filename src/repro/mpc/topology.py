@@ -50,6 +50,11 @@ class Grid:
     def dimensions(self) -> int:
         return len(self.extents)
 
+    @property
+    def strides(self) -> tuple[int, ...]:
+        """Row-major strides (the last dimension varies fastest)."""
+        return self._strides
+
     def flat(self, coordinate: Sequence[int]) -> int:
         """Flat server id of a full coordinate."""
         if len(coordinate) != self.dimensions:

@@ -28,6 +28,9 @@ from typing import Any
 from repro.data.relation import Relation
 from repro.errors import QueryError
 from repro.joins.base import local_join
+from repro.kernels.config import kernels_enabled
+from repro.kernels.join import semijoin_mask
+from repro.kernels.partition import try_route
 from repro.mpc.cluster import Cluster
 from repro.mpc.stats import RunStats
 
@@ -75,10 +78,14 @@ def shuffle_join(
     s_idx = s.schema.indices(shared)
     with cluster.round(label) as rnd:
         for server in cluster.servers:
-            for row in server.take(r_frag):
-                rnd.send(h(tuple(row[i] for i in r_idx)), "L@j", row)
-            for row in server.take(s_frag):
-                rnd.send(h(tuple(row[i] for i in s_idx)), "R@j", row)
+            rows, cols = server.take_with_columns(r_frag, tuple(r_idx))
+            if not try_route(rnd, rows, r_idx, h, "L@j", columns=cols):
+                for row in rows:
+                    rnd.send(h(tuple(row[i] for i in r_idx)), "L@j", row)
+            rows, cols = server.take_with_columns(s_frag, tuple(s_idx))
+            if not try_route(rnd, rows, s_idx, h, "R@j", columns=cols):
+                for row in rows:
+                    rnd.send(h(tuple(row[i] for i in s_idx)), "R@j", row)
     for server in cluster.servers:
         local_join(server, "L@j", "R@j", r, s, "out")
     attrs = list(r.schema.attributes) + [
@@ -162,17 +169,15 @@ def shuffle_multi_semijoin(
     h = cluster.hash_function(0)
     with cluster.round(label) as rnd:
         for server in cluster.servers:
-            stay: list[Row] = []
-            for row in server.take(t_frag):
-                key = tuple(row[i] for i in t_idx)
-                if key in heavy:
-                    stay.append(row)  # no communication: stays in place
-                else:
-                    rnd.send(h(key), "T@j", row)
+            taken = server.take(t_frag)
+            stay = _route_light(rnd, taken, t_idx, heavy, h)
             server.put("T@stay", stay)
+            key_arity = range(len(shared))
             for i, frag in enumerate(reducer_frags):
-                for row in server.take(frag):
-                    rnd.send(h(row), f"K{i}@j", row)
+                rows = server.take(frag)
+                if not try_route(rnd, rows, key_arity, h, f"K{i}@j"):
+                    for row in rows:
+                        rnd.send(h(row), f"K{i}@j", row)
         for key in heavy_alive:
             rnd.broadcast("H@alive", key)
 
@@ -180,11 +185,7 @@ def shuffle_multi_semijoin(
     for server in cluster.servers:
         server.take("H@alive")  # consumed: contents mirror `alive`
         key_sets = [set(server.take(f"K{i}@j")) for i in range(len(reducers))]
-        survivors = [
-            row
-            for row in server.take("T@j")
-            if all(tuple(row[i] for i in t_idx) in ks for ks in key_sets)
-        ]
+        survivors = _filter_members(server.take("T@j"), t_idx, key_sets)
         survivors.extend(
             row
             for row in server.take("T@stay")
@@ -193,6 +194,57 @@ def shuffle_multi_semijoin(
         server.put("out", survivors)
     result = cluster.gather_relation("out", target.name, target.schema.attributes)
     return result, cluster.stats
+
+
+def _route_light(
+    rnd: Any,
+    rows: list[Row],
+    t_idx: tuple[int, ...],
+    heavy: set[Row],
+    h: Any,
+) -> list[Row]:
+    """Route light rows to ``h(key)``; return the heavy rows (they stay).
+
+    Vectorized heavy/light split + batched routing when the key columns
+    are integers; otherwise the original tuple-at-a-time loop.
+    """
+    if kernels_enabled() and rows:
+        mask = semijoin_mask(rows, t_idx, list(heavy))
+        if mask is not None:
+            stay = [row for row, is_heavy in zip(rows, mask) if is_heavy]
+            light = [row for row, is_heavy in zip(rows, mask) if not is_heavy]
+            if try_route(rnd, light, t_idx, h, "T@j"):
+                return stay
+    stay = []
+    for row in rows:
+        key = tuple(row[i] for i in t_idx)
+        if key in heavy:
+            stay.append(row)  # no communication: stays in place
+        else:
+            rnd.send(h(key), "T@j", row)
+    return stay
+
+
+def _filter_members(
+    rows: list[Row], t_idx: tuple[int, ...], key_sets: list[set[Row]]
+) -> list[Row]:
+    """Rows whose key tuple appears in *every* key set (order preserved)."""
+    if kernels_enabled() and rows:
+        combined = None
+        for ks in key_sets:
+            mask = semijoin_mask(rows, t_idx, list(ks))
+            if mask is None:
+                break
+            combined = mask if combined is None else combined & mask
+        else:
+            if combined is None:  # no reducers: everything survives
+                return list(rows)
+            return [row for row, keep in zip(rows, combined) if keep]
+    return [
+        row
+        for row in rows
+        if all(tuple(row[i] for i in t_idx) in ks for ks in key_sets)
+    ]
 
 
 def shuffle_aggregate(
@@ -214,8 +266,10 @@ def shuffle_aggregate(
     h = cluster.hash_function(0)
     with cluster.round(label) as rnd:
         for server in cluster.servers:
-            for row in server.take("A@in"):
-                rnd.send(h(tuple(row[i] for i in key_positions)), "A@j", row)
+            taken = server.take("A@in")
+            if not try_route(rnd, taken, key_positions, h, "A@j"):
+                for row in taken:
+                    rnd.send(h(tuple(row[i] for i in key_positions)), "A@j", row)
     out: list[Row] = []
     for server in cluster.servers:
         groups: dict[Row, list[Row]] = {}

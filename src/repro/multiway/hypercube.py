@@ -22,6 +22,7 @@ from collections.abc import Mapping
 
 from repro.data.relation import Relation
 from repro.errors import QueryError
+from repro.kernels.partition import try_route_grid
 from repro.mpc.cluster import Cluster
 from repro.mpc.topology import Grid
 from repro.multiway.base import MultiwayRun
@@ -73,26 +74,38 @@ def hypercube_join(
         rel = _relation_for(query, atom.name, relations)
         fragments[atom.name] = cluster.scatter(rel, f"{atom.name}@in")
 
+    salts = [hash_functions[v].salt for v in query.variables]
     with cluster.round("hypercube") as rnd:
         for atom in query.atoms:
+            column_dims = [var_position[v] for v in atom.variables]
+            arity = tuple(range(len(atom.variables)))
             for server in cluster.servers:
-                for row in server.take(fragments[atom.name]):
+                rows, cols = server.take_with_columns(fragments[atom.name], arity)
+                if try_route_grid(
+                    rnd, rows, column_dims, salts, extents, grid.strides,
+                    f"{atom.name}@hc", columns=cols,
+                ):
+                    continue
+                for row in rows:
                     partial: list[int | None] = [None] * len(extents)
                     for value, v in zip(row, atom.variables):
                         partial[var_position[v]] = hash_functions[v](value)
                     for dest in grid.matching(partial):
                         rnd.send(dest, f"{atom.name}@hc", row)
 
-    # Local evaluation on each grid server.
+    # Local evaluation on each grid server. Fragment rows come straight
+    # from the simulator, so adopt them without re-validating arity, and
+    # seed each relation's columnar cache from the delivered side-car.
     out_attrs = list(query.variables)
     for sid in range(grid.size):
         server = cluster.servers[sid]
-        local_fragments = {
-            atom.name: Relation(
-                atom.name, list(atom.variables), server.take(f"{atom.name}@hc")
-            )
-            for atom in query.atoms
-        }
+        local_fragments = {}
+        for atom in query.atoms:
+            arity = tuple(range(len(atom.variables)))
+            rows, cols = server.take_with_columns(f"{atom.name}@hc", arity)
+            rel = Relation.wrap(atom.name, list(atom.variables), rows)
+            rel.prime_columns(cols)
+            local_fragments[atom.name] = rel
         if all(len(rel) for rel in local_fragments.values()):
             if local == "generic":
                 from repro.multiway.wcoj import generic_join

@@ -20,7 +20,11 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from typing import Any
 
-from repro.mpc.cluster import Cluster
+from repro.kernels.columnar import take_rows
+from repro.kernels.config import kernels_enabled
+from repro.kernels.partition import partition_indices
+from repro.kernels.splitters import searchsorted_buckets, tuple_buckets
+from repro.mpc.cluster import Cluster, RoundContext
 from repro.mpc.stats import RunStats
 from repro.sorting.splitters import (
     bucket_of,
@@ -30,6 +34,35 @@ from repro.sorting.splitters import (
 )
 
 Key = Callable[[Any], Any]
+
+
+def _route_by_splitters(
+    rnd: RoundContext,
+    items: list[Any],
+    key: Key,
+    splitters: list[Any],
+    out_fragment: str,
+) -> bool:
+    """Batched phase-3 routing via the splitter-search kernels.
+
+    ``False`` means no fast path (non-integer keys / no splitters); the
+    caller then routes item-at-a-time through ``bucket_of``.
+    """
+    if not kernels_enabled() or not items or not splitters:
+        return not items
+    keys = [key(item) for item in items]
+    if isinstance(keys[0], tuple):
+        destinations = tuple_buckets(keys, splitters)
+    else:
+        destinations = searchsorted_buckets(keys, splitters)
+    if destinations is None:
+        return False
+    for dest, indices in enumerate(
+        partition_indices(destinations, len(splitters) + 1)
+    ):
+        if len(indices):
+            rnd.send_rows(dest, out_fragment, take_rows(items, indices))
+    return True
 
 
 def psrs_partition(
@@ -72,8 +105,10 @@ def psrs_partition(
     with cluster.round("psrs-partition") as rnd:
         for server in cluster.servers:
             server.take(f"{fragment}@splitters")  # consumed; value known globally
-            for item in server.take(f"{fragment}@sorted"):
-                rnd.send(bucket_of(key(item), splitters), out_fragment, item)
+            items = server.take(f"{fragment}@sorted")
+            if not _route_by_splitters(rnd, items, key, splitters, out_fragment):
+                for item in items:
+                    rnd.send(bucket_of(key(item), splitters), out_fragment, item)
     for server in cluster.servers:
         server.put(out_fragment, sorted(server.get(out_fragment), key=key))
     return splitters

@@ -86,14 +86,36 @@ def run_selftest(
     monotonic_every: int = 24,
     audit: bool = True,
     verbose: bool = False,
+    kernels: bool | None = None,
 ) -> SelftestReport:
     """Run the whole harness under one instance budget.
 
     Every instance goes through the differential sweep; every
     ``metamorphic_every``-th also gets the metamorphic checks and every
     ``monotonic_every``-th the (4-run) load-monotonicity ladder, keeping
-    the total execution count proportional to the budget.
+    the total execution count proportional to the budget. ``kernels``
+    forces the columnar kernels on or off for the whole run (``None``
+    keeps the ambient ``REPRO_KERNELS`` setting).
     """
+    from repro.kernels.config import use_kernels
+
+    with use_kernels(kernels):
+        return _run_selftest(
+            instances, seed, kinds, algorithms,
+            metamorphic_every, monotonic_every, audit, verbose,
+        )
+
+
+def _run_selftest(
+    instances: int,
+    seed: int,
+    kinds: list[str] | None,
+    algorithms: list[str] | None,
+    metamorphic_every: int,
+    monotonic_every: int,
+    audit: bool,
+    verbose: bool,
+) -> SelftestReport:
     cases = (
         ALGORITHMS
         if algorithms is None
@@ -142,25 +164,79 @@ def main(argv: list[str] | None = None) -> int:
                         help="skip the cluster conservation audits")
     parser.add_argument("--verbose", action="store_true",
                         help="print every record as it completes")
+    parser.add_argument("--kernels", choices=("on", "off", "both"), default=None,
+                        help="force the columnar kernels on/off, or run the "
+                             "sweep under both modes and cross-check loads "
+                             "(default: ambient REPRO_KERNELS setting)")
     args = parser.parse_args(argv)
 
-    report = run_selftest(
-        instances=args.instances,
-        seed=args.seed,
-        kinds=args.kinds,
-        algorithms=args.algorithms,
-        metamorphic_every=0 if args.no_metamorphic else 8,
-        monotonic_every=0 if args.no_metamorphic else 24,
-        audit=not args.no_audit,
-        verbose=args.verbose,
-    )
-    print(report.summary_table())
-    if not report.ok:
+    def run(kernels: bool | None) -> SelftestReport:
+        return run_selftest(
+            instances=args.instances,
+            seed=args.seed,
+            kinds=args.kinds,
+            algorithms=args.algorithms,
+            metamorphic_every=0 if args.no_metamorphic else 8,
+            monotonic_every=0 if args.no_metamorphic else 24,
+            audit=not args.no_audit,
+            verbose=args.verbose,
+            kernels=kernels,
+        )
+
+    def report_failures(report: SelftestReport) -> None:
         print("\nfailures:", file=sys.stderr)
         for line in report.failures:
             print(f"  {line}", file=sys.stderr)
+
+    if args.kernels == "both":
+        status = 0
+        reports = {}
+        for mode in (True, False):
+            print(f"=== kernels {'on' if mode else 'off'} ===")
+            reports[mode] = run(mode)
+            print(reports[mode].summary_table())
+            if not reports[mode].ok:
+                report_failures(reports[mode])
+                status = 1
+        drift = cross_mode_drift(reports[True], reports[False])
+        if drift:
+            print("\nkernels on/off drift:", file=sys.stderr)
+            for line in drift:
+                print(f"  {line}", file=sys.stderr)
+            status = 1
+        else:
+            print("kernels on/off loads identical across all executions")
+        return status
+
+    report = run({"on": True, "off": False, None: None}[args.kernels])
+    print(report.summary_table())
+    if not report.ok:
+        report_failures(report)
         return 1
     return 0
+
+
+def cross_mode_drift(
+    on: SelftestReport, off: SelftestReport
+) -> list[str]:
+    """Differences in model-visible cost between the two kernel modes.
+
+    The kernels must not change what the simulator *measures* — compare
+    the per-execution ``(algorithm, max_load)`` sequences of two sweeps
+    over the same workload.
+    """
+    on_records = on.differential.records
+    off_records = off.differential.records
+    if len(on_records) != len(off_records):
+        return [
+            f"execution counts differ: {len(on_records)} with kernels on, "
+            f"{len(off_records)} off"
+        ]
+    return [
+        f"{a.algorithm}: max_load {a.max_load} with kernels on, {b.max_load} off"
+        for a, b in zip(on_records, off_records)
+        if a.algorithm != b.algorithm or a.max_load != b.max_load
+    ]
 
 
 if __name__ == "__main__":

@@ -1,0 +1,80 @@
+"""The BENCH comparator: regression classification on synthetic pairs."""
+
+import pytest
+
+from repro.bench.compare import compare_bench
+
+
+def bench_doc(times, quick=False):
+    return {
+        "schema": "repro-bench/1",
+        "quick": quick,
+        "experiments": [
+            {"name": name, "seconds": seconds} for name, seconds in times.items()
+        ],
+    }
+
+
+def statuses(comparison):
+    return {e.name: e.status for e in comparison.entries}
+
+
+class TestClassification:
+    def test_within_threshold_is_ok(self):
+        cmp = compare_bench(bench_doc({"a": 1.0}), bench_doc({"a": 1.15}))
+        assert statuses(cmp) == {"a": "ok"}
+        assert cmp.ok
+
+    def test_regression_flagged(self):
+        cmp = compare_bench(bench_doc({"a": 1.0}), bench_doc({"a": 1.3}))
+        assert statuses(cmp) == {"a": "regressed"}
+        assert not cmp.ok
+        assert [e.name for e in cmp.regressions] == ["a"]
+
+    def test_improvement_flagged_but_passes(self):
+        cmp = compare_bench(bench_doc({"a": 1.0}), bench_doc({"a": 0.5}))
+        assert statuses(cmp) == {"a": "improved"}
+        assert cmp.ok
+
+    def test_missing_experiment_fails(self):
+        cmp = compare_bench(bench_doc({"a": 1.0, "b": 1.0}), bench_doc({"a": 1.0}))
+        assert statuses(cmp)["b"] == "missing"
+        assert not cmp.ok
+
+    def test_new_experiment_is_informational(self):
+        cmp = compare_bench(bench_doc({"a": 1.0}), bench_doc({"a": 1.0, "b": 9.9}))
+        assert statuses(cmp)["b"] == "new"
+        assert cmp.ok
+
+    def test_noise_floor_suppresses_tiny_regressions(self):
+        # 0.004s -> 0.04s is a 10x "regression" entirely inside timer
+        # jitter; both sides under the floor compare as ok.
+        cmp = compare_bench(bench_doc({"a": 0.004}), bench_doc({"a": 0.04}))
+        assert statuses(cmp) == {"a": "ok"}
+
+    def test_crossing_noise_floor_still_counts(self):
+        cmp = compare_bench(bench_doc({"a": 0.04}), bench_doc({"a": 0.3}))
+        assert statuses(cmp) == {"a": "regressed"}
+
+    def test_custom_threshold(self):
+        base, cur = bench_doc({"a": 1.0}), bench_doc({"a": 1.4})
+        assert statuses(compare_bench(base, cur, threshold=0.5)) == {"a": "ok"}
+        assert statuses(compare_bench(base, cur, threshold=0.1)) == {"a": "regressed"}
+
+
+class TestGuards:
+    def test_quick_vs_full_refused(self):
+        with pytest.raises(ValueError, match="different sizes"):
+            compare_bench(bench_doc({"a": 1.0}, quick=True), bench_doc({"a": 1.0}))
+
+    def test_ratio_and_table(self):
+        cmp = compare_bench(
+            bench_doc({"a": 1.0, "gone": 1.0}),
+            bench_doc({"a": 2.0, "fresh": 0.1}),
+        )
+        by_name = {e.name: e for e in cmp.entries}
+        assert by_name["a"].ratio == pytest.approx(2.0)
+        assert by_name["gone"].ratio is None
+        assert by_name["fresh"].ratio is None
+        table = cmp.format_table()
+        assert "FAIL" in table and "regressed" in table and "missing" in table

@@ -1,0 +1,35 @@
+"""End-to-end bench smoke: ``python -m repro bench --quick`` must work.
+
+Slow-marked (tens of seconds): runs the real harness at quick sizes and
+checks the emitted document against the schema and the curated
+experiment list.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.runner import main
+from repro.bench.schema import validate_bench
+
+pytestmark = pytest.mark.slow
+
+
+def test_quick_bench_writes_valid_document(tmp_path, capsys):
+    out = tmp_path / "BENCH_smoke.json"
+    assert main(["--quick", "--out", str(out)]) == 0
+    document = json.loads(out.read_text())
+    assert validate_bench(document) == []
+    assert document["quick"] is True
+    assert [e["name"] for e in document["experiments"]] == [
+        e.name for e in EXPERIMENTS
+    ]
+    pairs = {s["name"] for s in document["speedups"]}
+    assert pairs == {e.name for e in EXPERIMENTS if e.speedup_pair}
+    for s in document["speedups"]:
+        assert s["identical"] and s["oracle_ok"]
+    # The quick run doubles as a self-diff fixture: comparing the file
+    # against itself must pass and print a table.
+    assert main(["--diff", str(out), str(out)]) == 0
+    assert "PASS" in capsys.readouterr().out

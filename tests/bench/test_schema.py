@@ -1,0 +1,113 @@
+"""BENCH document schema: the committed baseline and synthetic violations."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench.schema import SCHEMA_VERSION, validate_bench
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "BENCH_3.json"
+
+
+def minimal_document():
+    return {
+        "schema": SCHEMA_VERSION,
+        "machine": {
+            "platform": "linux", "python": "3.12", "numpy": "2.0",
+            "cpu_count": 8,
+        },
+        "kernels": True,
+        "quick": False,
+        "experiments": [
+            {"name": "join", "n": 100, "p": 4, "seconds": 0.5,
+             "L_max": 25, "rounds": 2, "out_size": 10},
+        ],
+        "speedups": [
+            {"name": "join", "n": 100, "p": 4, "seconds_on": 0.1,
+             "seconds_off": 1.0, "speedup": 10.0, "L_max": 25, "rounds": 2,
+             "identical": True, "oracle_ok": True},
+        ],
+    }
+
+
+class TestCommittedBaseline:
+    def test_baseline_exists_and_validates(self):
+        document = json.loads(BASELINE.read_text())
+        assert validate_bench(document) == []
+
+    def test_baseline_meets_speedup_acceptance(self):
+        # The PR's acceptance bar: at least one recorded speedup pair at
+        # n >= 1e5 with >= 10x, identical model costs, and a passing oracle.
+        document = json.loads(BASELINE.read_text())
+        assert any(
+            s["n"] >= 100_000 and s["speedup"] >= 10.0
+            and s["identical"] and s["oracle_ok"]
+            for s in document["speedups"]
+        ), [
+            (s["name"], s["speedup"]) for s in document["speedups"]
+        ]
+
+
+class TestValidateBench:
+    def test_minimal_document_valid(self):
+        assert validate_bench(minimal_document()) == []
+
+    def test_not_a_mapping(self):
+        assert validate_bench([]) != []
+        assert validate_bench(None) != []
+
+    def test_wrong_schema_version(self):
+        document = minimal_document()
+        document["schema"] = "repro-bench/0"
+        assert any("schema" in e for e in validate_bench(document))
+
+    @pytest.mark.parametrize("field", ["machine", "kernels", "experiments"])
+    def test_missing_top_level_field(self, field):
+        document = minimal_document()
+        del document[field]
+        assert any(field in e for e in validate_bench(document))
+
+    def test_empty_experiments_rejected(self):
+        document = minimal_document()
+        document["experiments"] = []
+        assert validate_bench(document) != []
+
+    def test_duplicate_experiment_names(self):
+        document = minimal_document()
+        document["experiments"] *= 2
+        assert any("duplicate" in e for e in validate_bench(document))
+
+    @pytest.mark.parametrize("field,bad", [
+        ("seconds", "fast"), ("L_max", 2.5), ("rounds", -1), ("n", True),
+    ])
+    def test_bad_experiment_field(self, field, bad):
+        document = minimal_document()
+        document["experiments"][0][field] = bad
+        assert validate_bench(document) != []
+
+    def test_missing_experiment_field(self):
+        document = minimal_document()
+        del document["experiments"][0]["L_max"]
+        assert any("L_max" in e for e in validate_bench(document))
+
+    def test_bool_is_not_an_int(self):
+        # bool is an int subclass; the schema must still reject it where
+        # a count is expected (True would silently mean n=1).
+        document = minimal_document()
+        document["experiments"][0]["rounds"] = True
+        assert validate_bench(document) != []
+
+    def test_speedup_fields_checked(self):
+        document = minimal_document()
+        document["speedups"][0]["identical"] = "yes"
+        assert validate_bench(document) != []
+        document = minimal_document()
+        del document["speedups"][0]["speedup"]
+        assert validate_bench(document) != []
+
+    def test_speedups_optional(self):
+        document = minimal_document()
+        del document["speedups"]
+        assert validate_bench(document) == []

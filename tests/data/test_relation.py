@@ -70,10 +70,15 @@ class TestRelationOperations:
     def test_select_eq(self, r):
         assert r.select_eq("y", 3).rows() == [(1, 3), (2, 3)]
 
-    def test_rename_shares_rows(self, r):
+    def test_rename_copies_row_list(self, r):
         q = r.rename({"x": "u"})
         assert q.schema.attributes == ("u", "y")
-        assert q.rows() is r.rows()
+        # The row list is copied (mutating the rename must not leak into
+        # the original) while the tuples themselves are shared.
+        assert q.rows() == r.rows()
+        assert q.rows() is not r.rows()
+        q.add((9, 9))
+        assert len(r) == 3
 
     def test_key_and_column(self, r):
         assert r.key(["y"]) == [(2,), (3,), (3,)]

@@ -1,0 +1,116 @@
+"""Regression: ``Relation.rows()`` hands out the live list — nobody may mutate it.
+
+``rows()`` deliberately returns the internal tuple store without copying
+(the MPC algorithms walk millions of rows; a defensive copy per call
+would dominate). The contract is therefore *callers must not mutate*.
+This suite enforces it mechanically: every input relation (and sort item
+list) is backed by a list subclass that raises on any mutating method,
+and all sixteen differential algorithm entry points are driven over
+workloads of every instance kind. An algorithm sorting or appending to
+its *input* in place — the historical ``rename``-shares-rows bug —
+explodes here instead of silently corrupting a shared relation.
+"""
+
+import pytest
+
+from repro.data.relation import Relation
+from repro.testing.differential import ALGORITHMS, KINDS, generate_instances
+
+
+class MutationError(AssertionError):
+    pass
+
+
+def _forbid(name):
+    def method(self, *args, **kwargs):
+        raise MutationError(f"input list mutated via {name}()")
+
+    method.__name__ = name
+    return method
+
+
+class GuardedList(list):
+    """A list whose every mutating method raises :class:`MutationError`."""
+
+
+for _name in (
+    "append", "extend", "insert", "remove", "pop", "clear", "sort",
+    "reverse", "__setitem__", "__delitem__", "__iadd__", "__imul__",
+):
+    setattr(GuardedList, _name, _forbid(_name))
+
+
+def _guard_instance(instance):
+    """Swap each input's backing list for a guarded one, keep snapshots."""
+    snapshots = {}
+    for name, rel in instance.relations.items():
+        snapshots[name] = list(rel.rows())
+        rel._rows = GuardedList(rel.rows())
+    if instance.items:
+        snapshots["@items"] = list(instance.items)
+        instance.items = GuardedList(instance.items)
+    return snapshots
+
+
+def _check_unchanged(instance, snapshots, context):
+    for name, rel in instance.relations.items():
+        assert rel.rows() == snapshots[name], (
+            f"{context}: relation {name} changed in place"
+        )
+    if "@items" in snapshots:
+        assert list(instance.items) == snapshots["@items"], (
+            f"{context}: sort items changed in place"
+        )
+
+
+class TestGuardedList:
+    def test_guard_raises_on_every_mutator(self):
+        guarded = GuardedList([1, 2, 3])
+        with pytest.raises(MutationError):
+            guarded.append(4)
+        with pytest.raises(MutationError):
+            guarded.sort()
+        with pytest.raises(MutationError):
+            guarded[0] = 9
+        with pytest.raises(MutationError):
+            guarded += [4]
+        assert list(guarded) == [1, 2, 3]  # reads untouched
+
+    def test_relation_ops_read_only_on_guarded_rows(self):
+        rel = Relation("R", ["x", "y"], [(2, 1), (1, 2)])
+        rel._rows = GuardedList(rel.rows())
+        rel.project(["x"])
+        rel.select(lambda row: row[0] > 1)
+        rel.rename({"x": "u"}, name="R2")
+        assert rel.rows() == [(2, 1), (1, 2)]
+
+
+class TestAllAlgorithmsLeaveInputsAlone:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_inputs_unchanged(self, kind):
+        instances = generate_instances(2, seed=123, kinds=[kind])
+        exercised = set()
+        for instance in instances:
+            snapshots = _guard_instance(instance)
+            for case in ALGORITHMS:
+                if not case.applies(instance):
+                    continue
+                case.run(instance, seed=instance.seed)
+                exercised.add(case.name)
+                _check_unchanged(instance, snapshots,
+                                 f"{case.name} on {instance.label}")
+        assert exercised, f"no algorithm applies to kind {kind!r}"
+
+    def test_every_algorithm_is_exercised(self):
+        # The per-kind runs above must, between them, cover all sixteen
+        # entry points — otherwise the footgun audit has a blind spot.
+        instances = [
+            generate_instances(1, seed=123, kinds=[kind])[0] for kind in KINDS
+        ]
+        covered = {
+            case.name
+            for case in ALGORITHMS
+            for instance in instances
+            if case.applies(instance)
+        }
+        assert covered == {case.name for case in ALGORITHMS}

@@ -1,0 +1,126 @@
+"""Cross-platform hash determinism: golden values on a fixed probe set.
+
+The partitioning decisions of every algorithm flow through the seeded
+hash family, so its values must be identical on every platform and
+numpy version — these literals were recorded once and must never change.
+The vectorized kernels are additionally required to reproduce the scalar
+spec bit for bit, which guards numpy uint64 overflow/wraparound
+semantics (a silent change there would desynchronize the two paths).
+"""
+
+import numpy as np
+
+from repro.kernels.hashing import (
+    as_uint64,
+    bucket_tuple_columns,
+    bucket_value_column,
+    hash_tuple_columns,
+    hash_value_column,
+    splitmix64_array,
+)
+from repro.mpc.hashing import HashFamily, hash_int_tuple, splitmix64
+
+# Probes cover zero, small values, negatives (two's complement masking),
+# both int64 boundaries, and a value above 2^32.
+PROBES = [0, 1, 2, 63, -1, -2, 2**31, -(2**31), 2**63 - 1, -(2**63),
+          123456789012345]
+
+SPLITMIX_GOLDEN = {
+    0: 16294208416658607535,
+    1: 10451216379200822465,
+    42: 13679457532755275413,
+    2**63: 5196802822362493915,
+    2**64 - 1: 16490336266968443936,
+}
+
+TUPLE1_GOLDEN = [
+    2200387769397666411, 36397937854493696, 10257025646288132551,
+    14156896446612662376, 2030061528465149588, 6399936856535743935,
+    18082244978869442733, 3572157750631453468, 2697000919305593387,
+    2165287577339522570, 6718157066155048431,
+]
+
+TUPLE2_GOLDEN = [
+    8304893137230897003, 16059103150663140743, 15942668422071496277,
+    6789797878093040582, 6125465908494042028, 5613286583370245527,
+    5903912020491956816, 3212173838559737290, 11094856563563800197,
+    12063534141335860702, 1271642995882689448,
+]
+
+# HashFamily(5).function(2, 64) — covers the family's salt derivation.
+FUNCTION_SALT = 7485121835981390325
+BUCKETS_INT_GOLDEN = [33, 40, 58, 23, 43, 12, 31, 27, 47, 59, 40]
+# Non-integer values take the blake2b-of-repr fallback.
+OTHER_PROBES = ["a", "xyzzy", 3.5, (1, "x"), None, b"bytes"]
+BUCKETS_OTHER_GOLDEN = [45, 26, 46, 36, 61, 50]
+
+MASK64 = 2**64 - 1
+
+
+class TestScalarGolden:
+    def test_splitmix64(self):
+        for value, expected in SPLITMIX_GOLDEN.items():
+            assert splitmix64(value) == expected
+
+    def test_tuple_hash_arity_1(self):
+        assert [hash_int_tuple((v,), 7) for v in PROBES] == TUPLE1_GOLDEN
+
+    def test_tuple_hash_arity_2(self):
+        assert [hash_int_tuple((v, -v), 11) for v in PROBES] == TUPLE2_GOLDEN
+
+    def test_family_salt(self):
+        assert HashFamily(5).function(2, 64).salt == FUNCTION_SALT
+
+    def test_integer_buckets(self):
+        h = HashFamily(5).function(2, 64)
+        assert [h(v) for v in PROBES] == BUCKETS_INT_GOLDEN
+
+    def test_blake2b_fallback_buckets(self):
+        h = HashFamily(5).function(2, 64)
+        assert [h(v) for v in OTHER_PROBES] == BUCKETS_OTHER_GOLDEN
+
+
+class TestVectorizedBitEqual:
+    """The numpy kernels must reproduce the scalar goldens bit for bit."""
+
+    def test_splitmix64_array(self):
+        values = np.array(sorted(SPLITMIX_GOLDEN), dtype=np.uint64)
+        expected = [SPLITMIX_GOLDEN[int(v)] for v in values]
+        assert splitmix64_array(values).tolist() == expected
+
+    def test_as_uint64_two_complement(self):
+        col = np.array(PROBES, dtype=np.int64)
+        assert as_uint64(col).tolist() == [v & MASK64 for v in PROBES]
+
+    def test_value_column_matches_scalar_chain(self):
+        col = np.array(PROBES, dtype=np.int64)
+        expected = [
+            splitmix64((v & MASK64) ^ splitmix64(FUNCTION_SALT)) for v in PROBES
+        ]
+        assert hash_value_column(col, FUNCTION_SALT).tolist() == expected
+
+    def test_tuple_columns_match_scalar_chain(self):
+        # -(-2^63) overflows int64; the hash only sees v & MASK64, so the
+        # second column carries the masked negations as uint64.
+        cols = [np.array(PROBES, dtype=np.int64),
+                np.array([(-v) & MASK64 for v in PROBES], dtype=np.uint64)]
+        expected = [hash_int_tuple((v, -v), 11) for v in PROBES]
+        assert hash_tuple_columns(cols, 11).tolist() == expected
+
+    def test_bucket_kernels_match_golden(self):
+        col = np.array(PROBES, dtype=np.int64)
+        # Tuple keys carry the tuple tag: 1-tuples hash differently from
+        # bare scalars, so each kernel pins against its own golden chain.
+        assert bucket_tuple_columns([col], 7, 64).tolist() \
+            == [g % 64 for g in TUPLE1_GOLDEN]
+        assert bucket_value_column(col, FUNCTION_SALT, 64).tolist() \
+            == BUCKETS_INT_GOLDEN
+
+    def test_uint64_boundary_wraparound(self):
+        # 2^63 and 2^64-1 exercise the multiply-overflow wraparound the
+        # kernels rely on; a FutureWarning-era semantics change would
+        # surface here as a value difference.
+        values = np.array([2**63, 2**64 - 1, 2**63 - 1], dtype=np.uint64)
+        assert splitmix64_array(values).tolist() == [
+            splitmix64(int(v)) for v in values
+        ]

@@ -9,7 +9,9 @@ import repro
 
 PACKAGES = [
     "repro",
+    "repro.bench",
     "repro.data",
+    "repro.kernels",
     "repro.mpc",
     "repro.query",
     "repro.joins",
