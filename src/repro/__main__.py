@@ -45,6 +45,7 @@ _EXPERIMENTS = {
     "t11": "bench_t11_matmul_lb",
     "x1": "bench_x1_extensions",
     "x2": "bench_x2_open_problems",
+    "x3": "bench_x3_faults",
     "ablations": "bench_ablations",
 }
 

@@ -10,6 +10,10 @@
 - ``missing`` — the baseline experiment did not run at all this time
   (treated as a failure: silently dropping a benchmark is how
   regressions hide);
+- ``incomparable`` — the pair exists but no meaningful ratio can be
+  formed (zero or negative recorded time against a measurement above
+  the noise floor — a corrupt or hand-edited file). Also treated as a
+  failure: a pair that cannot be checked must not pass silently;
 - ``new`` — present now but not in the baseline (informational).
 
 Comparing files measured at different sizes (``--quick`` vs full) is
@@ -31,12 +35,16 @@ class ComparisonEntry:
     name: str
     baseline_seconds: float | None
     current_seconds: float | None
-    status: str  # ok | improved | regressed | missing | new
+    status: str  # ok | improved | regressed | missing | incomparable | new
 
     @property
     def ratio(self) -> float | None:
         """current / baseline, when both sides exist and baseline > 0."""
-        if not self.baseline_seconds or self.current_seconds is None:
+        if (
+            self.baseline_seconds is None
+            or self.baseline_seconds <= 0
+            or self.current_seconds is None
+        ):
             return None
         return self.current_seconds / self.baseline_seconds
 
@@ -51,7 +59,11 @@ class BenchComparison:
 
     @property
     def regressions(self) -> list[ComparisonEntry]:
-        return [e for e in self.entries if e.status in ("regressed", "missing")]
+        return [
+            e
+            for e in self.entries
+            if e.status in ("regressed", "missing", "incomparable")
+        ]
 
     @property
     def ok(self) -> bool:
@@ -104,9 +116,15 @@ def compare_bench(
         cur_s = cur_times[name]
         if base_s < min_seconds and cur_s < min_seconds:
             status = "ok"  # both under the noise floor
-        elif base_s > 0 and cur_s > base_s * (1 + threshold):
+        elif base_s <= 0 or cur_s <= 0:
+            # No ratio can be formed: a genuine measurement is never
+            # exactly zero (and negative means a corrupt file), while the
+            # other side is above the noise floor. Flag it instead of
+            # letting it fall through as "ok".
+            status = "incomparable"
+        elif cur_s > base_s * (1 + threshold):
             status = "regressed"
-        elif base_s > 0 and cur_s < base_s / (1 + threshold):
+        elif cur_s < base_s / (1 + threshold):
             status = "improved"
         else:
             status = "ok"

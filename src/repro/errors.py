@@ -41,6 +41,15 @@ class LoadExceededError(ClusterError):
         self.cap = cap
 
 
+class FaultPlanError(ClusterError):
+    """A fault-injection plan is malformed (see :mod:`repro.mpc.faults`).
+
+    Raised when a :class:`~repro.mpc.faults.FaultPlan` carries
+    inconsistent data — negative rounds, unknown channel-fault kinds,
+    non-positive counts, or a checkpoint interval below one.
+    """
+
+
 class AuditError(ClusterError):
     """A conservation invariant of the MPC simulator was violated.
 

@@ -4,7 +4,10 @@ The round lifecycle is exception-safe (a failed round leaves the cluster
 usable — see :mod:`repro.mpc.cluster`), the ``load_cap`` is enforced
 before delivery, and the whole subsystem can self-audit its conservation
 invariants via ``Cluster(p, audit=True)`` or the
-:func:`repro.mpc.audit.audited` context manager.
+:func:`repro.mpc.audit.audited` context manager. Deterministic fault
+injection and recovery (crashes, stragglers, channel faults) is
+available via ``Cluster(p, faults=plan)`` or
+:func:`repro.mpc.faults.faulty`.
 """
 
 from repro.mpc.audit import (
@@ -21,6 +24,16 @@ from repro.mpc.cluster import (
     combine_parallel,
     combine_sequential,
 )
+from repro.mpc.faults import (
+    ChannelFault,
+    CrashFault,
+    FaultController,
+    FaultPlan,
+    FaultStats,
+    RecoveryPolicy,
+    StragglerFault,
+    faulty,
+)
 from repro.mpc.hashing import HashFamily, HashFunction, hash_int_tuple, splitmix64
 from repro.mpc.server import Server
 from repro.mpc.stats import RoundStats, RunStats
@@ -30,16 +43,24 @@ from repro.mpc.trace import busiest_server, load_histogram, round_table, trace
 __all__ = [
     "AuditReport",
     "AuditViolation",
+    "ChannelFault",
     "Cluster",
     "ClusterAuditor",
+    "CrashFault",
+    "FaultController",
+    "FaultPlan",
+    "FaultStats",
     "Grid",
     "HashFamily",
     "HashFunction",
+    "RecoveryPolicy",
     "RoundContext",
     "RoundStats",
     "RunStats",
     "Server",
+    "StragglerFault",
     "audited",
+    "faulty",
     "busiest_server",
     "combine_parallel",
     "combine_sequential",

@@ -40,6 +40,13 @@ With ``Cluster(p, audit=True)`` (or inside
 :func:`repro.mpc.audit.audited`) every delivered round is additionally
 checked against the conservation invariants of
 :mod:`repro.mpc.audit`; the report is surfaced on ``cluster.stats.audit``.
+
+With ``Cluster(p, faults=plan)`` (or inside
+:func:`repro.mpc.faults.faulty`) a deterministic
+:class:`~repro.mpc.faults.FaultPlan` injects crashes, stragglers, and
+channel faults at the barriers; recovery runs before the audit snapshot,
+so a recovered round satisfies the same invariants as a fault-free one.
+The fault counters are surfaced on ``cluster.stats.faults``.
 """
 
 from __future__ import annotations
@@ -52,6 +59,12 @@ from repro.data.relation import Relation
 from repro.errors import ClusterError, LoadExceededError
 from repro.kernels.config import kernels_enabled
 from repro.mpc.audit import AuditReport, ClusterAuditor, audit_enabled_by_default
+from repro.mpc.faults import (
+    FaultController,
+    FaultPlan,
+    FaultStats,
+    fault_plan_by_default,
+)
 from repro.mpc.hashing import HashFamily, HashFunction
 from repro.mpc.server import Row, Server
 from repro.mpc.stats import RoundStats, RunStats
@@ -75,6 +88,10 @@ class RoundContext:
         self._units: list[int] = [0] * cluster.p
         self._closed = False
         self.aborted = False
+        # Round ordinal (0-based, counts every opened round, charged and
+        # free) — the coordinate fault plans schedule against. Assigned
+        # by Cluster._open_round.
+        self.ordinal = -1
 
     # ------------------------------------------------------------- sending
 
@@ -82,12 +99,16 @@ class RoundContext:
         """Send one tuple to server ``dest``, to be stored under ``fragment``.
 
         ``units`` is the communication cost of the tuple (default one, per
-        the tutorial's tuple-counting convention).
+        the tutorial's tuple-counting convention). It must be
+        non-negative: a negative cost would silently offset other
+        senders' units and could mask a load-cap violation.
         """
         if self._closed:
             raise ClusterError("round already closed")
         if not 0 <= dest < self._cluster.p:
             raise ClusterError(f"destination {dest} out of range [0, {self._cluster.p})")
+        if units < 0:
+            raise ClusterError(f"units must be non-negative, got {units}")
         self._buffers[dest].setdefault(fragment, []).append(row)
         self._units[dest] += units
 
@@ -206,9 +227,11 @@ class Cluster:
         Seed of the cluster's hash-function family (all algorithms draw
         their hash functions from here, so runs are reproducible).
     load_cap:
-        Optional hard cap on per-server per-round load; a round that
-        would exceed it raises :class:`LoadExceededError` at the barrier
-        *before delivering anything* — the round is recorded with
+        Optional *maximum permitted* per-server per-round load,
+        inclusive: a round delivering exactly ``load_cap`` units to a
+        server is within budget; the first unit beyond it (``load_cap +
+        1``) raises :class:`LoadExceededError` at the barrier *before
+        delivering anything* — the round is recorded with
         ``delivered=False`` and the cluster stays usable. Used to
         *verify* that an algorithm stays within a promised load L.
     audit:
@@ -216,6 +239,11 @@ class Cluster:
         that re-checks conservation invariants after every round (see
         :mod:`repro.mpc.audit`); ``None`` (default) follows
         :func:`repro.mpc.audit.audited`'s ambient setting.
+    faults:
+        A :class:`~repro.mpc.faults.FaultPlan` to inject into this
+        cluster's lifecycle (see :mod:`repro.mpc.faults`); ``None``
+        (default) follows :func:`repro.mpc.faults.faulty`'s ambient
+        setting. The plan's counters appear on ``stats.faults``.
     """
 
     def __init__(
@@ -224,6 +252,7 @@ class Cluster:
         seed: int = 0,
         load_cap: int | None = None,
         audit: bool | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         if p <= 0:
             raise ClusterError("a cluster needs at least one server")
@@ -233,11 +262,19 @@ class Cluster:
         self.load_cap = load_cap
         self._hash_family = HashFamily(seed)
         self._in_round = False
+        self._round_ordinal = 0
         if audit is None:
             audit = audit_enabled_by_default()
         self.auditor: ClusterAuditor | None = ClusterAuditor(self) if audit else None
         if self.auditor is not None:
             self.stats.audit = self.auditor.report
+        if faults is None:
+            faults = fault_plan_by_default()
+        self.fault_controller: FaultController | None = (
+            FaultController(self, faults) if faults is not None else None
+        )
+        if self.fault_controller is not None:
+            self.stats.faults = self.fault_controller.stats
 
     # ----------------------------------------------------------- utilities
 
@@ -262,7 +299,10 @@ class Cluster:
         if self._in_round:
             raise ClusterError("rounds cannot be nested")
         self._in_round = True
-        return RoundContext(self, label, charged=charged)
+        rnd = RoundContext(self, label, charged=charged)
+        rnd.ordinal = self._round_ordinal
+        self._round_ordinal += 1
+        return rnd
 
     def _finish_round(self, rnd: RoundContext) -> None:
         """The barrier: enforce the cap, deliver, record, audit.
@@ -284,6 +324,11 @@ class Cluster:
                     self.auditor.record_rejected(rnd, stats)
                 assert self.load_cap is not None
                 raise LoadExceededError(sid, got, self.load_cap)
+            # Faults strike after the cap admitted the round and before
+            # the audit snapshot: recovery completes within the barrier,
+            # so the auditor sees a state satisfying every invariant.
+            if self.fault_controller is not None:
+                self.fault_controller.before_delivery(rnd, rnd.ordinal)
             before = c_before = None
             if self.auditor is not None:
                 before = self.auditor.snapshot()
@@ -293,6 +338,8 @@ class Cluster:
             if self.auditor is not None:
                 assert before is not None and c_before is not None
                 self.auditor.after_delivery(rnd, stats, before, c_before)
+            if self.fault_controller is not None:
+                self.fault_controller.after_delivery(rnd, rnd.ordinal)
         finally:
             self._in_round = False
 
@@ -351,6 +398,8 @@ class Cluster:
                         tuple(range(len(columns))),
                         [c[s :: self.p] for c in columns],
                     )
+                if self.fault_controller is not None:
+                    self.fault_controller.on_scatter_chunk(s, name, chunk)
         return name
 
     def gather(self, fragment: str) -> list[Row]:
@@ -404,6 +453,9 @@ def combine_sequential(
     combined.audit = AuditReport.merged(
         run.audit for run in runs if run.audit is not None
     )
+    combined.faults = FaultStats.merged(
+        run.faults for run in runs if run.faults is not None
+    )
     if audit:
         from repro.mpc.audit import verify_combined
 
@@ -446,6 +498,9 @@ def combine_parallel(
         combined.rounds.append(RoundStats("+".join(dict.fromkeys(labels)), received))
     combined.audit = AuditReport.merged(
         run.audit for run in runs if run.audit is not None
+    )
+    combined.faults = FaultStats.merged(
+        run.faults for run in runs if run.faults is not None
     )
     if audit:
         from repro.mpc.audit import verify_combined

@@ -110,7 +110,23 @@ class HashFamily:
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
 
+    # The salt is splitmix64(seed-hash ^ (index + 1)) over 64-bit words,
+    # so index -1 would alias seed-only hashing and index 2^64 - 1 would
+    # alias index -1 (and generally i aliases i + 2^64). Independence
+    # across indices only holds inside this window, so anything outside
+    # it is rejected instead of silently colliding.
+    _MAX_INDEX = _MASK64 - 1
+
     def function(self, index: int, buckets: int) -> HashFunction:
-        """The ``index``-th function of the family, with ``buckets`` targets."""
+        """The ``index``-th function of the family, with ``buckets`` targets.
+
+        ``index`` must lie in ``[0, 2**64 - 2]``: values outside that
+        range would alias another index's salt (see above) and break the
+        independence assumption the HyperCube analysis rests on.
+        """
+        if not 0 <= index <= self._MAX_INDEX:
+            raise ValueError(
+                f"hash-function index must be in [0, 2**64 - 2], got {index}"
+            )
         salt = splitmix64(splitmix64(self.seed) ^ (index + 1))
         return HashFunction(buckets, salt)

@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.mpc.audit import AuditReport
+    from repro.mpc.faults import FaultStats
 
 
 @dataclass
@@ -83,6 +84,7 @@ class RunStats:
     rounds: list[RoundStats] = field(default_factory=list)
     aborted: int = 0
     audit: "AuditReport | None" = None
+    faults: "FaultStats | None" = None
 
     @property
     def num_rounds(self) -> int:
@@ -100,10 +102,17 @@ class RunStats:
         return sum(r.total for r in self.rounds if r.delivered)
 
     def load_of(self, label: str) -> int:
-        """Max load of the round(s) with the given label."""
-        loads = [r.max_load for r in self.rounds if r.label == label]
+        """Max load of the *delivered* round(s) with the given label.
+
+        Cap-rejected rounds are excluded, consistent with every other
+        aggregate: their attempted loads never moved a tuple, so counting
+        them would report a load the algorithm did not realize.
+        """
+        loads = [
+            r.max_load for r in self.rounds if r.label == label and r.delivered
+        ]
         if not loads:
-            raise KeyError(f"no round labelled {label!r}")
+            raise KeyError(f"no delivered round labelled {label!r}")
         return max(loads)
 
     def summary(self) -> str:
@@ -117,6 +126,10 @@ class RunStats:
         rejected = sum(1 for r in self.rounds if not r.delivered)
         if rejected:
             text += f" rejected={rejected}"
+        if self.faults is not None and self.faults.injected:
+            text += f" faults={self.faults.injected}"
+            if self.faults.unrecovered:
+                text += f" unrecovered={self.faults.unrecovered}"
         return text
 
     def __repr__(self) -> str:

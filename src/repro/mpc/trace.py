@@ -16,7 +16,8 @@ Labels longer than the 24-character column are truncated with an
 ellipsis so the table stays aligned; a round rejected by the load cap
 (recorded but undelivered) is marked with a trailing ``!``. When the run
 was audited (``Cluster(p, audit=True)``), :func:`trace` appends the
-audit summary line.
+audit summary line; when it ran under fault injection
+(:mod:`repro.mpc.faults`), the fault/recovery summary follows.
 """
 
 from __future__ import annotations
@@ -86,7 +87,8 @@ def trace(stats: RunStats, histograms: bool = False) -> str:
     """Full trace: the round table, optionally with per-round histograms.
 
     Audited runs (see :mod:`repro.mpc.audit`) get their audit summary
-    appended as the last line.
+    appended; fault-injected runs (see :mod:`repro.mpc.faults`) get the
+    fault/recovery summary as the last line.
     """
     parts = [round_table(stats)]
     if histograms:
@@ -95,6 +97,8 @@ def trace(stats: RunStats, histograms: bool = False) -> str:
                 parts.append(load_histogram(rd))
     if stats.audit is not None:
         parts.append(stats.audit.summary())
+    if stats.faults is not None:
+        parts.append(stats.faults.summary())
     return "\n\n".join(parts)
 
 

@@ -40,6 +40,8 @@ from repro.matmul.multi_round import square_block_matmul
 from repro.matmul.one_round import rectangle_block_matmul
 from repro.matmul.sql import sql_matmul
 from repro.mpc.audit import audited
+from repro.mpc.faults import FaultPlan, faulty
+from repro.mpc.hashing import splitmix64
 from repro.mpc.stats import RunStats
 from repro.multiway.binary_plans import binary_join_plan
 from repro.multiway.gym import gym
@@ -648,23 +650,48 @@ class DifferentialRecord:
         return f"{self.algorithm} on {self.instance}: {status}"
 
 
+def fault_plan_for(case_name: str, instance: Instance) -> FaultPlan:
+    """The randomized fault plan one (algorithm, instance) pair runs under.
+
+    Derived purely from the instance seed and the algorithm name, so a
+    faulty sweep is reproducible and every entry point sees a *different*
+    schedule on the same instance (the same plan on every algorithm would
+    only exercise the round ordinals they share).
+    """
+    mix = splitmix64(instance.seed & ((1 << 64) - 1))
+    for char in case_name:
+        mix = splitmix64(mix ^ ord(char))
+    return FaultPlan.random(mix, instance.p)
+
+
 def run_case(
     case: AlgorithmCase,
     instance: Instance,
     reference=None,
     seed: int | None = None,
     audit: bool = True,
+    faults: FaultPlan | None = None,
 ) -> DifferentialRecord:
-    """Execute one entry point on one instance and check every contract."""
+    """Execute one entry point on one instance and check every contract.
+
+    With ``faults`` the execution happens inside
+    :func:`repro.mpc.faults.faulty`, so every cluster the algorithm
+    builds runs under the plan — with recovery enabled the record must
+    come out exactly as a fault-free one (same output, same loads, clean
+    audit), which is precisely what ``selftest --faults`` asserts.
+    """
+    from contextlib import nullcontext
+
     if reference is None:
         reference = reference_output(instance)
     run_seed = instance.seed if seed is None else seed
     try:
-        if audit:
-            with audited():
+        with faulty(faults) if faults is not None else nullcontext():
+            if audit:
+                with audited():
+                    run = case.run(instance, run_seed)
+            else:
                 run = case.run(instance, run_seed)
-        else:
-            run = case.run(instance, run_seed)
     except Exception as exc:  # noqa: BLE001 - the record carries the failure
         return DifferentialRecord(
             case.name, instance.label, instance.kind, 0, 0, 0, None,
@@ -738,9 +765,14 @@ def run_differential(
     instances: Iterable[Instance],
     algorithms: Sequence[AlgorithmCase] = ALGORITHMS,
     audit: bool = True,
+    faults: bool = False,
     on_record: Callable[[DifferentialRecord], None] | None = None,
 ) -> DifferentialReport:
-    """Run every applicable entry point on every instance; collect records."""
+    """Run every applicable entry point on every instance; collect records.
+
+    ``faults=True`` runs each execution under its reproducible randomized
+    :class:`~repro.mpc.faults.FaultPlan` (see :func:`fault_plan_for`).
+    """
     report = DifferentialReport()
     for instance in instances:
         report.instances += 1
@@ -748,7 +780,10 @@ def run_differential(
         for case in algorithms:
             if not case.applies(instance):
                 continue
-            record = run_case(case, instance, reference=reference, audit=audit)
+            plan = fault_plan_for(case.name, instance) if faults else None
+            record = run_case(
+                case, instance, reference=reference, audit=audit, faults=plan
+            )
             report.records.append(record)
             if on_record is not None:
                 on_record(record)

@@ -87,6 +87,7 @@ def run_selftest(
     audit: bool = True,
     verbose: bool = False,
     kernels: bool | None = None,
+    faults: bool = False,
 ) -> SelftestReport:
     """Run the whole harness under one instance budget.
 
@@ -95,14 +96,21 @@ def run_selftest(
     ``monotonic_every``-th the (4-run) load-monotonicity ladder, keeping
     the total execution count proportional to the budget. ``kernels``
     forces the columnar kernels on or off for the whole run (``None``
-    keeps the ambient ``REPRO_KERNELS`` setting).
+    keeps the ambient ``REPRO_KERNELS`` setting). ``faults=True`` runs
+    every differential execution under a reproducible randomized
+    :class:`~repro.mpc.faults.FaultPlan` with recovery enabled and
+    demands the same outputs, loads, and clean audits as a fault-free
+    run (metamorphic checks are skipped in this mode — their re-runs
+    vary ``p`` and seeds, which would change the plans mid-comparison).
     """
     from repro.kernels.config import use_kernels
 
     with use_kernels(kernels):
         return _run_selftest(
             instances, seed, kinds, algorithms,
-            metamorphic_every, monotonic_every, audit, verbose,
+            0 if faults else metamorphic_every,
+            0 if faults else monotonic_every,
+            audit, verbose, faults,
         )
 
 
@@ -115,6 +123,7 @@ def _run_selftest(
     monotonic_every: int,
     audit: bool,
     verbose: bool,
+    faults: bool = False,
 ) -> SelftestReport:
     cases = (
         ALGORITHMS
@@ -128,7 +137,8 @@ def _run_selftest(
             print(record.describe())
 
     differential = run_differential(
-        workload, cases, audit=audit, on_record=narrate if verbose else None
+        workload, cases, audit=audit, faults=faults,
+        on_record=narrate if verbose else None,
     )
 
     metamorphic: list[PropertyResult] = []
@@ -168,6 +178,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="force the columnar kernels on/off, or run the "
                              "sweep under both modes and cross-check loads "
                              "(default: ambient REPRO_KERNELS setting)")
+    parser.add_argument("--faults", action="store_true",
+                        help="run every execution under a reproducible "
+                             "randomized fault plan (crashes, stragglers, "
+                             "channel faults) with recovery enabled; outputs "
+                             "and audits must match the fault-free contract")
     args = parser.parse_args(argv)
 
     def run(kernels: bool | None) -> SelftestReport:
@@ -181,6 +196,7 @@ def main(argv: list[str] | None = None) -> int:
             audit=not args.no_audit,
             verbose=args.verbose,
             kernels=kernels,
+            faults=args.faults,
         )
 
     def report_failures(report: SelftestReport) -> None:

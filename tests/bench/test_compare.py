@@ -78,3 +78,53 @@ class TestGuards:
         assert by_name["fresh"].ratio is None
         table = cmp.format_table()
         assert "FAIL" in table and "regressed" in table and "missing" in table
+
+
+class TestIncomparableBaselines:
+    """Regression: a zero-seconds baseline against a real measurement
+    used to fall through the ratio branches and pass as "ok"."""
+
+    def test_zero_baseline_flagged_and_fails(self):
+        cmp = compare_bench(bench_doc({"a": 0.0}), bench_doc({"a": 10.0}))
+        assert statuses(cmp) == {"a": "incomparable"}
+        assert not cmp.ok
+        assert [e.name for e in cmp.regressions] == ["a"]
+
+    def test_zero_baseline_ratio_is_none(self):
+        cmp = compare_bench(bench_doc({"a": 0.0}), bench_doc({"a": 10.0}))
+        assert cmp.entries[0].ratio is None
+
+    def test_negative_baseline_flagged(self):
+        cmp = compare_bench(bench_doc({"a": -1.0}), bench_doc({"a": 10.0}))
+        assert statuses(cmp) == {"a": "incomparable"}
+        assert cmp.entries[0].ratio is None
+
+    def test_zero_current_above_floor_baseline_flagged(self):
+        cmp = compare_bench(bench_doc({"a": 10.0}), bench_doc({"a": 0.0}))
+        assert statuses(cmp) == {"a": "incomparable"}
+        assert not cmp.ok
+
+    def test_both_zero_is_noise_floor_ok(self):
+        cmp = compare_bench(bench_doc({"a": 0.0}), bench_doc({"a": 0.0}))
+        assert statuses(cmp) == {"a": "ok"}
+        assert cmp.ok
+
+    def test_near_zero_baseline_still_compares(self):
+        # 1e-9s is under the floor but positive; a 10s current is a real
+        # regression, not an incomparable pair.
+        cmp = compare_bench(bench_doc({"a": 1e-9}), bench_doc({"a": 10.0}))
+        assert statuses(cmp) == {"a": "regressed"}
+        assert not cmp.ok
+
+    def test_missing_pair_still_reported_missing(self):
+        cmp = compare_bench(
+            bench_doc({"a": 0.0, "b": 1.0}), bench_doc({"b": 1.0})
+        )
+        assert statuses(cmp) == {"a": "missing", "b": "ok"}
+        assert not cmp.ok
+
+    def test_incomparable_rendered_in_table(self):
+        cmp = compare_bench(bench_doc({"a": 0.0}), bench_doc({"a": 10.0}))
+        table = cmp.format_table()
+        assert "incomparable" in table
+        assert "FAIL" in table

@@ -411,3 +411,133 @@ class TestHashFunctionAccess:
         c1, c2 = Cluster(5, seed=11), Cluster(5, seed=11)
         h1, h2 = c1.hash_function(3), c2.hash_function(3)
         assert [h1(v) for v in range(50)] == [h2(v) for v in range(50)]
+
+
+class TestLoadCapBoundary:
+    """load_cap is the *maximum permitted* load: exactly-cap delivers,
+    cap+1 raises — on the tuple path and the batched (kernel) path alike."""
+
+    @pytest.mark.parametrize("kernels", [True, False])
+    def test_exactly_cap_delivers(self, kernels):
+        from repro.kernels.config import use_kernels
+
+        with use_kernels(kernels):
+            c = Cluster(2, load_cap=3)
+            with c.round("r") as rnd:
+                rnd.send_rows(0, "A", [(1,), (2,), (3,)])
+            assert c.servers[0].get("A") == [(1,), (2,), (3,)]
+            assert c.stats.max_load == 3
+            assert c.stats.rounds[0].delivered
+
+    @pytest.mark.parametrize("kernels", [True, False])
+    def test_cap_plus_one_raises(self, kernels):
+        from repro.kernels.config import use_kernels
+
+        with use_kernels(kernels):
+            c = Cluster(2, load_cap=3)
+            with pytest.raises(LoadExceededError) as exc_info:
+                with c.round("r") as rnd:
+                    rnd.send_rows(0, "A", [(1,), (2,), (3,), (4,)])
+            assert exc_info.value.load == 4 and exc_info.value.cap == 3
+            assert c.servers[0].get("A") == []
+            assert not c.stats.rounds[0].delivered
+
+    def test_negative_units_rejected(self):
+        """Regression: send(units=-5) silently offset other senders' units
+        and could mask a cap violation (received=[-2, 0] from 4 sends)."""
+        c = Cluster(2, load_cap=2)
+        with pytest.raises(ClusterError, match="non-negative"):
+            with c.round("r") as rnd:
+                rnd.send(0, "A", (1,), units=-5)
+
+    def test_zero_units_still_allowed(self):
+        c = Cluster(2)
+        with c.round("r") as rnd:
+            rnd.send(0, "A", (1,), units=0)
+        assert c.stats.max_load == 0
+        assert c.servers[0].get("A") == [(1,)]
+
+
+class TestAbortedRoundStats:
+    """An aborted round must leave stats and audit identical to never
+    having opened it — including with the column side-car attached."""
+
+    @pytest.mark.parametrize("kernels", [True, False])
+    def test_abort_after_partial_sends_leaves_no_trace(self, kernels):
+        import numpy as np
+
+        from repro.kernels.config import use_kernels
+
+        with use_kernels(kernels):
+            c = Cluster(2, audit=True)
+            untouched = Cluster(2, audit=True)
+            with pytest.raises(RuntimeError):
+                with c.round("doomed") as rnd:
+                    rnd.send(0, "A", (1,))
+                    rnd.send_rows(
+                        1, "B", [(2,), (3,)],
+                        key_idx=(0,), columns=[np.array([2, 3])],
+                    )
+                    raise RuntimeError("algorithm bug")
+            assert c.stats.rounds == untouched.stats.rounds
+            assert c.stats.max_load == 0
+            assert c.stats.total_communication == 0
+            assert c.stats.aborted == 1
+            report = c.stats.audit
+            assert report.rounds_audited == 0
+            assert report.checks_run == 0
+            assert report.violations == []
+            assert report.aborted_rounds == ["doomed"]
+            # No fragment, no side-car anywhere.
+            for server in c.servers:
+                assert server.storage == {}
+                assert server.column_cache == {}
+
+    @pytest.mark.parametrize("kernels", [True, False])
+    def test_side_car_installs_correctly_after_abort(self, kernels):
+        """A later round to the same fragment behaves as if the aborted
+        round never existed (fresh fragment, valid side-car)."""
+        import numpy as np
+
+        from repro.kernels.config import use_kernels
+
+        with use_kernels(kernels):
+            c = Cluster(2, audit=True)
+            with pytest.raises(RuntimeError):
+                with c.round("doomed") as rnd:
+                    rnd.send_rows(
+                        0, "B", [(9,)], key_idx=(0,), columns=[np.array([9])]
+                    )
+                    raise RuntimeError
+            with c.round("ok") as rnd:
+                rnd.send_rows(
+                    0, "B", [(2,), (3,)],
+                    key_idx=(0,), columns=[np.array([2, 3])],
+                )
+            rows, cols = c.servers[0].take_with_columns("B", (0,))
+            assert rows == [(2,), (3,)]
+            assert cols is not None and list(cols[0]) == [2, 3]
+            assert c.stats.max_load == 2
+
+
+class TestLoadOfDeliveredOnly:
+    def test_load_of_excludes_cap_rejected_rounds(self):
+        """Regression: load_of() used to report the attempted load of a
+        cap-rejected round as if the algorithm had realized it."""
+        c = Cluster(2, load_cap=2)
+        with c.round("shuffle") as rnd:
+            rnd.send(0, "A", (1,))
+        with pytest.raises(LoadExceededError):
+            with c.round("shuffle") as rnd:
+                for _ in range(5):
+                    rnd.send(0, "A", (0,))
+        assert c.stats.load_of("shuffle") == 1
+
+    def test_load_of_only_rejected_rounds_raises(self):
+        c = Cluster(2, load_cap=2)
+        with pytest.raises(LoadExceededError):
+            with c.round("over") as rnd:
+                for _ in range(5):
+                    rnd.send(0, "A", (0,))
+        with pytest.raises(KeyError):
+            c.stats.load_of("over")

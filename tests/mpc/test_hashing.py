@@ -64,3 +64,48 @@ class TestHashFunction:
 
         with pytest.raises(ValueError):
             HashFunction(0, salt=1)
+
+
+class TestIndexValidation:
+    """Regression: the (index + 1) salt masked to 64 bits aliased
+    index=-1 with seed-only hashing and index i with i + 2**64."""
+
+    def test_negative_index_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="index"):
+            HashFamily(7).function(-1, 64)
+
+    def test_huge_index_rejected(self):
+        import pytest
+
+        # 2**64 - 1 produced the same salt as index -1 before the fix.
+        with pytest.raises(ValueError, match="index"):
+            HashFamily(7).function(2**64 - 1, 64)
+        with pytest.raises(ValueError, match="index"):
+            HashFamily(7).function(2**64, 64)
+
+    def test_largest_valid_index_accepted(self):
+        h = HashFamily(7).function(2**64 - 2, 64)
+        assert 0 <= h(123) < 64
+
+    def test_distinct_indices_give_distinct_functions(self):
+        """Golden: across a window of indices no two functions agree on a
+        probe vector (independence across indices, per HyperCube)."""
+        fam = HashFamily(seed=7)
+        probes = list(range(32))
+        seen = {}
+        for index in (0, 1, 2, 3, 17, 255, 2**32, 2**64 - 2):
+            signature = tuple(fam.function(index, 1 << 30)(v) for v in probes)
+            assert signature not in seen.values(), f"index {index} collides"
+            seen[index] = signature
+
+    def test_valid_index_salts_unchanged(self):
+        """The fix must not move any existing destination: the salt of a
+        valid index is still splitmix64(splitmix64(seed) ^ (index + 1))."""
+        from repro.mpc.hashing import splitmix64
+
+        fam = HashFamily(seed=11)
+        for index in (0, 1, 5):
+            expected = splitmix64(splitmix64(11) ^ (index + 1))
+            assert fam.function(index, 64).salt == expected

@@ -55,6 +55,10 @@ EXPERIMENTS = [
     ("bench_x2_open_problems", "spider_exponents", {}),
     ("bench_x2_open_problems", "scalability_table", {}),
     ("bench_x2_open_problems", "blowup_experiment", {}),
+    ("bench_x3_faults", "recovery_overhead_experiment",
+     {"rates": (0.0, 0.2), "n_join": 400, "n_tri": 300}),
+    ("bench_x3_faults", "checkpoint_interval_experiment",
+     {"n": 400, "depth": 4, "intervals": (1, 4)}),
     ("bench_ablations", "share_rounding_ablation", {}),
     ("bench_ablations", "threshold_ablation", {}),
     ("bench_ablations", "psrs_sampling_ablation", {}),

@@ -137,3 +137,32 @@ def test_engine_verify_off_by_default():
     engine = _engine()
     result = engine.query("R(x, y), S(y, z)")
     assert result.stats.max_load > 0
+
+
+# ------------------------------------------------------------------- --faults
+
+
+def test_run_selftest_with_faults_passes():
+    report = run_selftest(instances=6, seed=3, faults=True)
+    assert report.ok, report.failures
+    # Faults mode skips the metamorphic re-runs (they vary p and seeds,
+    # which would change the plans mid-comparison).
+    assert report.metamorphic == []
+
+
+def test_main_faults_flag_exit_zero(capsys):
+    rc = main(["--instances", "4", "--kinds", "two_way", "--faults"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "verdict=PASS" in out
+
+
+def test_fault_plans_are_per_algorithm_and_reproducible():
+    from repro.testing.differential import Instance, fault_plan_for
+
+    instance = Instance(kind="two_way", profile="uniform", p=8, seed=5)
+    again = Instance(kind="two_way", profile="uniform", p=8, seed=5)
+    assert fault_plan_for("parallel_hash_join", instance) == \
+        fault_plan_for("parallel_hash_join", again)
+    assert fault_plan_for("parallel_hash_join", instance) != \
+        fault_plan_for("sort_join", instance)
