@@ -46,6 +46,7 @@ _EXPERIMENTS = {
     "x1": "bench_x1_extensions",
     "x2": "bench_x2_open_problems",
     "x3": "bench_x3_faults",
+    "x4": "bench_x4_backend_scaling",
     "ablations": "bench_ablations",
 }
 

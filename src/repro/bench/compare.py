@@ -17,7 +17,10 @@
 - ``new`` — present now but not in the baseline (informational).
 
 Comparing files measured at different sizes (``--quick`` vs full) is
-refused: the ratio would be meaningless.
+refused: the ratio would be meaningless. So is comparing files measured
+under different execution backends (``machine.backend`` — inline vs a
+process pool), unless ``force=True`` (CLI ``--force``): the wall-clock
+difference would measure the backend, not the code under test.
 """
 
 from __future__ import annotations
@@ -91,11 +94,22 @@ def _times_by_name(document: dict[str, Any]) -> dict[str, float]:
     }
 
 
+def _backend_fingerprint(document: dict[str, Any]) -> tuple[str, int]:
+    """(backend, workers) a BENCH file was measured under.
+
+    Files written before the backend layer carry no ``machine.backend``;
+    they were necessarily measured inline, so that is the default.
+    """
+    machine = document.get("machine") or {}
+    return (machine.get("backend", "inline"), machine.get("workers", 1))
+
+
 def compare_bench(
     baseline: dict[str, Any],
     current: dict[str, Any],
     threshold: float = 0.20,
     min_seconds: float = 0.05,
+    force: bool = False,
 ) -> BenchComparison:
     """Classify every experiment of ``baseline``/``current`` (see module doc)."""
     if baseline.get("quick") != current.get("quick"):
@@ -103,6 +117,15 @@ def compare_bench(
             "refusing to compare BENCH files at different sizes: "
             f"baseline quick={baseline.get('quick')}, "
             f"current quick={current.get('quick')}"
+        )
+    base_backend = _backend_fingerprint(baseline)
+    cur_backend = _backend_fingerprint(current)
+    if base_backend != cur_backend and not force:
+        raise ValueError(
+            "refusing to compare BENCH files from different execution "
+            f"backends: baseline {base_backend[0]} (workers="
+            f"{base_backend[1]}), current {cur_backend[0]} (workers="
+            f"{cur_backend[1]}); pass --force to diff anyway"
         )
     base_times = _times_by_name(baseline)
     cur_times = _times_by_name(current)

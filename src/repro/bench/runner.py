@@ -29,13 +29,38 @@ from typing import Any
 from repro.bench.compare import compare_bench
 from repro.bench.experiments import EXPERIMENTS, Experiment
 from repro.bench.schema import SCHEMA_VERSION, validate_bench
+from repro.exec.config import backend_name, transport_name, use_backend, worker_count
 from repro.kernels.config import kernels_enabled, use_kernels
 
-__all__ = ["machine_info", "main", "run_bench", "run_experiment", "run_speedup"]
+__all__ = [
+    "machine_info",
+    "main",
+    "run_bench",
+    "run_bench_x4",
+    "run_experiment",
+    "run_scaling",
+    "run_speedup",
+]
+
+# Backend scaling (the x4 bench): pool sizes swept per experiment, and
+# the experiments whose local phase is heavy enough to be worth timing
+# across transports (≥ 2 by design — the criterion is per-experiment).
+SCALING_WORKERS = (1, 2, 4, 8)
+SCALING_EXPERIMENTS = (
+    "hash_join_uniform",
+    "hypercube_triangle",
+    "psrs_sort",
+    "sql_matmul",
+)
 
 
 def machine_info() -> dict[str, Any]:
-    """The environment fields recorded in every BENCH file."""
+    """The environment fields recorded in every BENCH file.
+
+    ``backend``/``workers``/``transport`` pin down the execution backend
+    the run was measured under — two BENCH files from different backends
+    are not comparable (the comparator refuses without ``--force``).
+    """
     import numpy
 
     return {
@@ -43,6 +68,9 @@ def machine_info() -> dict[str, Any]:
         "python": platform.python_version(),
         "numpy": numpy.__version__,
         "cpu_count": os.cpu_count() or 1,
+        "backend": backend_name(),
+        "workers": worker_count() if backend_name() == "process" else 1,
+        "transport": transport_name() if backend_name() == "process" else "none",
     }
 
 
@@ -110,6 +138,67 @@ def run_speedup(
     }
 
 
+def run_scaling(
+    experiment: Experiment,
+    quick: bool = False,
+    repeats: int = 2,
+    workers: Sequence[int] = SCALING_WORKERS,
+    transports: Sequence[str] = ("shm", "pickle"),
+) -> list[dict[str, Any]]:
+    """Backend-scaling records for one experiment (the x4 sweep).
+
+    Times the inline backend once as the reference, then the process
+    backend at every (worker count, transport) combination on the same
+    inputs. ``speedup`` is inline-time / process-time (> 1 means the
+    pool wins); ``identical`` certifies the process run reproduced the
+    inline L_max, round count, and output exactly — the determinism
+    contract the backend layer guarantees by construction.
+    """
+    n = experiment.size(quick)
+    inputs = experiment.prepare(n, experiment.seed)
+    with use_backend("inline"):
+        base_s, base_load, base_rounds, base_out = _timed(
+            experiment, inputs, repeats
+        )
+    records = [{
+        "name": experiment.name,
+        "n": n,
+        "p": experiment.p,
+        "backend": "inline",
+        "workers": 1,
+        "transport": "none",
+        "seconds": base_s,
+        "speedup": 1.0,
+        "L_max": base_load,
+        "rounds": base_rounds,
+        "out_size": len(base_out),
+        "identical": True,
+    }]
+    for transport in transports:
+        for count in workers:
+            with use_backend("process", workers=count, transport=transport):
+                run_s, load, rounds, output = _timed(experiment, inputs, repeats)
+            records.append({
+                "name": experiment.name,
+                "n": n,
+                "p": experiment.p,
+                "backend": "process",
+                "workers": count,
+                "transport": transport,
+                "seconds": run_s,
+                "speedup": base_s / run_s if run_s > 0 else 0.0,
+                "L_max": load,
+                "rounds": rounds,
+                "out_size": len(output),
+                "identical": (
+                    load == base_load
+                    and rounds == base_rounds
+                    and output == base_out
+                ),
+            })
+    return records
+
+
 def run_bench(
     quick: bool = False,
     include_speedups: bool = True,
@@ -157,18 +246,68 @@ def run_bench(
     }
 
 
+def run_bench_x4(quick: bool = False, echo: bool = True) -> dict[str, Any]:
+    """The x4 document: backend scaling over worker counts and transports.
+
+    The ``experiments`` section holds the inline reference runs (so the
+    file diffs against any other BENCH with the standard comparator);
+    the ``scaling`` section holds the full (workers × transport) sweep.
+    """
+    from repro.bench.experiments import experiment as experiment_by_name
+
+    def say(message: str) -> None:
+        if echo:
+            print(message, flush=True)
+
+    repeats = 2 if quick else 1
+    baselines: list[dict[str, Any]] = []
+    scaling: list[dict[str, Any]] = []
+    for name in SCALING_EXPERIMENTS:
+        exp = experiment_by_name(name)
+        records = run_scaling(exp, quick=quick, repeats=repeats)
+        for record in records:
+            say(
+                f"  {record['name']:<22} {record['backend']:<7} "
+                f"w={record['workers']} {record['transport']:<6} "
+                f"{record['seconds']:.3f}s speedup={record['speedup']:.2f}x "
+                f"identical={record['identical']}"
+            )
+        inline = records[0]
+        baselines.append({
+            "name": inline["name"],
+            "n": inline["n"],
+            "p": inline["p"],
+            "seconds": inline["seconds"],
+            "L_max": inline["L_max"],
+            "rounds": inline["rounds"],
+            "out_size": inline["out_size"],
+        })
+        scaling.extend(records)
+    return {
+        "schema": SCHEMA_VERSION,
+        "machine": machine_info(),
+        "kernels": kernels_enabled(),
+        "quick": quick,
+        "experiments": baselines,
+        "speedups": [],
+        "scaling": scaling,
+    }
+
+
 def _load(path: str) -> dict[str, Any]:
     with open(path, encoding="utf-8") as handle:
         return json.load(handle)
 
 
-def _diff(baseline_path: str, current_path: str, threshold: float) -> Any:
+def _diff(
+    baseline_path: str, current_path: str, threshold: float, force: bool = False
+) -> Any:
     baseline, current = _load(baseline_path), _load(current_path)
     for name, doc in (("baseline", baseline), ("current", current)):
         errors = validate_bench(doc)
         if errors:
             raise ValueError(f"{name} file is not a valid BENCH document: {errors}")
-    return compare_bench(baseline, current, threshold=threshold)
+    return compare_bench(baseline, current, threshold=threshold, force=force)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -189,19 +328,56 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="regression threshold as a fraction (default 0.20)")
     parser.add_argument("--no-speedups", action="store_true",
                         help="skip the kernels on/off pairs")
+    parser.add_argument("--x4", action="store_true",
+                        help="run the backend-scaling sweep (worker counts "
+                             "1/2/4/8 × shm/pickle transports) instead of the "
+                             "standard experiment set; default out BENCH_5.json")
+    parser.add_argument("--force", action="store_true",
+                        help="allow diffing BENCH files measured under "
+                             "different execution backends")
     parser.add_argument("--diff", nargs=2, metavar=("BASELINE", "CURRENT"),
                         default=None,
                         help="compare two existing BENCH files and exit")
     args = parser.parse_args(argv)
 
+    if args.x4 and args.out == parser.get_default("out"):
+        args.out = "BENCH_5.json"
+
     if args.diff is not None:
         try:
-            comparison = _diff(args.diff[0], args.diff[1], args.threshold)
+            comparison = _diff(
+                args.diff[0], args.diff[1], args.threshold, force=args.force
+            )
         except (OSError, ValueError, json.JSONDecodeError) as exc:
             print(f"diff failed: {exc}", file=sys.stderr)
             return 2
         print(comparison.format_table())
         return 0 if (comparison.ok or args.warn_only) else 1
+
+    if args.x4:
+        print(f"running {'quick' if args.quick else 'full'} backend-scaling "
+              f"sweep (kernels={'on' if kernels_enabled() else 'off'}):")
+        document = run_bench_x4(quick=args.quick)
+        errors = validate_bench(document)
+        if errors:
+            print("generated document violates the BENCH schema:", file=sys.stderr)
+            for error in errors:
+                print(f"  {error}", file=sys.stderr)
+            return 2
+        Path(args.out).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.out}")
+        broken = [
+            f"{r['name']} (workers={r['workers']}, {r['transport']})"
+            for r in document["scaling"]
+            if not r["identical"]
+        ]
+        if broken:
+            print(f"backend determinism FAILED for: {broken}", file=sys.stderr)
+            return 1
+        return 0
 
     print(f"running {'quick' if args.quick else 'full'} benchmarks "
           f"(kernels={'on' if kernels_enabled() else 'off'}):")
@@ -230,7 +406,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         try:
             baseline = _load(args.baseline)
             comparison = compare_bench(
-                baseline, document, threshold=args.threshold
+                baseline, document, threshold=args.threshold, force=args.force
             )
         except (OSError, ValueError, json.JSONDecodeError) as exc:
             print(f"baseline comparison failed: {exc}", file=sys.stderr)

@@ -5,7 +5,9 @@ A BENCH file is a JSON document::
     {
       "schema": "repro-bench/1",
       "machine": {"platform": str, "python": str, "numpy": str,
-                  "cpu_count": int},
+                  "cpu_count": int,
+                  # optional, absent in pre-backend files (== inline):
+                  "backend": str, "workers": int, "transport": str},
       "kernels": bool,          # kernels enabled for the experiment runs
       "quick": bool,            # --quick sizes
       "experiments": [
@@ -18,6 +20,13 @@ A BENCH file is a JSON document::
          "L_max": int, "rounds": int,
          "identical": bool,    # on/off stats + output byte-identical
          "oracle_ok": bool}, ...
+      ],
+      "scaling": [              # optional: backend-scaling sweep (x4)
+        {"name": str, "n": int, "p": int,
+         "backend": str, "workers": int, "transport": str,
+         "seconds": float, "speedup": float,   # inline_s / this_s
+         "L_max": int, "rounds": int, "out_size": int,
+         "identical": bool}, ...  # matches the inline reference exactly
       ]
     }
 
@@ -38,6 +47,14 @@ _MACHINE_FIELDS: dict[str, type] = {
     "python": str,
     "numpy": str,
     "cpu_count": int,
+}
+
+# Written by every current runner, but optional so files from before the
+# execution-backend layer still validate (their absence means inline).
+_MACHINE_OPTIONAL_FIELDS: dict[str, type] = {
+    "backend": str,
+    "workers": int,
+    "transport": str,
 }
 
 _EXPERIMENT_FIELDS: dict[str, tuple[type, ...]] = {
@@ -63,6 +80,21 @@ _SPEEDUP_FIELDS: dict[str, tuple[type, ...]] = {
     "oracle_ok": (bool,),
 }
 
+_SCALING_FIELDS: dict[str, tuple[type, ...]] = {
+    "name": (str,),
+    "n": (int,),
+    "p": (int,),
+    "backend": (str,),
+    "workers": (int,),
+    "transport": (str,),
+    "seconds": (int, float),
+    "speedup": (int, float),
+    "L_max": (int,),
+    "rounds": (int,),
+    "out_size": (int,),
+    "identical": (bool,),
+}
+
 
 def _check_record(
     record: Any, fields: dict[str, tuple[type, ...]], where: str, errors: list[str]
@@ -83,7 +115,10 @@ def _check_record(
                 f"{where}.{field}: expected {types[0].__name__}, "
                 f"got {type(value).__name__}"
             )
-        elif field != "name" and not isinstance(value, bool) and value < 0:
+        elif (
+            not isinstance(value, (str, bool))
+            and value < 0
+        ):
             errors.append(f"{where}.{field}: must be non-negative, got {value!r}")
 
 
@@ -102,6 +137,12 @@ def validate_bench(document: Any) -> list[str]:
     else:
         for field, typ in _MACHINE_FIELDS.items():
             value = machine.get(field)
+            if not isinstance(value, typ) or isinstance(value, bool):
+                errors.append(f"machine.{field}: expected {typ.__name__}")
+        for field, typ in _MACHINE_OPTIONAL_FIELDS.items():
+            if field not in machine:
+                continue
+            value = machine[field]
             if not isinstance(value, typ) or isinstance(value, bool):
                 errors.append(f"machine.{field}: expected {typ.__name__}")
     for flag in ("kernels", "quick"):
@@ -125,4 +166,17 @@ def validate_bench(document: Any) -> list[str]:
     else:
         for i, record in enumerate(speedups):
             _check_record(record, _SPEEDUP_FIELDS, f"speedups[{i}]", errors)
+    scaling = document.get("scaling", [])  # optional: only x4 runs emit it
+    if not isinstance(scaling, list):
+        errors.append("scaling: expected a list")
+    else:
+        for i, record in enumerate(scaling):
+            _check_record(record, _SCALING_FIELDS, f"scaling[{i}]", errors)
+            if isinstance(record, dict):
+                backend = record.get("backend")
+                if isinstance(backend, str) and backend not in ("inline", "process"):
+                    errors.append(
+                        f"scaling[{i}].backend: expected 'inline' or "
+                        f"'process', got {backend!r}"
+                    )
     return errors

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 from repro.data.relation import Relation
 from repro.errors import OracleMismatchError, QueryError
+from repro.exec.config import use_backend
 from repro.kernels.config import use_kernels
 from repro.mpc.stats import RunStats
 from repro.planner.multiway import MultiwayPlan, execute_multiway_join
@@ -37,11 +38,17 @@ from repro.testing.oracle import multiset_diff, oracle_join
 
 @dataclass
 class QueryResult:
-    """Output, chosen plan, and cost of one engine query."""
+    """Output, chosen plan, and cost of one engine query.
+
+    ``align_cache_hits`` counts how many of this query's input-alignment
+    lookups were served from the engine's memoized cache (see
+    :meth:`Engine._align`) instead of re-deriving the projection.
+    """
 
     output: Relation
     plan: TwoWayPlan | MultiwayPlan
     stats: RunStats
+    align_cache_hits: int = 0
 
     @property
     def load(self) -> int:
@@ -55,8 +62,16 @@ class QueryResult:
 class Engine:
     """A registry of relations plus a planner-driven query runner."""
 
+    # Alignment memo capacity; queries touch at most a handful of atoms,
+    # so this bounds memory without ever evicting a live workload.
+    _ALIGN_CACHE_SIZE = 128
+
     def __init__(
-        self, p: int, seed: int = 0, kernels: bool | None = None
+        self,
+        p: int,
+        seed: int = 0,
+        kernels: bool | None = None,
+        backend: str | None = None,
     ) -> None:
         if p <= 0:
             raise QueryError("the engine needs at least one server")
@@ -65,13 +80,22 @@ class Engine:
         # None: follow the ambient REPRO_KERNELS setting; True/False: force
         # the columnar kernels on/off for this engine's query executions.
         self.kernels = kernels
+        # None: follow the ambient REPRO_BACKEND setting; "inline" or
+        # "process": force the execution backend for this engine's queries.
+        self.backend = backend
         self._relations: dict[str, Relation] = {}
+        # (atom variables, relation name, relation identity, schema
+        # attributes) -> aligned relation; LRU, invalidated on register().
+        self._align_cache: dict[tuple, Relation] = {}
+        self._align_hits = 0
 
     # --------------------------------------------------------------- catalog
 
     def register(self, relation: Relation, name: str | None = None) -> None:
         """Add (or replace) a relation under ``name`` (default: its own)."""
         self._relations[name or relation.name] = relation
+        # Cached alignments may reference the replaced relation's data.
+        self._align_cache.clear()
 
     def relation(self, name: str) -> Relation:
         try:
@@ -124,13 +148,16 @@ class Engine:
             cq = text_or_query
         bindings = {a.name: self.relation(a.name) for a in cq.atoms}
 
-        with use_kernels(self.kernels):
+        hits_before = self._align_hits
+        with use_kernels(self.kernels), use_backend(self.backend):
             if len(cq.atoms) == 2:
                 left, right = (bindings[a.name] for a in cq.atoms)
                 left, right = self._align(cq, 0, left), self._align(cq, 1, right)
                 plan, run = execute_two_way_join(left, right, self.p, seed=self.seed)
                 output = run.output.project(list(cq.variables), name="OUT")
-                return QueryResult(output, plan, run.stats)
+                return QueryResult(
+                    output, plan, run.stats, self._align_hits - hits_before
+                )
 
             if len(cq.atoms) == 1:
                 atom = cq.atoms[0]
@@ -143,7 +170,10 @@ class Engine:
                     JoinStatistics(len(rel), 0, (), len(rel), 0, 0),
                 )
                 return QueryResult(
-                    rel.project(list(cq.variables), name="OUT"), plan, RunStats(self.p)
+                    rel.project(list(cq.variables), name="OUT"),
+                    plan,
+                    RunStats(self.p),
+                    self._align_hits - hits_before,
                 )
 
             plan, run = execute_multiway_join(
@@ -152,12 +182,36 @@ class Engine:
             return QueryResult(run.output, plan, run.stats)
 
     def _align(self, cq: ConjunctiveQuery, index: int, rel: Relation) -> Relation:
+        """The relation re-projected to its atom's variable order.
+
+        Memoized per (atom variables, relation name/identity, schema
+        fingerprint): re-running the same query text over an unchanged
+        catalog skips the projection entirely. The cache is bounded LRU
+        (:attr:`_ALIGN_CACHE_SIZE`) and cleared by :meth:`register`, so a
+        replaced relation can never serve a stale alignment.
+        """
         atom = cq.atoms[index]
         if set(rel.schema.attributes) != set(atom.variables):
             raise QueryError(
                 f"relation {rel.name} attributes {rel.schema.attributes} do not "
                 f"match atom {atom}"
             )
+        key = (
+            atom.variables,
+            rel.name,
+            id(rel),
+            tuple(rel.schema.attributes),
+        )
+        cached = self._align_cache.get(key)
+        if cached is not None:
+            self._align_hits += 1
+            # Refresh LRU recency.
+            self._align_cache.pop(key)
+            self._align_cache[key] = cached
+            return cached
         if rel.schema.attributes != atom.variables:
             rel = rel.project(list(atom.variables))
+        if len(self._align_cache) >= self._ALIGN_CACHE_SIZE:
+            self._align_cache.pop(next(iter(self._align_cache)))
+        self._align_cache[key] = rel
         return rel

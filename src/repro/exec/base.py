@@ -1,0 +1,189 @@
+"""Backend objects: who runs a round's per-server local computation.
+
+A *task* is a registered module-level pure function
+``fn(payloads: list, common) -> list`` that maps a chunk of per-server
+payloads to the same-length list of per-server results, elementwise and
+without cross-item state. That contract is what makes the two backends
+interchangeable: ``inline`` calls the function once over the whole
+payload list, ``process`` splits the list into one contiguous chunk per
+worker and concatenates the chunk results in chunk order — for an
+elementwise function the two compositions are the same function, so
+outputs are byte-identical by construction.
+
+Backends only execute; they own no servers, rounds, faults, or audit
+state. All of that stays on the coordinator (see
+:mod:`repro.mpc.cluster`), which is why loads, round counts, audit
+conservation, and fault replay cannot diverge between backends.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.exec import config
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (repro.mpc pkg)
+    from repro.mpc.stats import ExecStats
+
+__all__ = [
+    "ExecutionBackend",
+    "InlineBackend",
+    "ProcessBackend",
+    "chunk_bounds",
+    "get_backend",
+]
+
+
+def chunk_bounds(count: int, parts: int) -> list[tuple[int, int]]:
+    """Contiguous near-even split of ``range(count)`` into ``parts``.
+
+    The first ``count % parts`` chunks get one extra element; empty
+    chunks are omitted. Chunk i is worker i's contiguous server range.
+    """
+    if parts < 1:
+        raise ValueError(f"need at least one part, got {parts}")
+    base, extra = divmod(count, parts)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for index in range(parts):
+        size = base + (1 if index < extra else 0)
+        if size:
+            bounds.append((start, start + size))
+            start += size
+    return bounds
+
+
+def _resolve_task(name: str) -> Callable[[list[Any], Any], list[Any]]:
+    # Imported lazily: the task registry pulls in the algorithm modules,
+    # which import this module for map_servers plumbing.
+    from repro.exec import tasks
+
+    return tasks.resolve(name)
+
+
+class ExecutionBackend:
+    """Interface both backends implement; also documents the contract."""
+
+    name: str
+
+    def new_stats(self) -> "ExecStats":
+        raise NotImplementedError
+
+    def map_payloads(
+        self,
+        task: str,
+        payloads: list[Any],
+        common: Any = None,
+        stats: ExecStats | None = None,
+    ) -> list[Any]:
+        """Apply the named task to every payload, in order."""
+        raise NotImplementedError
+
+
+class InlineBackend(ExecutionBackend):
+    """The historical single-process path: one chunk, zero transport."""
+
+    name = "inline"
+
+    def new_stats(self) -> "ExecStats":
+        from repro.mpc.stats import ExecStats
+
+        return ExecStats(backend=self.name, workers=1, transport="none")
+
+    def map_payloads(
+        self,
+        task: str,
+        payloads: list[Any],
+        common: Any = None,
+        stats: ExecStats | None = None,
+    ) -> list[Any]:
+        if stats is not None:
+            stats.dispatches += 1
+            stats.chunks += 1
+            stats.items += len(payloads)
+        return _resolve_task(task)(list(payloads), common)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Persistent worker pool; chunk i goes to worker i, merged in order."""
+
+    name = "process"
+
+    def __init__(self, workers: int, transport: str) -> None:
+        self.workers = workers
+        self.transport = transport
+
+    def new_stats(self) -> "ExecStats":
+        from repro.mpc.stats import ExecStats
+
+        return ExecStats(
+            backend=self.name, workers=self.workers, transport=self.transport
+        )
+
+    def map_payloads(
+        self,
+        task: str,
+        payloads: list[Any],
+        common: Any = None,
+        stats: ExecStats | None = None,
+    ) -> list[Any]:
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        # The pool forks lazily, on first real work only.
+        from repro.exec.pool import UnpicklablePayloadError, get_pool
+        from repro.kernels.config import kernels_enabled
+
+        chunks = [
+            (index, payloads[start:stop])
+            for index, (start, stop) in enumerate(
+                chunk_bounds(len(payloads), self.workers)
+            )
+        ]
+        pool = get_pool(self.workers, self.transport)
+        try:
+            results, shm_out, shm_in, worker_seconds = pool.run(
+                task, chunks, common, kernels_enabled()
+            )
+        except UnpicklablePayloadError:
+            # Same pure function, same order — byte-identical, just local.
+            if stats is not None:
+                stats.fallbacks += 1
+            return _inline.map_payloads(task, payloads, common, stats=stats)
+        if stats is not None:
+            stats.dispatches += 1
+            stats.chunks += len(chunks)
+            stats.items += len(payloads)
+            stats.shm_bytes_out += shm_out
+            stats.shm_bytes_in += shm_in
+            stats.worker_seconds += worker_seconds
+        merged: list[Any] = []
+        for chunk_result in results:
+            merged.extend(chunk_result)
+        if len(merged) != len(payloads):
+            raise RuntimeError(
+                f"task {task!r} returned {len(merged)} results for "
+                f"{len(payloads)} payloads; chunk results must be "
+                "same-length elementwise maps"
+            )
+        return merged
+
+
+_inline = InlineBackend()
+_process_backends: dict[tuple[int, str], ProcessBackend] = {}
+
+
+def get_backend(spec: "str | ExecutionBackend | None" = None) -> ExecutionBackend:
+    """Resolve a backend: an instance passes through, a name or ``None``
+    consults :mod:`repro.exec.config` (``None`` = the ambient setting)."""
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    name = config._validated_backend(spec) if spec else config.backend_name()
+    if name == "inline":
+        return _inline
+    key = (config.worker_count(), config.transport_name())
+    backend = _process_backends.get(key)
+    if backend is None:
+        backend = ProcessBackend(*key)
+        _process_backends[key] = backend
+    return backend

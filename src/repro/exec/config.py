@@ -1,0 +1,119 @@
+"""Execution-backend selection (the ``repro.exec`` on/off gate).
+
+Mirrors :mod:`repro.kernels.config`: the same three-layer priority
+decides which backend runs the per-server local computation of a round.
+
+1. :func:`use_backend` / :func:`set_backend` — an explicit in-process
+   override (``Engine(backend=...)``, the selftest's ``--backend both``
+   sweep, and the bench x4 harness use it);
+2. the environment — ``REPRO_BACKEND`` names the backend (``inline`` or
+   ``process``), ``REPRO_WORKERS`` the process-pool size and
+   ``REPRO_TRANSPORT`` the cross-process buffer transport (``shm`` for
+   :mod:`multiprocessing.shared_memory` columnar buffers, ``pickle``
+   for plain queue pickling);
+3. the defaults: ``inline`` (the historical single-process simulator,
+   and what the test tier runs under), ``min(4, cpu_count)`` workers,
+   ``shm`` transport.
+
+This module is import-light on purpose (stdlib only): resolving a
+*name* must not fork a worker pool — pools are created lazily by
+:func:`repro.exec.base.get_backend` the first time a ``process`` cluster
+actually maps work.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+BACKENDS = ("inline", "process")
+TRANSPORTS = ("shm", "pickle")
+
+_forced_backend: str | None = None
+_forced_workers: int | None = None
+_forced_transport: str | None = None
+
+
+def _validated_backend(name: str) -> str:
+    name = name.strip().lower()
+    if name not in BACKENDS:
+        raise ValueError(f"unknown backend {name!r}; have {BACKENDS}")
+    return name
+
+
+def _validated_transport(name: str) -> str:
+    name = name.strip().lower()
+    if name not in TRANSPORTS:
+        raise ValueError(f"unknown transport {name!r}; have {TRANSPORTS}")
+    return name
+
+
+def backend_name() -> str:
+    """The backend clusters created right now inherit."""
+    if _forced_backend is not None:
+        return _forced_backend
+    raw = os.environ.get("REPRO_BACKEND", "").strip().lower()
+    return _validated_backend(raw) if raw else "inline"
+
+
+def worker_count() -> int:
+    """Process-pool size for the ``process`` backend (≥ 1)."""
+    if _forced_workers is not None:
+        return _forced_workers
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    if raw:
+        workers = int(raw)
+        if workers < 1:
+            raise ValueError(f"REPRO_WORKERS must be at least 1, got {workers}")
+        return workers
+    return min(4, max(1, os.cpu_count() or 1))
+
+
+def transport_name() -> str:
+    """Cross-process buffer transport: ``shm`` or ``pickle``."""
+    if _forced_transport is not None:
+        return _forced_transport
+    raw = os.environ.get("REPRO_TRANSPORT", "").strip().lower()
+    return _validated_transport(raw) if raw else "shm"
+
+
+def set_backend(
+    name: str | None,
+    workers: int | None = None,
+    transport: str | None = None,
+) -> None:
+    """Force the backend in-process (``None`` restores the env default)."""
+    global _forced_backend, _forced_workers, _forced_transport
+    _forced_backend = _validated_backend(name) if name is not None else None
+    _forced_workers = workers
+    _forced_transport = (
+        _validated_transport(transport) if transport is not None else None
+    )
+
+
+@contextmanager
+def use_backend(
+    name: str | None,
+    workers: int | None = None,
+    transport: str | None = None,
+) -> Iterator[None]:
+    """Scoped override: run the block under the named backend.
+
+    ``name=None`` is a no-op (keep the ambient setting) so callers can
+    thread an optional flag straight through, mirroring
+    :func:`repro.kernels.config.use_kernels`. ``workers``/``transport``
+    only take effect together with an explicit ``name``.
+    """
+    global _forced_backend, _forced_workers, _forced_transport
+    previous = (_forced_backend, _forced_workers, _forced_transport)
+    if name is not None:
+        _forced_backend = _validated_backend(name)
+        if workers is not None:
+            _forced_workers = workers
+        if transport is not None:
+            _forced_transport = _validated_transport(transport)
+    try:
+        yield
+    finally:
+        _forced_backend, _forced_workers, _forced_transport = previous

@@ -1,0 +1,238 @@
+"""Persistent multiprocessing worker pool for the ``process`` backend.
+
+One pool per (worker count, transport) pair lives for the rest of the
+interpreter session — pools are expensive to start, and the whole point
+of a *persistent* pool is that a run of b rounds pays the fork cost
+once, not b times. Each worker owns one dedicated task queue (so chunk
+i deterministically lands on worker i, preserving the "worker owns a
+contiguous server range" assignment) and all workers share one result
+queue; the coordinator reassembles results by job id, so arrival order
+never matters.
+
+Workers are stateless executors: a job carries the task *name* (resolved
+against :mod:`repro.exec.tasks` inside the worker), the payload chunk,
+and the ambient kernels flag captured at dispatch time. Workers force
+the ``inline`` backend on startup so a task can itself call cluster
+helpers without recursively forking pools.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import pickle
+import queue as queue_module
+import time
+import traceback
+from typing import Any
+
+from repro.exec import shm
+
+__all__ = [
+    "UnpicklablePayloadError",
+    "WorkerError",
+    "WorkerPool",
+    "get_pool",
+    "shutdown_pools",
+]
+
+# Generous per-poll timeout: only used to interleave liveness checks
+# with blocking result reads, never as a job deadline.
+_POLL_SECONDS = 1.0
+
+
+def _start_method() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def _worker_main(
+    worker_index: int,
+    task_queue: Any,
+    result_queue: Any,
+    transport: str,
+) -> None:
+    """Worker loop: decode job, run task, encode result, repeat."""
+    # Imports happen here (not at module top) so a spawn-started child
+    # pays them once, and so fork-started children re-resolve nothing.
+    from repro.exec import config as exec_config
+    from repro.exec import tasks as task_registry
+    from repro.kernels.config import use_kernels
+
+    # A task running inside a worker must never fork its own pool.
+    exec_config.set_backend("inline")
+    while True:
+        blob = task_queue.get()
+        if blob is None:
+            break
+        job_id, task_name, encoded, kernels_flag = pickle.loads(blob)
+        started = time.perf_counter()
+        try:
+            (chunk, common), segment = shm.decode_for_read(encoded)
+            try:
+                fn = task_registry.resolve(task_name)
+                with use_kernels(kernels_flag):
+                    result = fn(chunk, common)
+            finally:
+                shm.finish_read(segment)
+            payload = shm.encode_payload(result, transport)
+            ok = True
+        except BaseException:
+            payload = f"worker {worker_index}: {traceback.format_exc()}"
+            ok = False
+        result_queue.put((job_id, ok, payload, time.perf_counter() - started))
+
+
+class WorkerError(RuntimeError):
+    """A task raised inside a worker; carries the remote traceback text."""
+
+
+class UnpicklablePayloadError(TypeError):
+    """A job carried an object the queue cannot serialize.
+
+    Raised *before* anything is enqueued (jobs are pre-pickled in the
+    coordinator precisely so this surfaces synchronously instead of
+    dying in the queue's feeder thread and hanging the collect loop);
+    the backend falls back to inline execution for the whole map call.
+    """
+
+
+class WorkerPool:
+    """A fixed-size pool of persistent task-executing processes."""
+
+    def __init__(self, workers: int, transport: str) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.workers = workers
+        self.transport = transport
+        context = multiprocessing.get_context(_start_method())
+        self._task_queues = [context.Queue() for _ in range(workers)]
+        self._result_queue = context.Queue()
+        self._processes = [
+            context.Process(
+                target=_worker_main,
+                args=(index, self._task_queues[index], self._result_queue, transport),
+                daemon=True,
+                name=f"repro-exec-{index}",
+            )
+            for index in range(workers)
+        ]
+        for process in self._processes:
+            process.start()
+        self._closed = False
+
+    def run(
+        self,
+        task_name: str,
+        chunks: list[tuple[int, list[Any]]],
+        common: Any,
+        kernels_flag: bool,
+    ) -> tuple[list[list[Any]], int, int, float]:
+        """Run one task over ``(worker_index, payload_chunk)`` pairs.
+
+        Returns ``(results_in_chunk_order, shm_bytes_out, shm_bytes_in,
+        worker_seconds)``. Chunk i's result sits at index i regardless of
+        completion order, which is what makes the merge deterministic.
+        """
+        if self._closed:
+            raise RuntimeError("worker pool is shut down")
+        # Encode and pre-pickle every job before enqueueing any of them:
+        # a serialization failure (a closure key, an exotic item type)
+        # must raise here, where the backend can fall back to inline —
+        # a failure inside the queue's feeder thread would silently drop
+        # the job and deadlock the collect loop below.
+        shm_out = 0
+        blobs: list[tuple[int, bytes]] = []
+        encodeds: list[shm.ShmEncoded] = []
+        try:
+            for job_id, (worker_index, chunk) in enumerate(chunks):
+                encoded = shm.encode_payload((chunk, common), self.transport)
+                encodeds.append(encoded)
+                shm_out += encoded.nbytes
+                blobs.append(
+                    (
+                        worker_index % self.workers,
+                        pickle.dumps(
+                            (job_id, task_name, encoded, kernels_flag),
+                            protocol=pickle.HIGHEST_PROTOCOL,
+                        ),
+                    )
+                )
+        except (pickle.PicklingError, TypeError, AttributeError) as error:
+            for encoded in encodeds:
+                shm.release_payload(encoded)
+            raise UnpicklablePayloadError(
+                f"task {task_name!r} payload is not picklable: {error}"
+            ) from error
+        for worker_index, blob in blobs:
+            self._task_queues[worker_index].put(blob)
+        results: list[list[Any] | None] = [None] * len(chunks)
+        pending = len(chunks)
+        shm_in = 0
+        worker_seconds = 0.0
+        failure: str | None = None
+        while pending:
+            try:
+                job_id, ok, payload, elapsed = self._result_queue.get(
+                    timeout=_POLL_SECONDS
+                )
+            except queue_module.Empty:
+                dead = [p.name for p in self._processes if not p.is_alive()]
+                if dead:
+                    self._closed = True
+                    raise WorkerError(
+                        f"worker process(es) died while jobs were pending: {dead}"
+                    )
+                continue
+            pending -= 1
+            worker_seconds += elapsed
+            if not ok:
+                # Drain remaining jobs before raising so their shared
+                # memory is released rather than leaked.
+                if failure is None:
+                    failure = payload
+                continue
+            if failure is not None:
+                shm.release_payload(payload)
+                continue
+            shm_in += payload.nbytes
+            results[job_id] = shm.decode_owned(payload)
+        if failure is not None:
+            raise WorkerError(failure)
+        return [result for result in results if result is not None], shm_out, shm_in, worker_seconds
+
+    def shutdown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for task_queue in self._task_queues:
+            try:
+                task_queue.put(None)
+            except (ValueError, OSError):  # pragma: no cover - interp exit
+                pass
+        for process in self._processes:
+            process.join(timeout=1.0)
+            if process.is_alive():  # pragma: no cover - stuck task
+                process.terminate()
+                process.join(timeout=1.0)
+
+
+_pools: dict[tuple[int, str], WorkerPool] = {}
+
+
+def get_pool(workers: int, transport: str) -> WorkerPool:
+    """The persistent pool for this (size, transport) pair, forking lazily."""
+    key = (workers, transport)
+    pool = _pools.get(key)
+    if pool is None or pool._closed:
+        pool = WorkerPool(workers, transport)
+        _pools[key] = pool
+    return pool
+
+
+@atexit.register
+def shutdown_pools() -> None:
+    """Stop every live pool (registered atexit; callable from tests)."""
+    for pool in list(_pools.values()):
+        pool.shutdown()
+    _pools.clear()

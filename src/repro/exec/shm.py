@@ -1,0 +1,224 @@
+"""Shared-memory columnar transport for the process backend.
+
+A task payload is an arbitrary picklable structure (nested tuples,
+lists, dicts) whose numpy-array leaves — the PR-3 column side-cars —
+would be expensive to push through a queue's pickle stream. With the
+``shm`` transport every array leaf of one message is packed into a
+single :class:`multiprocessing.shared_memory.SharedMemory` segment and
+replaced by an index marker; the receiver re-attaches the segment and
+rebuilds zero-copy views. Tuple-path rows (lists of Python tuples) have
+no columnar representation and always travel through the queue's
+batched pickle, per the fallback contract of the kernels.
+
+Segment lifecycle: the *sender* creates the segment and disowns it from
+its resource tracker (:func:`disown_segment`), because the duty to
+unlink transfers to the peer; the *receiver* attaches without claiming
+tracker ownership (:func:`attach_segment`), decodes, and either unlinks
+after reading (worker side) or copies the arrays out and unlinks
+immediately (coordinator side).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "ShmEncoded",
+    "attach_segment",
+    "decode_for_read",
+    "decode_owned",
+    "disown_segment",
+    "encode_payload",
+    "finish_read",
+    "release_payload",
+]
+
+
+@dataclass(frozen=True)
+class _ArrayRef:
+    """Marker standing in for the ``index``-th packed array of a message."""
+
+    index: int
+
+
+@dataclass
+class ShmEncoded:
+    """One encoded message: the structure plus its array segment (if any)."""
+
+    structure: Any
+    segment_name: str | None
+    # (dtype string, shape, byte offset) per packed array, index-aligned.
+    arrays: list[tuple[str, tuple[int, ...], int]]
+    nbytes: int  # total array bytes carried via shared memory
+
+
+# Python 3.13 made attach-side tracking explicit (track=); before that,
+# only the *creator* registers with the resource tracker, so attachers
+# must not unregister (the creator already disowned — a second
+# unregister makes the tracker log KeyError tracebacks).
+_ATTACH_TRACKS = "track" in inspect.signature(
+    shared_memory.SharedMemory.__init__
+).parameters
+
+
+def disown_segment(segment: shared_memory.SharedMemory) -> None:
+    """Drop a created segment from this process's resource tracker.
+
+    Ownership (the duty to unlink) is being transferred to the peer;
+    without this the tracker of the creating process would unlink the
+    name again at exit and log a spurious leak warning.
+    """
+    try:  # pragma: no cover - tracker internals vary across 3.x
+        resource_tracker.unregister(segment._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:
+        pass
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without claiming tracker ownership."""
+    if _ATTACH_TRACKS:  # pragma: no cover - 3.13+
+        return shared_memory.SharedMemory(name=name, track=False)
+    return shared_memory.SharedMemory(name=name)
+
+
+def _walk_encode(obj: Any, sink: list[np.ndarray]) -> Any:
+    if isinstance(obj, np.ndarray):
+        sink.append(obj)
+        return _ArrayRef(len(sink) - 1)
+    if isinstance(obj, tuple):
+        return tuple(_walk_encode(item, sink) for item in obj)
+    if isinstance(obj, list):
+        return [_walk_encode(item, sink) for item in obj]
+    if isinstance(obj, dict):
+        return {key: _walk_encode(value, sink) for key, value in obj.items()}
+    return obj
+
+
+def _walk_decode(obj: Any, arrays: list[np.ndarray]) -> Any:
+    if isinstance(obj, _ArrayRef):
+        return arrays[obj.index]
+    if isinstance(obj, tuple):
+        return tuple(_walk_decode(item, arrays) for item in obj)
+    if isinstance(obj, list):
+        return [_walk_decode(item, arrays) for item in obj]
+    if isinstance(obj, dict):
+        return {key: _walk_decode(value, arrays) for key, value in obj.items()}
+    return obj
+
+
+def encode_payload(payload: Any, transport: str) -> ShmEncoded:
+    """Lift the array leaves of ``payload`` into one shared-memory segment.
+
+    With ``transport="pickle"`` (or when there are no array bytes to
+    move) the payload is passed through untouched and rides the queue's
+    pickle stream whole.
+    """
+    if transport != "shm":
+        return ShmEncoded(payload, None, [], 0)
+    arrays: list[np.ndarray] = []
+    structure = _walk_encode(payload, arrays)
+    total = sum(a.nbytes for a in arrays)
+    if total == 0:
+        # Zero-length segments are invalid; metadata-only messages (and
+        # all-empty columns) go through pickle regardless of transport.
+        return ShmEncoded(payload, None, [], 0)
+    segment = shared_memory.SharedMemory(create=True, size=total)
+    disown_segment(segment)  # receiver copies/unlinks; see module doc
+    meta: list[tuple[str, tuple[int, ...], int]] = []
+    offset = 0
+    for array in arrays:
+        contiguous = np.ascontiguousarray(array)
+        view = np.ndarray(
+            contiguous.shape, dtype=contiguous.dtype,
+            buffer=segment.buf, offset=offset,
+        )
+        view[...] = contiguous
+        meta.append((contiguous.dtype.str, contiguous.shape, offset))
+        offset += contiguous.nbytes
+    name = segment.name
+    segment.close()
+    return ShmEncoded(structure, name, meta, total)
+
+
+def decode_for_read(
+    encoded: ShmEncoded,
+) -> tuple[Any, shared_memory.SharedMemory | None]:
+    """Rebuild the payload with zero-copy views into the segment.
+
+    The worker-side read path: the returned segment handle must stay
+    alive while the views are in use and be passed to
+    :func:`finish_read` afterwards (the worker is the message's final
+    consumer, so it also unlinks).
+    """
+    if encoded.segment_name is None:
+        return encoded.structure, None
+    segment = attach_segment(encoded.segment_name)
+    arrays = [
+        np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf, offset=offset)
+        for dtype, shape, offset in encoded.arrays
+    ]
+    return _walk_decode(encoded.structure, arrays), segment
+
+
+def finish_read(segment: shared_memory.SharedMemory | None) -> None:
+    """Release a segment consumed by :func:`decode_for_read`.
+
+    Unlinks the name (the memory itself is freed once the last mapping
+    drops). Closing can legitimately fail with :class:`BufferError`
+    when a task kept a view into its input alive in its result; the
+    mapping then dies with the worker instead — unlink already ran, so
+    nothing leaks past the process.
+    """
+    if segment is None:
+        return
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - already released
+        pass
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - result aliases the input
+        pass
+
+
+def decode_owned(encoded: ShmEncoded) -> Any:
+    """Rebuild the payload as private copies and release the segment.
+
+    The coordinator-side result path: copies the arrays out so the
+    segment can be unlinked immediately regardless of how long the
+    caller keeps the result.
+    """
+    if encoded.segment_name is None:
+        return encoded.structure
+    segment = attach_segment(encoded.segment_name)
+    try:
+        arrays = [
+            np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=segment.buf, offset=offset
+            ).copy()
+            for dtype, shape, offset in encoded.arrays
+        ]
+        return _walk_decode(encoded.structure, arrays)
+    finally:
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already released
+            pass
+
+
+def release_payload(encoded: ShmEncoded) -> None:
+    """Unlink a message's segment without decoding it (error paths)."""
+    if encoded.segment_name is None:
+        return
+    try:
+        segment = attach_segment(encoded.segment_name)
+    except FileNotFoundError:
+        return
+    segment.close()
+    segment.unlink()

@@ -53,6 +53,76 @@ def require_join_key(r: Relation, s: Relation) -> tuple[str, ...]:
     return shared
 
 
+def join_fragment_rows(
+    l_rows: list,
+    l_cols,
+    r_rows: list,
+    r_cols,
+    left_name: str,
+    left_schema: Schema,
+    right_name: str,
+    right_schema: Schema,
+) -> list:
+    """Join two already-taken fragments; the pure core of a local join.
+
+    Shared verbatim by the inline path and the process-backend workers
+    (via the ``join.fragments`` task), which is what makes their outputs
+    byte-identical. ``l_cols``/``r_cols`` are the delivery side-cars of
+    the shared key columns, or ``None`` for the tuple path.
+    """
+    shared = left_schema.common(right_schema)
+    if kernels_enabled() and shared:
+        l_idx = left_schema.indices(shared)
+        r_idx = right_schema.indices(shared)
+        extra = [a for a in right_schema.attributes if a not in left_schema]
+        joined_rows = join_rows_columnar(
+            l_rows,
+            r_rows,
+            l_idx,
+            r_idx,
+            right_schema.indices(extra),
+            left_cols=l_cols,
+            right_cols=r_cols,
+        )
+        if joined_rows is not None:
+            return joined_rows
+    l_rel = Relation.wrap(left_name, left_schema, l_rows)
+    r_rel = Relation.wrap(right_name, right_schema, r_rows)
+    return l_rel.join(r_rel).rows()
+
+
+def join_fragment_chunk(payloads: list, common) -> list:
+    """Exec task ``join.fragments``: elementwise local joins of a chunk."""
+    left_name, left_schema, right_name, right_schema = common
+    return [
+        join_fragment_rows(
+            l_rows, l_cols, r_rows, r_cols,
+            left_name, left_schema, right_name, right_schema,
+        )
+        for l_rows, l_cols, r_rows, r_cols in payloads
+    ]
+
+
+def _take_join_inputs(
+    server: Server,
+    left_fragment: str,
+    right_fragment: str,
+    left: Relation,
+    right: Relation,
+) -> tuple[list, object, list, object]:
+    """Consume both fragments (with side-cars on the kernel path)."""
+    shared = left.schema.common(right.schema)
+    if kernels_enabled() and shared:
+        l_rows, l_cols = server.take_with_columns(
+            left_fragment, tuple(left.schema.indices(shared))
+        )
+        r_rows, r_cols = server.take_with_columns(
+            right_fragment, tuple(right.schema.indices(shared))
+        )
+        return l_rows, l_cols, r_rows, r_cols
+    return server.take(left_fragment), None, server.take(right_fragment), None
+
+
 def local_join(
     server: Server,
     left_fragment: str,
@@ -68,29 +138,41 @@ def local_join(
     delivered the fragments with their key-column side-cars, the columnar
     join kernel reuses them directly.
     """
-    shared = left.schema.common(right.schema)
-    if kernels_enabled() and shared:
-        l_idx = left.schema.indices(shared)
-        r_idx = right.schema.indices(shared)
-        l_rows, l_cols = server.take_with_columns(left_fragment, tuple(l_idx))
-        r_rows, r_cols = server.take_with_columns(right_fragment, tuple(r_idx))
-        extra = [a for a in right.schema.attributes if a not in left.schema]
-        joined_rows = join_rows_columnar(
-            l_rows,
-            r_rows,
-            l_idx,
-            r_idx,
-            right.schema.indices(extra),
-            left_cols=l_cols,
-            right_cols=r_cols,
+    l_rows, l_cols, r_rows, r_cols = _take_join_inputs(
+        server, left_fragment, right_fragment, left, right
+    )
+    server.fragment(out_fragment).extend(
+        join_fragment_rows(
+            l_rows, l_cols, r_rows, r_cols,
+            left.name, left.schema, right.name, right.schema,
         )
-        if joined_rows is not None:
-            server.fragment(out_fragment).extend(joined_rows)
-            return
-        l_rel = Relation.wrap(left.name, left.schema, l_rows)
-        r_rel = Relation.wrap(right.name, right.schema, r_rows)
-    else:
-        l_rel = Relation.wrap(left.name, left.schema, server.take(left_fragment))
-        r_rel = Relation.wrap(right.name, right.schema, server.take(right_fragment))
-    joined = l_rel.join(r_rel)
-    server.fragment(out_fragment).extend(joined.rows())
+    )
+
+
+def distributed_local_join(
+    cluster,
+    left_fragment: str,
+    right_fragment: str,
+    left: Relation,
+    right: Relation,
+    out_fragment: str,
+) -> None:
+    """Run every server's local join through the cluster's exec backend.
+
+    The computation-phase counterpart of a shuffle round: with the
+    ``process`` backend the per-server joins run concurrently on the
+    worker pool (key-column side-cars travel via shared memory); with
+    ``inline`` this is exactly the historical ``for server: local_join``
+    loop, sharing :func:`join_fragment_rows` either way.
+    """
+    payloads = [
+        _take_join_inputs(server, left_fragment, right_fragment, left, right)
+        for server in cluster.servers
+    ]
+    results = cluster.map_servers(
+        "join.fragments",
+        payloads,
+        (left.name, left.schema, right.name, right.schema),
+    )
+    for server, rows in zip(cluster.servers, results):
+        server.fragment(out_fragment).extend(rows)

@@ -10,7 +10,7 @@ degree d pushes the load to Θ(d).
 from __future__ import annotations
 
 from repro.data.relation import Relation
-from repro.joins.base import JoinRun, local_join, require_join_key
+from repro.joins.base import JoinRun, distributed_local_join, require_join_key
 from repro.kernels.partition import try_route
 from repro.mpc.cluster import Cluster
 
@@ -51,8 +51,9 @@ def hash_partition_join(
     r_frag = cluster.scatter(r, f"{r.name}@in")
     s_frag = cluster.scatter(s, f"{s.name}@in")
     shuffle_fragments_by_key(cluster, r, s, r_frag, s_frag, shared, hash_index)
-    for server in cluster.servers:
-        local_join(server, f"{r.name}@j", f"{s.name}@j", r, s, output_fragment)
+    distributed_local_join(
+        cluster, f"{r.name}@j", f"{s.name}@j", r, s, output_fragment
+    )
 
 
 def shuffle_fragments_by_key(

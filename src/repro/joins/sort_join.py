@@ -20,7 +20,7 @@ from repro.joins.base import JoinRun, require_join_key
 from repro.joins.heavy import heavy_value_products
 from repro.joins.local import hash_join_rows
 from repro.mpc.cluster import Cluster, combine_parallel
-from repro.sorting.psrs import psrs_partition
+from repro.sorting.psrs import IndexKey, psrs_partition
 
 Row = tuple[Any, ...]
 
@@ -55,7 +55,7 @@ def sort_join(
     ]
     cluster.scatter_rows(union_rows, "U")
 
-    psrs_partition(cluster, "U", "U@sorted", key=lambda t: (t[0], t[2]))
+    psrs_partition(cluster, "U", "U@sorted", key=IndexKey(0, 2))
 
     # Identify keys that straddle a server boundary: each server reports
     # its first and last key to the coordinator (2 tuples per server).

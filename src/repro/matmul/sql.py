@@ -52,14 +52,15 @@ def sql_matmul(
             for j, k, v in server.take("B@in"):
                 rnd.send(h(j), "B@j", (j, k, v))
 
+    # The n³ elementary products dominate the run; the exec backend
+    # computes each server's block concurrently and returns (i, k, v)
+    # *arrays* — through shared memory under the process backend — that
+    # the coordinator zips back into tuples (int64/float64 round-trips
+    # are exact, so the partials match the historical loop bit-for-bit).
+    payloads = [(server.take("A@j"), server.take("B@j")) for server in cluster.servers]
     partials: list[tuple[int, int, float]] = []
-    for server in cluster.servers:
-        index: dict[int, list[tuple[int, float]]] = {}
-        for j, k, v in server.take("B@j"):
-            index.setdefault(j, []).append((k, v))
-        for i, j, av in server.take("A@j"):
-            for k, bv in index.get(j, ()):
-                partials.append((i, k, av * bv))
+    for iis, ks, vs in cluster.map_servers("matmul.partials", payloads):
+        partials.extend(zip(iis.tolist(), ks.tolist(), vs.tolist()))
     join_stats = cluster.stats
 
     # Round 2: aggregate by (i, k).
@@ -72,12 +73,59 @@ def sql_matmul(
                 rnd.send(h2((i, k)), "P@j", (i, k, v))
 
     c = np.zeros((a.shape[0], b.shape[1]))
-    for server in agg.servers:
-        sums: dict[tuple[int, int], float] = {}
-        for i, k, v in server.take("P@j"):
-            sums[(i, k)] = sums.get((i, k), 0.0) + v
-        for (i, k), v in sums.items():
-            c[i, k] = v
+    sum_payloads = [server.take("P@j") for server in agg.servers]
+    for iis, ks, vs in agg.map_servers("matmul.sums", sum_payloads):
+        c[iis, ks] = vs
 
     stats = combine_sequential(p, [join_stats, agg.stats])
     return c, stats
+
+
+def matmul_partials_chunk(payloads: list, common) -> list:
+    """Exec task ``matmul.partials``: per-server join-side products.
+
+    Returns ``(i, k, v)`` int64/int64/float64 arrays per server, in the
+    exact emission order of the historical tuple loop; products are
+    computed on Python floats before array packing, so values are
+    bit-identical to the inline path.
+    """
+    out = []
+    for a_rows, b_rows in payloads:
+        index: dict[int, list[tuple[int, float]]] = {}
+        for j, k, v in b_rows:
+            index.setdefault(j, []).append((k, v))
+        iis: list[int] = []
+        ks: list[int] = []
+        vs: list[float] = []
+        for i, j, av in a_rows:
+            for k, bv in index.get(j, ()):
+                iis.append(i)
+                ks.append(k)
+                vs.append(av * bv)
+        out.append(
+            (
+                np.asarray(iis, dtype=np.int64),
+                np.asarray(ks, dtype=np.int64),
+                np.asarray(vs, dtype=np.float64),
+            )
+        )
+    return out
+
+
+def matmul_sums_chunk(payloads: list, common) -> list:
+    """Exec task ``matmul.sums``: per-server (i, k) group sums.
+
+    Sums accumulate on Python floats in arrival order (matching the
+    historical dict loop's association order) and are returned as
+    arrays in first-arrival key order.
+    """
+    out = []
+    for rows in payloads:
+        sums: dict[tuple[int, int], float] = {}
+        for i, k, v in rows:
+            sums[(i, k)] = sums.get((i, k), 0.0) + v
+        iis = np.asarray([i for i, _ in sums], dtype=np.int64)
+        ks = np.asarray([k for _, k in sums], dtype=np.int64)
+        vs = np.asarray(list(sums.values()), dtype=np.float64)
+        out.append((iis, ks, vs))
+    return out

@@ -57,6 +57,7 @@ import numpy as np
 
 from repro.data.relation import Relation
 from repro.errors import ClusterError, LoadExceededError
+from repro.exec.base import ExecutionBackend, chunk_bounds, get_backend
 from repro.kernels.config import kernels_enabled
 from repro.mpc.audit import AuditReport, ClusterAuditor, audit_enabled_by_default
 from repro.mpc.faults import (
@@ -67,7 +68,7 @@ from repro.mpc.faults import (
 )
 from repro.mpc.hashing import HashFamily, HashFunction
 from repro.mpc.server import Row, Server
-from repro.mpc.stats import RoundStats, RunStats
+from repro.mpc.stats import ExecStats, RoundStats, RunStats
 
 
 class RoundContext:
@@ -244,6 +245,14 @@ class Cluster:
         cluster's lifecycle (see :mod:`repro.mpc.faults`); ``None``
         (default) follows :func:`repro.mpc.faults.faulty`'s ambient
         setting. The plan's counters appear on ``stats.faults``.
+    backend:
+        Who executes per-round local computation routed through
+        :meth:`map_servers`: ``"inline"`` (this process), ``"process"``
+        (the persistent worker pool of :mod:`repro.exec`), an
+        :class:`~repro.exec.base.ExecutionBackend` instance, or ``None``
+        (default) to follow the ambient :func:`repro.exec.use_backend`
+        / ``REPRO_BACKEND`` setting. Outputs, loads, rounds, audits, and
+        fault replay are byte-identical across backends.
     """
 
     def __init__(
@@ -253,12 +262,15 @@ class Cluster:
         load_cap: int | None = None,
         audit: bool | None = None,
         faults: FaultPlan | None = None,
+        backend: "str | ExecutionBackend | None" = None,
     ) -> None:
         if p <= 0:
             raise ClusterError("a cluster needs at least one server")
         self.p = p
         self.servers = [Server(sid) for sid in range(p)]
         self.stats = RunStats(p)
+        self.backend = get_backend(backend)
+        self.stats.exec = self.backend.new_stats()
         self.load_cap = load_cap
         self._hash_family = HashFamily(seed)
         self._in_round = False
@@ -281,6 +293,33 @@ class Cluster:
     def hash_function(self, index: int, buckets: int | None = None) -> HashFunction:
         """The ``index``-th hash function of the cluster's family."""
         return self._hash_family.function(index, buckets if buckets is not None else self.p)
+
+    def map_servers(self, task: str, payloads: Sequence[object], common: object = None) -> list:
+        """Run a registered task over per-server payloads via the backend.
+
+        ``payloads[i]`` is server i's input (usually built from fragments
+        the caller just took); the result list is index-aligned with the
+        payloads regardless of backend. The ``process`` backend splits
+        the list into one contiguous chunk per worker — worker w computes
+        for the servers of its range — and merges in chunk order, so the
+        result is byte-identical to the inline single-chunk run.
+        """
+        return self.backend.map_payloads(task, list(payloads), common, stats=self.stats.exec)
+
+    def owning_worker(self, sid: int) -> int:
+        """The backend worker whose contiguous server range contains ``sid``.
+
+        Always 0 for the inline backend (one chunk). Used by the fault
+        layer to attribute fault events to the worker that computes for
+        the struck server.
+        """
+        if not 0 <= sid < self.p:
+            raise ClusterError(f"server {sid} out of range [0, {self.p})")
+        workers = getattr(self.backend, "workers", 1)
+        for index, (start, stop) in enumerate(chunk_bounds(self.p, workers)):
+            if start <= sid < stop:
+                return index
+        return 0  # pragma: no cover - bounds always cover [0, p)
 
     def round(self, label: str) -> RoundContext:
         """Open a communication round. Use as a context manager."""
@@ -408,6 +447,12 @@ class Cluster:
         Gathering is an *inspection* helper for tests and result
         collection; it is not charged as communication (the model's output
         convention: results may stay distributed).
+
+        The returned list is always a *fresh copy*, never a live server
+        storage list — callers may append to, sort, or clear it without
+        corrupting any fragment, even when a single server holds the
+        whole fragment. (Mirrors the ``Relation.rows()`` contract; the
+        mutation-guard regression suite pins this down.)
         """
         out: list[Row] = []
         for server in self.servers:
@@ -456,6 +501,7 @@ def combine_sequential(
     combined.faults = FaultStats.merged(
         run.faults for run in runs if run.faults is not None
     )
+    combined.exec = ExecStats.merged([run.exec for run in runs])
     if audit:
         from repro.mpc.audit import verify_combined
 
@@ -502,6 +548,7 @@ def combine_parallel(
     combined.faults = FaultStats.merged(
         run.faults for run in runs if run.faults is not None
     )
+    combined.exec = ExecStats.merged([run.exec for run in runs])
     if audit:
         from repro.mpc.audit import verify_combined
 

@@ -321,6 +321,11 @@ class FaultStats:
     rounds_replayed: int = 0
     recovery_load: int = 0
     unrecovered: int = 0
+    # Fault events per owning exec-backend worker (the worker whose
+    # contiguous server range contains the struck server) — shows where
+    # in the pool the faults and their recovery work landed. Inline runs
+    # attribute everything to worker 0; totals are backend-independent.
+    by_worker: dict[int, int] = field(default_factory=dict)
 
     @property
     def injected(self) -> int:
@@ -356,10 +361,15 @@ class FaultStats:
             if merged is None:
                 merged = cls()
             for spec in fields(cls):
-                setattr(
-                    merged, spec.name,
-                    getattr(merged, spec.name) + getattr(report, spec.name),
-                )
+                value = getattr(report, spec.name)
+                if isinstance(value, dict):
+                    target = getattr(merged, spec.name)
+                    for key, count in value.items():
+                        target[key] = target.get(key, 0) + count
+                else:
+                    setattr(
+                        merged, spec.name, getattr(merged, spec.name) + value
+                    )
         return merged
 
 
@@ -397,6 +407,16 @@ class FaultController:
         self._scatter_fired: set[int] = set()
         self._scatter_targets = {s % cluster.p for s in plan.scatter_crashes}
 
+    def _route_to_worker(self, sid: int) -> None:
+        """Attribute a fault event on ``sid`` to its owning exec worker.
+
+        The struck server's recovery output feeds the payload chunk of
+        exactly one worker (the cluster's contiguous range assignment),
+        so the tally shows where in the pool the fault's work landed.
+        """
+        worker = self.cluster.owning_worker(sid)
+        self.stats.by_worker[worker] = self.stats.by_worker.get(worker, 0) + 1
+
     # ----------------------------------------------------------- scatter path
 
     def on_scatter_chunk(self, sid: int, fragment: str, rows: Sequence[Row]) -> None:
@@ -419,6 +439,7 @@ class FaultController:
             lost += len(server.storage.pop(name, ()))
             server.column_cache.pop(name, None)
         self.stats.scatter_crashes += 1
+        self._route_to_worker(sid)
         if not self.plan.recovery.enabled:
             self.stats.unrecovered += lost
             return
@@ -439,6 +460,7 @@ class FaultController:
             if straggler.round == ordinal:
                 self.stats.straggler_events += 1
                 self.stats.straggler_units += straggler.extra_units
+                self._route_to_worker(straggler.server % self.cluster.p)
         for crash in self.plan.crashes:
             if crash.round == ordinal:
                 self._crash(rnd, ordinal, crash.server % self.cluster.p)
@@ -481,6 +503,7 @@ class FaultController:
             affected = min(fault.count, len(rows))
             if not affected:
                 continue
+            self._route_to_worker(dest)
             if fault.kind == "drop":
                 self.stats.dropped += affected
                 if recovered:
@@ -508,6 +531,7 @@ class FaultController:
         server.storage.clear()
         server.column_cache.clear()
         self.stats.crashes += 1
+        self._route_to_worker(sid)
         if not self.plan.recovery.enabled:
             # The server restarts empty; its round-k messages died with it.
             incoming = sum(len(rows) for rows in rnd._buffers[sid].values())

@@ -40,7 +40,12 @@ class Server:
         return self.storage.setdefault(name, [])
 
     def get(self, name: str) -> list[Row]:
-        """The local fragment ``name``, or an empty list (not stored)."""
+        """The local fragment ``name``, or an empty list (not stored).
+
+        Returns the *live* storage list — callers must not mutate it.
+        Anything handed outside the simulator must copy first
+        (:meth:`repro.mpc.cluster.Cluster.gather` does, by contract).
+        """
         return self.storage.get(name, [])
 
     def take(self, name: str) -> list[Row]:

@@ -77,6 +77,51 @@ class RoundStats:
 
 
 @dataclass
+class ExecStats:
+    """Execution-backend accounting, mergeable across workers and runs.
+
+    Counters cover only work dispatched through the backend layer
+    (:meth:`repro.mpc.cluster.Cluster.map_servers`); purely inline loops
+    that never cross it cost nothing and appear nowhere. ``worker_seconds``
+    is the summed in-worker wall time of all chunks — with w workers
+    running concurrently it can legitimately exceed the coordinator's
+    elapsed time, which is exactly the parallelism being measured.
+    """
+
+    backend: str = "inline"
+    workers: int = 1
+    transport: str = "none"
+    dispatches: int = 0  # map_servers calls routed through the backend
+    chunks: int = 0  # worker jobs (== dispatches for inline)
+    items: int = 0  # per-server payloads processed
+    shm_bytes_out: int = 0  # array bytes shipped coordinator -> workers
+    shm_bytes_in: int = 0  # array bytes shipped workers -> coordinator
+    worker_seconds: float = 0.0
+    fallbacks: int = 0  # process dispatches run inline (unpicklable payload)
+
+    @classmethod
+    def merged(cls, parts: "list[ExecStats]") -> "ExecStats | None":
+        """Combine per-run stats; labels come from the first part."""
+        parts = [part for part in parts if part is not None]
+        if not parts:
+            return None
+        total = cls(
+            backend=parts[0].backend,
+            workers=parts[0].workers,
+            transport=parts[0].transport,
+        )
+        for part in parts:
+            total.dispatches += part.dispatches
+            total.chunks += part.chunks
+            total.items += part.items
+            total.shm_bytes_out += part.shm_bytes_out
+            total.shm_bytes_in += part.shm_bytes_in
+            total.worker_seconds += part.worker_seconds
+            total.fallbacks += part.fallbacks
+        return total
+
+
+@dataclass
 class RunStats:
     """Accumulated cost of a full MPC algorithm execution."""
 
@@ -85,6 +130,7 @@ class RunStats:
     aborted: int = 0
     audit: "AuditReport | None" = None
     faults: "FaultStats | None" = None
+    exec: "ExecStats | None" = None
 
     @property
     def num_rounds(self) -> int:
@@ -130,6 +176,11 @@ class RunStats:
             text += f" faults={self.faults.injected}"
             if self.faults.unrecovered:
                 text += f" unrecovered={self.faults.unrecovered}"
+        if self.exec is not None and self.exec.backend != "inline":
+            text += (
+                f" backend={self.exec.backend}x{self.exec.workers}"
+                f" chunks={self.exec.chunks}"
+            )
         return text
 
     def __repr__(self) -> str:

@@ -27,7 +27,7 @@ from typing import Any
 
 from repro.data.relation import Relation
 from repro.errors import QueryError
-from repro.joins.base import local_join
+from repro.joins.base import distributed_local_join
 from repro.kernels.config import kernels_enabled
 from repro.kernels.join import semijoin_mask
 from repro.kernels.partition import try_route
@@ -86,8 +86,7 @@ def shuffle_join(
             if not try_route(rnd, rows, s_idx, h, "R@j", columns=cols):
                 for row in rows:
                     rnd.send(h(tuple(row[i] for i in s_idx)), "R@j", row)
-    for server in cluster.servers:
-        local_join(server, "L@j", "R@j", r, s, "out")
+    distributed_local_join(cluster, "L@j", "R@j", r, s, "out")
     attrs = list(r.schema.attributes) + [
         a for a in s.schema.attributes if a not in r.schema
     ]
@@ -181,16 +180,20 @@ def shuffle_multi_semijoin(
         for key in heavy_alive:
             rnd.broadcast("H@alive", key)
 
-    alive = set(heavy_alive)
+    payloads = []
     for server in cluster.servers:
-        server.take("H@alive")  # consumed: contents mirror `alive`
-        key_sets = [set(server.take(f"K{i}@j")) for i in range(len(reducers))]
-        survivors = _filter_members(server.take("T@j"), t_idx, key_sets)
-        survivors.extend(
-            row
-            for row in server.take("T@stay")
-            if tuple(row[i] for i in t_idx) in alive
+        server.take("H@alive")  # consumed: contents mirror `heavy_alive`
+        payloads.append(
+            (
+                [server.take(f"K{i}@j") for i in range(len(reducers))],
+                server.take("T@j"),
+                server.take("T@stay"),
+            )
         )
+    results = cluster.map_servers(
+        "semijoin.filter", payloads, (tuple(t_idx), tuple(heavy_alive))
+    )
+    for server, survivors in zip(cluster.servers, results):
         server.put("out", survivors)
     result = cluster.gather_relation("out", target.name, target.schema.attributes)
     return result, cluster.stats
@@ -223,6 +226,28 @@ def _route_light(
         else:
             rnd.send(h(key), "T@j", row)
     return stay
+
+
+def semijoin_filter_chunk(payloads: list, common) -> list:
+    """Exec task ``semijoin.filter``: the local phase of the multi-semijoin.
+
+    Each payload is ``(per-reducer key row lists, routed target rows,
+    heavy stay-in-place rows)``; the survivors are the light rows whose
+    key appears in every reducer plus the heavy rows whose key survived
+    globally (``heavy_alive``, broadcast by the coordinator). Pure over
+    its inputs, so inline and worker execution agree byte-for-byte.
+    """
+    t_idx, heavy_alive = common
+    alive = set(heavy_alive)
+    out = []
+    for key_rows, t_rows, stay_rows in payloads:
+        key_sets = [set(rows) for rows in key_rows]
+        survivors = _filter_members(t_rows, t_idx, key_sets)
+        survivors.extend(
+            row for row in stay_rows if tuple(row[i] for i in t_idx) in alive
+        )
+        out.append(survivors)
+    return out
 
 
 def _filter_members(
@@ -270,11 +295,28 @@ def shuffle_aggregate(
             if not try_route(rnd, taken, key_positions, h, "A@j"):
                 for row in taken:
                     rnd.send(h(tuple(row[i] for i in key_positions)), "A@j", row)
-    out: list[Row] = []
-    for server in cluster.servers:
-        groups: dict[Row, list[Row]] = {}
-        for row in server.take("A@j"):
-            groups.setdefault(tuple(row[i] for i in key_positions), []).append(row)
-        for key, group in groups.items():
-            out.append(combine(key, group))
+    # An unpicklable ``combine`` (a closure) transparently degrades the
+    # process backend to inline execution for this call.
+    payloads = [server.take("A@j") for server in cluster.servers]
+    results = cluster.map_servers(
+        "aggregate.groups", payloads, (tuple(key_positions), combine)
+    )
+    out: list[Row] = [row for rows in results for row in rows]
     return out, cluster.stats
+
+
+def aggregate_groups_chunk(payloads: list, common) -> list:
+    """Exec task ``aggregate.groups``: fold each server's groups locally.
+
+    Group order follows first-arrival order of each key (dict insertion
+    order), identical across backends because the routed rows arrive in
+    the same order either way.
+    """
+    key_positions, combine = common
+    out = []
+    for rows in payloads:
+        groups: dict[Row, list[Row]] = {}
+        for row in rows:
+            groups.setdefault(tuple(row[i] for i in key_positions), []).append(row)
+        out.append([combine(key, group) for key, group in groups.items()])
+    return out

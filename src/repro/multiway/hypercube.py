@@ -93,16 +93,44 @@ def hypercube_join(
                     for dest in grid.matching(partial):
                         rnd.send(dest, f"{atom.name}@hc", row)
 
-    # Local evaluation on each grid server. Fragment rows come straight
-    # from the simulator, so adopt them without re-validating arity, and
-    # seed each relation's columnar cache from the delivered side-car.
+    # Local evaluation on each grid server, fanned out via the exec
+    # backend (with the process backend the grid servers of a worker's
+    # range evaluate concurrently; side-car columns ride shared memory).
     out_attrs = list(query.variables)
+    payloads = []
     for sid in range(grid.size):
         server = cluster.servers[sid]
-        local_fragments = {}
+        per_atom = []
         for atom in query.atoms:
             arity = tuple(range(len(atom.variables)))
             rows, cols = server.take_with_columns(f"{atom.name}@hc", arity)
+            per_atom.append((rows, cols))
+        payloads.append(per_atom)
+    results = cluster.map_servers("hypercube.eval", payloads, (query, local))
+    for sid, rows in enumerate(results):
+        if rows is not None:
+            cluster.servers[sid].put("out", rows)
+    output = cluster.gather_relation("out", output_name, out_attrs)
+    details = {"shares": dict(shares)}
+    if assignment is not None:
+        details["assignment"] = assignment
+    return MultiwayRun(output, cluster.stats, details)
+
+
+def hypercube_eval_chunk(payloads: list, common) -> list:
+    """Exec task ``hypercube.eval``: evaluate the query on grid servers.
+
+    Each payload is the server's per-atom ``(rows, columns side-car)``
+    pairs in ``query.atoms`` order; fragment rows come straight from the
+    simulator, so they are adopted without re-validating arity, and each
+    relation's columnar cache is seeded from the delivered side-car. A
+    server with an empty fragment produces ``None`` (no output stored).
+    """
+    query, local = common
+    out = []
+    for per_atom in payloads:
+        local_fragments = {}
+        for atom, (rows, cols) in zip(query.atoms, per_atom):
             rel = Relation.wrap(atom.name, list(atom.variables), rows)
             rel.prime_columns(cols)
             local_fragments[atom.name] = rel
@@ -113,12 +141,10 @@ def hypercube_join(
                 result = generic_join(query, local_fragments)
             else:
                 result = query.evaluate(local_fragments)
-            server.put("out", result.rows())
-    output = cluster.gather_relation("out", output_name, out_attrs)
-    details = {"shares": dict(shares)}
-    if assignment is not None:
-        details["assignment"] = assignment
-    return MultiwayRun(output, cluster.stats, details)
+            out.append(result.rows())
+        else:
+            out.append(None)
+    return out
 
 
 def _relation_for(

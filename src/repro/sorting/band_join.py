@@ -19,7 +19,7 @@ from typing import Any
 from repro.data.relation import Relation
 from repro.joins.base import JoinRun
 from repro.mpc.cluster import Cluster
-from repro.sorting.psrs import psrs_partition
+from repro.sorting.psrs import IndexKey, psrs_partition
 
 Row = tuple[Any, ...]
 
@@ -49,7 +49,7 @@ def band_join(
     union_rows += [(row[s_pos], 1, len(r) + i, row) for i, row in enumerate(s)]
     cluster.scatter_rows(union_rows, "U")
 
-    splitters = psrs_partition(cluster, "U", "U@sorted", key=lambda t: (t[0], t[2]))
+    splitters = psrs_partition(cluster, "U", "U@sorted", key=IndexKey(0, 2))
     # The PSRS sort key is composite (key, serial); recover the numeric
     # boundaries. Range i covers keys in (boundary[i-1], boundary[i]].
     boundaries = [b[0] for b in splitters]

@@ -22,6 +22,7 @@ from typing import Any
 
 from repro.mpc.cluster import Cluster
 from repro.mpc.stats import RunStats
+from repro.sorting.psrs import RowKey, identity_key
 from repro.sorting.splitters import bucket_of, choose_splitters, regular_sample
 
 Key = Callable[[Any], Any]
@@ -31,7 +32,7 @@ def multiround_sort(
     items: Sequence[Any],
     p: int,
     load_cap: int,
-    key: Key = lambda item: item,
+    key: Key = identity_key,
     seed: int = 0,
     audit: bool | None = None,
 ) -> tuple[list[Any], RunStats]:
@@ -45,7 +46,7 @@ def multiround_sort(
         raise ValueError("load_cap must be at least 2")
     cluster = Cluster(p, seed=seed, audit=audit)
     cluster.scatter_rows([(x,) for x in items], "run")
-    row_key = lambda row: key(row[0])  # noqa: E731 - tiny adapter
+    row_key = RowKey(key)  # picklable adapter: process-backend eligible
 
     # Groups of servers owning one key range each, refined level by level.
     fanout = max(2, math.isqrt(load_cap))
@@ -55,8 +56,11 @@ def multiround_sort(
         groups = _refine_level(cluster, groups, fanout, row_key, level)
         level += 1
 
-    for server in cluster.servers:
-        server.put("run", sorted(server.get("run"), key=row_key))
+    final_payloads = [server.take("run") for server in cluster.servers]
+    for server, local in zip(
+        cluster.servers, cluster.map_servers("psrs.finalsort", final_payloads, row_key)
+    ):
+        server.put("run", local)
     output = [row[0] for row in cluster.gather("run")]
     return output, cluster.stats
 

@@ -36,6 +36,80 @@ from repro.sorting.splitters import (
 Key = Callable[[Any], Any]
 
 
+def identity_key(item: Any) -> Any:
+    """The default sort key. A named module-level function (not a
+    lambda) so it pickles, keeping default-keyed sorts eligible for the
+    process backend; an unpicklable user key transparently falls back
+    to inline execution."""
+    return item
+
+
+class IndexKey:
+    """Picklable key projecting fixed row positions (``row[i] for i in
+    positions``). The sort-join/band-join equivalent of a key lambda."""
+
+    __slots__ = ("positions",)
+
+    def __init__(self, *positions: int) -> None:
+        self.positions = positions
+
+    def __call__(self, row: Any) -> tuple:
+        return tuple(row[i] for i in self.positions)
+
+
+class RowKey:
+    """Picklable ``key(row[0])`` adapter for ``(item, ...)`` tagged rows."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Key) -> None:
+        self.key = key
+
+    def __call__(self, row: Any) -> Any:
+        return self.key(row[0])
+
+
+class PositionTiebreak:
+    """Key wrapper for ``(item, original_position)`` rows.
+
+    Sorts by ``key(item)`` with the original position as tie-break, so
+    heavily duplicated keys still spread evenly across servers. A class
+    instead of a closure so it pickles whenever the wrapped key does.
+    """
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Key) -> None:
+        self.key = key
+
+    def __call__(self, row: Any) -> Any:
+        return (self.key(row[0]), row[1])
+
+
+def psrs_localsort_chunk(payloads: list, common) -> list:
+    """Exec task ``psrs.localsort``: phase-1 local sort + splitter samples.
+
+    Payloads are ``(fragment rows, server id)``; returns
+    ``(sorted rows, sampled items)`` per server. The server id seeds
+    random sampling exactly as the historical loop did.
+    """
+    key, sample_count, use_random_sampling = common
+    out = []
+    for rows, sid in payloads:
+        local = sorted(rows, key=key)
+        if use_random_sampling:
+            samples = random_sample(local, sample_count, seed=sid + 1)
+        else:
+            samples = regular_sample(local, sample_count)
+        out.append((local, samples))
+    return out
+
+
+def psrs_finalsort_chunk(payloads: list, common) -> list:
+    """Exec task ``psrs.finalsort``: phase-4 sort of each routed interval."""
+    return [sorted(rows, key=common) for rows in payloads]
+
+
 def _route_by_splitters(
     rnd: RoundContext,
     items: list[Any],
@@ -69,7 +143,7 @@ def psrs_partition(
     cluster: Cluster,
     fragment: str,
     out_fragment: str,
-    key: Key = lambda item: item,
+    key: Key = identity_key,
     use_random_sampling: bool = False,
     coordinator: int = 0,
 ) -> list[Any]:
@@ -82,15 +156,16 @@ def psrs_partition(
     """
     p = cluster.p
 
-    # Phase 1: local sort + samples to the coordinator.
+    # Phase 1: local sort + samples to the coordinator. The sorts run
+    # through the exec backend (concurrently under the process backend);
+    # sample *sends* stay here, on the round's coordinator-side buffers.
     with cluster.round("psrs-sample-gather") as rnd:
-        for server in cluster.servers:
-            local = sorted(server.take(fragment), key=key)
+        payloads = [(server.take(fragment), server.sid) for server in cluster.servers]
+        sorted_fragments = cluster.map_servers(
+            "psrs.localsort", payloads, (key, p - 1, use_random_sampling)
+        )
+        for server, (local, samples) in zip(cluster.servers, sorted_fragments):
             server.put(f"{fragment}@sorted", local)
-            if use_random_sampling:
-                samples = random_sample(local, p - 1, seed=server.sid + 1)
-            else:
-                samples = regular_sample(local, p - 1)
             for item in samples:
                 rnd.send(coordinator, f"{fragment}@samples", (key(item),))
 
@@ -109,15 +184,18 @@ def psrs_partition(
             if not _route_by_splitters(rnd, items, key, splitters, out_fragment):
                 for item in items:
                     rnd.send(bucket_of(key(item), splitters), out_fragment, item)
-    for server in cluster.servers:
-        server.put(out_fragment, sorted(server.get(out_fragment), key=key))
+    final_payloads = [server.take(out_fragment) for server in cluster.servers]
+    for server, local in zip(
+        cluster.servers, cluster.map_servers("psrs.finalsort", final_payloads, key)
+    ):
+        server.put(out_fragment, local)
     return splitters
 
 
 def psrs_sort(
     items: Sequence[Any],
     p: int,
-    key: Key = lambda item: item,
+    key: Key = identity_key,
     seed: int = 0,
     use_random_sampling: bool = False,
     audit: bool | None = None,
@@ -135,7 +213,7 @@ def psrs_sort(
         cluster,
         "items",
         "items@out",
-        key=lambda row: (key(row[0]), row[1]),
+        key=PositionTiebreak(key),
         use_random_sampling=use_random_sampling,
     )
     output = [row[0] for row in cluster.gather("items@out")]

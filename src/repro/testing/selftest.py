@@ -88,6 +88,7 @@ def run_selftest(
     verbose: bool = False,
     kernels: bool | None = None,
     faults: bool = False,
+    backend: str | None = None,
 ) -> SelftestReport:
     """Run the whole harness under one instance budget.
 
@@ -96,16 +97,19 @@ def run_selftest(
     ``monotonic_every``-th the (4-run) load-monotonicity ladder, keeping
     the total execution count proportional to the budget. ``kernels``
     forces the columnar kernels on or off for the whole run (``None``
-    keeps the ambient ``REPRO_KERNELS`` setting). ``faults=True`` runs
-    every differential execution under a reproducible randomized
-    :class:`~repro.mpc.faults.FaultPlan` with recovery enabled and
-    demands the same outputs, loads, and clean audits as a fault-free
-    run (metamorphic checks are skipped in this mode — their re-runs
-    vary ``p`` and seeds, which would change the plans mid-comparison).
+    keeps the ambient ``REPRO_KERNELS`` setting) and ``backend`` does
+    the same for the execution backend (``REPRO_BACKEND``).
+    ``faults=True`` runs every differential execution under a
+    reproducible randomized :class:`~repro.mpc.faults.FaultPlan` with
+    recovery enabled and demands the same outputs, loads, and clean
+    audits as a fault-free run (metamorphic checks are skipped in this
+    mode — their re-runs vary ``p`` and seeds, which would change the
+    plans mid-comparison).
     """
+    from repro.exec.config import use_backend
     from repro.kernels.config import use_kernels
 
-    with use_kernels(kernels):
+    with use_kernels(kernels), use_backend(backend):
         return _run_selftest(
             instances, seed, kinds, algorithms,
             0 if faults else metamorphic_every,
@@ -183,9 +187,19 @@ def main(argv: list[str] | None = None) -> int:
                              "randomized fault plan (crashes, stragglers, "
                              "channel faults) with recovery enabled; outputs "
                              "and audits must match the fault-free contract")
+    parser.add_argument("--backend", choices=("inline", "process", "both"),
+                        default=None,
+                        help="force the execution backend, or run the sweep "
+                             "under both backends and cross-check outputs, "
+                             "loads, and rounds (default: ambient "
+                             "REPRO_BACKEND setting)")
     args = parser.parse_args(argv)
 
-    def run(kernels: bool | None) -> SelftestReport:
+    if args.kernels == "both" and args.backend == "both":
+        parser.error("--kernels both and --backend both cannot be combined; "
+                     "sweep one axis at a time")
+
+    def run(kernels: bool | None, backend: str | None = None) -> SelftestReport:
         return run_selftest(
             instances=args.instances,
             seed=args.seed,
@@ -197,6 +211,7 @@ def main(argv: list[str] | None = None) -> int:
             verbose=args.verbose,
             kernels=kernels,
             faults=args.faults,
+            backend=backend,
         )
 
     def report_failures(report: SelftestReport) -> None:
@@ -204,12 +219,14 @@ def main(argv: list[str] | None = None) -> int:
         for line in report.failures:
             print(f"  {line}", file=sys.stderr)
 
+    fixed_backend = None if args.backend == "both" else args.backend
+
     if args.kernels == "both":
         status = 0
         reports = {}
         for mode in (True, False):
             print(f"=== kernels {'on' if mode else 'off'} ===")
-            reports[mode] = run(mode)
+            reports[mode] = run(mode, fixed_backend)
             print(reports[mode].summary_table())
             if not reports[mode].ok:
                 report_failures(reports[mode])
@@ -224,7 +241,30 @@ def main(argv: list[str] | None = None) -> int:
             print("kernels on/off loads identical across all executions")
         return status
 
-    report = run({"on": True, "off": False, None: None}[args.kernels])
+    fixed_kernels = {"on": True, "off": False, None: None}[args.kernels]
+
+    if args.backend == "both":
+        status = 0
+        reports = {}
+        for name in ("inline", "process"):
+            print(f"=== backend {name} ===")
+            reports[name] = run(fixed_kernels, name)
+            print(reports[name].summary_table())
+            if not reports[name].ok:
+                report_failures(reports[name])
+                status = 1
+        drift = cross_backend_drift(reports["inline"], reports["process"])
+        if drift:
+            print("\ninline/process backend drift:", file=sys.stderr)
+            for line in drift:
+                print(f"  {line}", file=sys.stderr)
+            status = 1
+        else:
+            print("inline/process outputs, loads, and rounds identical "
+                  "across all executions")
+        return status
+
+    report = run(fixed_kernels, fixed_backend)
     print(report.summary_table())
     if not report.ok:
         report_failures(report)
@@ -253,6 +293,43 @@ def cross_mode_drift(
         for a, b in zip(on_records, off_records)
         if a.algorithm != b.algorithm or a.max_load != b.max_load
     ]
+
+
+def cross_backend_drift(
+    inline: SelftestReport, process: SelftestReport
+) -> list[str]:
+    """Differences between the inline and process execution backends.
+
+    The backends must be observationally identical, not just load-equal:
+    every execution is compared on output size, max load, *and* round
+    count (output contents are already differentially validated against
+    the oracle inside each sweep, so equal sizes + both oracle-exact
+    means equal multisets).
+    """
+    a_records = inline.differential.records
+    b_records = process.differential.records
+    if len(a_records) != len(b_records):
+        return [
+            f"execution counts differ: {len(a_records)} inline, "
+            f"{len(b_records)} process"
+        ]
+    drift = []
+    for a, b in zip(a_records, b_records):
+        if a.algorithm != b.algorithm or a.instance != b.instance:
+            drift.append(
+                f"sweep order diverged: {a.algorithm}/{a.instance} inline "
+                f"vs {b.algorithm}/{b.instance} process"
+            )
+        elif (a.out_size, a.max_load, a.rounds) != (
+            b.out_size, b.max_load, b.rounds
+        ):
+            drift.append(
+                f"{a.algorithm} on {a.instance}: "
+                f"(out={a.out_size}, L={a.max_load}, rounds={a.rounds}) inline"
+                f" vs (out={b.out_size}, L={b.max_load}, rounds={b.rounds}) "
+                "process"
+            )
+    return drift
 
 
 if __name__ == "__main__":

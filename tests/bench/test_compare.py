@@ -128,3 +128,41 @@ class TestIncomparableBaselines:
         table = cmp.format_table()
         assert "incomparable" in table
         assert "FAIL" in table
+
+
+class TestBackendGuard:
+    """Files measured under different backends must not diff silently."""
+
+    def _doc(self, backend=None, workers=None, seconds=1.0):
+        doc = bench_doc({"a": seconds})
+        if backend is not None:
+            doc["machine"] = {"backend": backend, "workers": workers or 1}
+        return doc
+
+    def test_same_backend_compares(self):
+        cmp = compare_bench(
+            self._doc("process", 4), self._doc("process", 4, seconds=1.1)
+        )
+        assert cmp.ok
+
+    def test_different_backend_refused(self):
+        with pytest.raises(ValueError, match="different execution backends"):
+            compare_bench(self._doc("inline"), self._doc("process", 4))
+
+    def test_different_worker_count_refused(self):
+        with pytest.raises(ValueError, match="different execution backends"):
+            compare_bench(self._doc("process", 2), self._doc("process", 4))
+
+    def test_force_overrides(self):
+        cmp = compare_bench(
+            self._doc("inline"), self._doc("process", 4), force=True
+        )
+        assert statuses(cmp) == {"a": "ok"}
+
+    def test_legacy_files_default_to_inline(self):
+        # Pre-backend BENCH files have no machine.backend: both sides
+        # default to inline and remain comparable with each other.
+        cmp = compare_bench(self._doc(), self._doc(seconds=1.1))
+        assert cmp.ok
+        with pytest.raises(ValueError, match="different execution backends"):
+            compare_bench(self._doc(), self._doc("process", 4))

@@ -111,3 +111,40 @@ class TestValidateBench:
         document = minimal_document()
         del document["speedups"]
         assert validate_bench(document) == []
+
+
+class TestScalingSection:
+    def _scaling_record(self, **overrides):
+        record = {
+            "name": "hash_join_uniform", "n": 1000, "p": 8,
+            "backend": "process", "workers": 4, "transport": "shm",
+            "seconds": 0.5, "speedup": 2.0, "L_max": 100, "rounds": 1,
+            "out_size": 50, "identical": True,
+        }
+        record.update(overrides)
+        return record
+
+    def test_valid_scaling_section(self):
+        doc = minimal_document()
+        doc["scaling"] = [self._scaling_record()]
+        assert validate_bench(doc) == []
+
+    def test_scaling_is_optional(self):
+        assert validate_bench(minimal_document()) == []
+
+    def test_missing_field_reported(self):
+        doc = minimal_document()
+        record = self._scaling_record()
+        del record["transport"]
+        doc["scaling"] = [record]
+        assert any("transport" in e for e in validate_bench(doc))
+
+    def test_unknown_backend_rejected(self):
+        doc = minimal_document()
+        doc["scaling"] = [self._scaling_record(backend="threads")]
+        assert any("backend" in e for e in validate_bench(doc))
+
+    def test_machine_backend_fields_validated_when_present(self):
+        doc = minimal_document()
+        doc["machine"]["backend"] = 42
+        assert any("machine.backend" in e for e in validate_bench(doc))

@@ -1,0 +1,161 @@
+"""Worker pool and process backend: dispatch, errors, fallbacks.
+
+The custom test tasks are registered at module import time, *before*
+any pool in this file forks, so fork-started workers inherit them in
+their copy of the registry (the same mechanism that makes algorithm
+tasks resolvable: both sides import the same modules).
+"""
+
+import pytest
+
+from repro.exec import tasks
+from repro.exec.base import InlineBackend, ProcessBackend, get_backend
+from repro.exec.pool import UnpicklablePayloadError, WorkerError, WorkerPool
+from repro.mpc.stats import ExecStats
+
+
+def _double_chunk(payloads, common):
+    return [x * common for x in payloads]
+
+
+def _boom_chunk(payloads, common):
+    raise ValueError("task exploded on purpose")
+
+
+def _short_chunk(payloads, common):
+    return payloads[:-1] if payloads else []
+
+
+def _callable_chunk(payloads, common):
+    return [fn(common) for fn in payloads]
+
+
+tasks.register("test.double", _double_chunk)
+tasks.register("test.boom", _boom_chunk)
+tasks.register("test.short", _short_chunk)
+tasks.register("test.callable", _callable_chunk)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    pool = WorkerPool(2, "pickle")
+    yield pool
+    pool.shutdown()
+
+
+def test_run_merges_in_chunk_order(pool):
+    chunks = [(0, [1, 2, 3]), (1, [4, 5])]
+    results, shm_out, shm_in, seconds = pool.run("test.double", chunks, 10, False)
+    assert results == [[10, 20, 30], [40, 50]]
+    assert shm_out == 0 and shm_in == 0  # pickle transport
+    assert seconds >= 0.0
+
+
+def test_worker_error_carries_remote_traceback(pool):
+    with pytest.raises(WorkerError, match="task exploded on purpose"):
+        pool.run("test.boom", [(0, [1]), (1, [2])], None, False)
+    # The pool survives a task failure and keeps serving.
+    results, *_ = pool.run("test.double", [(0, [7])], 2, False)
+    assert results == [[14]]
+
+
+def test_unknown_task_is_a_worker_error(pool):
+    with pytest.raises(WorkerError, match="unknown exec task"):
+        pool.run("test.no-such-task", [(0, [1])], None, False)
+
+
+def test_unpicklable_payload_raises_synchronously(pool):
+    with pytest.raises(UnpicklablePayloadError):
+        pool.run("test.double", [(0, [lambda: None])], 1, False)
+    with pytest.raises(UnpicklablePayloadError):
+        pool.run("test.double", [(0, [1])], lambda: None, False)
+    # Still alive afterwards: nothing was ever enqueued.
+    results, *_ = pool.run("test.double", [(0, [3])], 3, False)
+    assert results == [[9]]
+
+
+def test_shutdown_is_idempotent():
+    pool = WorkerPool(1, "pickle")
+    pool.shutdown()
+    pool.shutdown()
+    with pytest.raises(RuntimeError, match="shut down"):
+        pool.run("test.double", [(0, [1])], 1, False)
+
+
+def test_process_backend_falls_back_inline_on_unpicklable():
+    backend = ProcessBackend(2, "pickle")
+    stats = backend.new_stats()
+    # Lambda payloads cannot cross the process boundary; the backend
+    # reruns the whole map inline with the same task function, so the
+    # call still succeeds and the degradation is visible in the stats.
+    out = backend.map_payloads(
+        "test.callable", [lambda c: c + 1, lambda c: c * 10], 4, stats=stats
+    )
+    assert out == [5, 40]
+    assert stats.fallbacks == 1
+    assert stats.backend == "process"
+
+
+def test_process_backend_counts_traffic():
+    backend = ProcessBackend(2, "pickle")
+    stats = backend.new_stats()
+    out = backend.map_payloads("test.double", [1, 2, 3], 5, stats=stats)
+    assert out == [5, 10, 15]
+    assert stats.dispatches == 1
+    assert stats.chunks == 2
+    assert stats.items == 3
+
+
+def test_process_backend_rejects_non_elementwise_tasks():
+    backend = ProcessBackend(1, "pickle")
+    with pytest.raises(RuntimeError, match="same-length elementwise"):
+        backend.map_payloads("test.short", [1, 2, 3], None)
+
+
+def test_inline_backend_matches_process():
+    inline = InlineBackend()
+    process = ProcessBackend(2, "pickle")
+    payloads = list(range(17))
+    assert inline.map_payloads("test.double", payloads, 3) == \
+        process.map_payloads("test.double", payloads, 3)
+
+
+def test_empty_map_short_circuits():
+    backend = ProcessBackend(2, "pickle")
+    assert backend.map_payloads("test.double", [], 1) == []
+
+
+def test_get_backend_resolution():
+    assert get_backend("inline").name == "inline"
+    backend = InlineBackend()
+    assert get_backend(backend) is backend
+    from repro.exec.config import use_backend
+
+    with use_backend("process", workers=2, transport="pickle"):
+        resolved = get_backend(None)
+        assert resolved.name == "process"
+        assert resolved.workers == 2
+        # Same spec → same cached instance (pools are keyed off it).
+        assert get_backend(None) is resolved
+
+
+def test_exec_stats_merge():
+    parts = [
+        ExecStats(backend="process", workers=2, transport="shm",
+                  dispatches=3, chunks=6, items=30, shm_bytes_out=100,
+                  shm_bytes_in=50, worker_seconds=0.5, fallbacks=1),
+        None,
+        ExecStats(backend="process", workers=2, transport="shm",
+                  dispatches=1, chunks=2, items=10, shm_bytes_out=20,
+                  shm_bytes_in=10, worker_seconds=0.25),
+    ]
+    merged = ExecStats.merged(parts)
+    assert merged.backend == "process" and merged.workers == 2
+    assert merged.dispatches == 4
+    assert merged.chunks == 8
+    assert merged.items == 40
+    assert merged.shm_bytes_out == 120
+    assert merged.shm_bytes_in == 60
+    assert merged.worker_seconds == pytest.approx(0.75)
+    assert merged.fallbacks == 1
+    assert ExecStats.merged([None, None]) is None

@@ -1,0 +1,105 @@
+"""Shared-memory columnar transport: round-trips and segment lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.exec import shm
+
+
+def _payload():
+    return (
+        [np.arange(10, dtype=np.int64), "rows"],
+        {"cols": (np.linspace(0.0, 1.0, 5), np.array([[1, 2], [3, 4]]))},
+        42,
+    )
+
+
+def _assert_matches(decoded):
+    part, mapping, scalar = decoded
+    np.testing.assert_array_equal(part[0], np.arange(10, dtype=np.int64))
+    assert part[1] == "rows"
+    np.testing.assert_allclose(mapping["cols"][0], np.linspace(0.0, 1.0, 5))
+    np.testing.assert_array_equal(mapping["cols"][1], [[1, 2], [3, 4]])
+    assert scalar == 42
+
+
+def test_owned_round_trip():
+    encoded = shm.encode_payload(_payload(), "shm")
+    assert encoded.segment_name is not None
+    assert encoded.nbytes == 10 * 8 + 5 * 8 + 4 * 8
+    _assert_matches(shm.decode_owned(encoded))
+
+
+def test_owned_copies_survive_unlink():
+    encoded = shm.encode_payload(_payload(), "shm")
+    decoded = shm.decode_owned(encoded)  # segment unlinked here
+    _assert_matches(decoded)  # arrays are private copies, still valid
+
+
+def test_read_round_trip_zero_copy():
+    encoded = shm.encode_payload(_payload(), "shm")
+    decoded, segment = shm.decode_for_read(encoded)
+    assert segment is not None
+    _assert_matches(decoded)
+    del decoded  # drop the views so close() can proceed
+    shm.finish_read(segment)
+
+
+def test_pickle_transport_passthrough():
+    payload = _payload()
+    encoded = shm.encode_payload(payload, "pickle")
+    assert encoded.segment_name is None
+    assert encoded.nbytes == 0
+    assert shm.decode_owned(encoded) is payload
+    decoded, segment = shm.decode_for_read(encoded)
+    assert decoded is payload and segment is None
+    shm.finish_read(None)  # no-op by contract
+
+
+def test_no_arrays_passthrough():
+    payload = ([("a", 1), ("b", 2)], {"k": "v"})
+    encoded = shm.encode_payload(payload, "shm")
+    assert encoded.segment_name is None  # nothing worth a segment
+
+
+def test_empty_arrays_passthrough():
+    # Zero total bytes: zero-length segments are invalid, must passthrough.
+    payload = (np.array([], dtype=np.int64), np.array([], dtype=np.float64))
+    encoded = shm.encode_payload(payload, "shm")
+    assert encoded.segment_name is None
+    a, b = shm.decode_owned(encoded)
+    assert a.size == 0 and b.size == 0
+
+
+def test_mixed_empty_and_full_arrays():
+    payload = (np.array([], dtype=np.int64), np.arange(4))
+    encoded = shm.encode_payload(payload, "shm")
+    assert encoded.segment_name is not None
+    a, b = shm.decode_owned(encoded)
+    assert a.size == 0
+    np.testing.assert_array_equal(b, np.arange(4))
+
+
+def test_non_contiguous_arrays():
+    base = np.arange(20).reshape(4, 5)
+    payload = (base[:, ::2], base.T)  # strided + transposed views
+    encoded = shm.encode_payload(payload, "shm")
+    a, b = shm.decode_owned(encoded)
+    np.testing.assert_array_equal(a, base[:, ::2])
+    np.testing.assert_array_equal(b, base.T)
+
+
+def test_release_payload_is_idempotent():
+    encoded = shm.encode_payload((np.arange(8),), "shm")
+    shm.release_payload(encoded)
+    shm.release_payload(encoded)  # second release: segment already gone
+    with pytest.raises(FileNotFoundError):
+        shm.attach_segment(encoded.segment_name)
+
+
+def test_values_are_exact_not_approximate():
+    # The byte-identity argument rests on arrays round-tripping exactly.
+    values = np.array([0.1, 1e-300, 3.141592653589793, -2.5e17])
+    encoded = shm.encode_payload((values,), "shm")
+    (out,) = shm.decode_owned(encoded)
+    assert out.tolist() == values.tolist()

@@ -137,3 +137,60 @@ class TestEngineQueries:
         engine.register(Relation("S", ["y", "z"], [(2, 3)]))
         with pytest.raises(QueryError):
             engine.query("R(x,y), S(y,z)")
+
+
+class TestAlignCache:
+    """The memoized input alignment (perf fix): correctness over reuse."""
+
+    def _engine(self, p=4):
+        engine = Engine(p=p)
+        engine.register(uniform_relation("R", ["b", "a"], 60, 20, seed=1))
+        engine.register(uniform_relation("S", ["b", "z"], 60, 20, seed=2))
+        return engine
+
+    def test_first_run_misses_then_hits(self):
+        engine = self._engine()
+        first = engine.query("R(a,b), S(b,z)")
+        assert first.align_cache_hits == 0
+        second = engine.query("R(a,b), S(b,z)")
+        assert second.align_cache_hits == 2  # both atoms served from cache
+        assert sorted(second.output.rows()) == sorted(first.output.rows())
+
+    def test_register_invalidates(self):
+        engine = self._engine()
+        first = engine.query("R(a,b), S(b,z)")
+        engine.register(uniform_relation("R", ["b", "a"], 80, 20, seed=9))
+        refreshed = engine.query("R(a,b), S(b,z)")
+        assert refreshed.align_cache_hits == 0  # replaced R cleared the cache
+        assert sorted(refreshed.output.rows()) != sorted(first.output.rows())
+        verify = engine.query("R(a,b), S(b,z)", verify=True)
+        assert verify.align_cache_hits > 0
+
+    def test_cached_result_matches_oracle(self):
+        engine = self._engine()
+        engine.query("R(a,b), S(b,z)")
+        engine.query("R(a,b), S(b,z)", verify=True)  # oracle cross-check
+
+    def test_distinct_alignments_cached_separately(self):
+        engine = self._engine()
+        engine.register(Relation("T", ["u", "v"], [(1, 2), (2, 3)]))
+        first = engine.query("T(u,v)")
+        assert first.align_cache_hits == 0
+        # A different variable order over the same relation is a new entry.
+        swapped = engine.query("T(v,u)")
+        assert swapped.align_cache_hits == 0
+        again = engine.query("T(v,u)")
+        assert again.align_cache_hits == 1
+        assert sorted(swapped.output.rows()) == [(2, 1), (3, 2)]
+
+    def test_lru_eviction_bounds_the_cache(self):
+        engine = Engine(p=2)
+        engine._ALIGN_CACHE_SIZE = 4
+        for i in range(8):
+            engine.register(Relation(f"T{i}", ["u", "v"], [(i, i + 1)]))
+        for i in range(8):
+            engine.query(f"T{i}(u,v)")
+        assert len(engine._align_cache) <= 4
+        # Oldest entries evicted; the most recent still hit.
+        recent = engine.query("T7(u,v)")
+        assert recent.align_cache_hits == 1
