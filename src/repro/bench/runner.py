@@ -40,6 +40,7 @@ __all__ = [
     "run_experiment",
     "run_scaling",
     "run_speedup",
+    "run_transport_ab",
 ]
 
 # Backend scaling (the x4 bench): pool sizes swept per experiment, and
@@ -52,6 +53,11 @@ SCALING_EXPERIMENTS = (
     "psrs_sort",
     "sql_matmul",
 )
+
+# Transport A/B (REPRO_SHM_ROWS on vs off): the two experiments whose
+# deliveries are dominated by integer tuple lists, so row packing moves
+# the most bytes out of the queues' pickle stream.
+TRANSPORT_EXPERIMENTS = ("hash_join_uniform", "hypercube_triangle")
 
 
 def machine_info() -> dict[str, Any]:
@@ -199,6 +205,84 @@ def run_scaling(
     return records
 
 
+def run_transport_ab(
+    quick: bool = False, workers: int = 2, echo: bool = True
+) -> list[dict[str, Any]]:
+    """Shm row-packing on vs off: where the transported bytes actually go.
+
+    Runs each :data:`TRANSPORT_EXPERIMENTS` entry twice on the process
+    backend with the ``shm`` transport — once with integer row-block
+    packing enabled (the default) and once forced off — and records the
+    :class:`~repro.mpc.stats.ExecStats` byte counters of each run.
+    ``identical`` certifies the two modes produced the same output,
+    L_max, and round count; the interesting delta is ``pickle_bytes``
+    (packing moves tuple lists out of the queue stream) against
+    ``shm_bytes`` (where those bytes reappear as one block per list).
+    """
+    from repro.bench.experiments import experiment as experiment_by_name
+    from repro.exec.config import use_shm_rows
+    from repro.joins.hash_join import parallel_hash_join
+    from repro.multiway.hypercube import triangle_hypercube
+
+    def say(message: str) -> None:
+        if echo:
+            print(message, flush=True)
+
+    runners = {
+        "hash_join_uniform": lambda inputs, p, seed: parallel_hash_join(
+            inputs[0], inputs[1], p=p, seed=seed
+        ),
+        "hypercube_triangle": lambda inputs, p, seed: triangle_hypercube(
+            *inputs, p=p, seed=seed
+        ),
+    }
+    records: list[dict[str, Any]] = []
+    for name in TRANSPORT_EXPERIMENTS:
+        exp = experiment_by_name(name)
+        n = exp.size(quick)
+        inputs = exp.prepare(n, exp.seed)
+        runs: dict[bool, Any] = {}
+        for rows_packing in (True, False):
+            with use_backend("process", workers=workers, transport="shm"), \
+                    use_shm_rows(rows_packing):
+                start = time.perf_counter()
+                run = runners[name](inputs, exp.p, exp.seed)
+                seconds = time.perf_counter() - start
+            runs[rows_packing] = run
+            ex = run.stats.exec
+            records.append({
+                "name": name,
+                "n": n,
+                "p": exp.p,
+                "workers": workers,
+                "rows_packing": rows_packing,
+                "seconds": seconds,
+                "shm_bytes": ex.shm_bytes_out + ex.shm_bytes_in,
+                "pickle_bytes": ex.pickle_bytes_out + ex.pickle_bytes_in,
+                "L_max": run.load,
+                "rounds": run.rounds,
+                "out_size": len(run.output),
+                "identical": True,  # filled in below against the pair
+            })
+        on, off = runs[True], runs[False]
+        identical = (
+            on.load == off.load
+            and on.rounds == off.rounds
+            and on.output.rows_readonly() == off.output.rows_readonly()
+        )
+        records[-1]["identical"] = identical
+        records[-2]["identical"] = identical
+        for record in records[-2:]:
+            say(
+                f"  {record['name']:<22} rows_packing="
+                f"{str(record['rows_packing']):<5} "
+                f"shm={record['shm_bytes']:>12,}B "
+                f"pickle={record['pickle_bytes']:>12,}B "
+                f"identical={record['identical']}"
+            )
+    return records
+
+
 def run_bench(
     quick: bool = False,
     include_speedups: bool = True,
@@ -236,6 +320,8 @@ def run_bench(
                 f"identical={record['identical']} oracle={record['oracle_ok']}"
             )
             speedups.append(record)
+    say("transport A/B (shm row packing on vs off, process backend):")
+    transport_ab = run_transport_ab(quick=quick, echo=echo)
     return {
         "schema": SCHEMA_VERSION,
         "machine": machine_info(),
@@ -243,6 +329,7 @@ def run_bench(
         "quick": quick,
         "experiments": records,
         "speedups": speedups,
+        "transport_ab": transport_ab,
     }
 
 
@@ -400,6 +487,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     ]
     if bad_pairs:
         print(f"kernel equivalence FAILED for: {bad_pairs}", file=sys.stderr)
+        return 1
+
+    drifted = sorted({
+        record["name"]
+        for record in document.get("transport_ab", [])
+        if not record["identical"]
+    })
+    if drifted:
+        print(f"transport row-packing equivalence FAILED for: {drifted}",
+              file=sys.stderr)
         return 1
 
     if args.baseline:

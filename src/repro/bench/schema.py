@@ -27,6 +27,15 @@ A BENCH file is a JSON document::
          "seconds": float, "speedup": float,   # inline_s / this_s
          "L_max": int, "rounds": int, "out_size": int,
          "identical": bool}, ...  # matches the inline reference exactly
+      ],
+      "transport_ab": [         # optional: shm row-packing on/off bytes
+        {"name": str, "n": int, "p": int, "workers": int,
+         "rows_packing": bool,  # REPRO_SHM_ROWS state for this run
+         "seconds": float,
+         "shm_bytes": int,      # bytes carried via shared memory (both ways)
+         "pickle_bytes": int,   # bytes carried via queue pickle (both ways)
+         "L_max": int, "rounds": int, "out_size": int,
+         "identical": bool}, ...  # both modes agree with each other
       ]
     }
 
@@ -89,6 +98,22 @@ _SCALING_FIELDS: dict[str, tuple[type, ...]] = {
     "transport": (str,),
     "seconds": (int, float),
     "speedup": (int, float),
+    "L_max": (int,),
+    "rounds": (int,),
+    "out_size": (int,),
+    "identical": (bool,),
+}
+
+
+_TRANSPORT_FIELDS: dict[str, tuple[type, ...]] = {
+    "name": (str,),
+    "n": (int,),
+    "p": (int,),
+    "workers": (int,),
+    "rows_packing": (bool,),
+    "seconds": (int, float),
+    "shm_bytes": (int,),
+    "pickle_bytes": (int,),
     "L_max": (int,),
     "rounds": (int,),
     "out_size": (int,),
@@ -179,4 +204,10 @@ def validate_bench(document: Any) -> list[str]:
                         f"scaling[{i}].backend: expected 'inline' or "
                         f"'process', got {backend!r}"
                     )
+    transport_ab = document.get("transport_ab", [])  # optional section
+    if not isinstance(transport_ab, list):
+        errors.append("transport_ab: expected a list")
+    else:
+        for i, record in enumerate(transport_ab):
+            _check_record(record, _TRANSPORT_FIELDS, f"transport_ab[{i}]", errors)
     return errors

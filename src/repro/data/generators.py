@@ -33,9 +33,10 @@ def uniform_relation(
 ) -> Relation:
     """``n`` tuples with each attribute i.i.d. uniform over ``[0, universe)``."""
     rng = np.random.default_rng(seed)
+    if not attributes:
+        return Relation(name, attributes, [])
     columns = [rng.integers(0, universe, size=n) for _ in attributes]
-    rows = list(zip(*(c.tolist() for c in columns))) if attributes else []
-    return Relation(name, attributes, rows)
+    return Relation.from_columns(name, attributes, columns)
 
 
 def matching_relation(name: str, attributes: Sequence[str], n: int) -> Relation:
@@ -44,8 +45,10 @@ def matching_relation(name: str, attributes: Sequence[str], n: int) -> Relation:
     This is the tutorial's skew-free extreme: iterative binary joins never
     grow intermediate results on such data (slide 57).
     """
-    rows = [tuple([i] * len(attributes)) for i in range(n)]
-    return Relation(name, attributes, rows)
+    if not attributes:
+        return Relation(name, attributes, [])
+    serial = np.arange(n, dtype=np.int64)
+    return Relation.from_columns(name, attributes, [serial] * len(attributes))
 
 
 def regular_degree_relation(
@@ -100,11 +103,10 @@ def skewed_relation(
     columns = []
     for pos, _attr in enumerate(attributes):
         if pos == key_pos:
-            columns.append(keys)
+            columns.append(np.asarray(keys))
         else:
             columns.append(rng.integers(0, universe, size=n))
-    rows = list(zip(*(c.tolist() for c in columns)))
-    return Relation(name, attributes, rows)
+    return Relation.from_columns(name, attributes, columns)
 
 
 def single_value_relation(
@@ -116,12 +118,13 @@ def single_value_relation(
 ) -> Relation:
     """All ``n`` tuples share one value on ``key_attribute`` (slide 27's extreme)."""
     key_pos = list(attributes).index(key_attribute)
-    rows = []
-    for i in range(n):
-        row = [value if pos == key_pos else (i * len(attributes) + pos)
-               for pos in range(len(attributes))]
-        rows.append(tuple(row))
-    return Relation(name, attributes, rows)
+    arity = len(attributes)
+    serial = np.arange(n, dtype=np.int64) * arity
+    columns = [
+        np.full(n, value, dtype=np.int64) if pos == key_pos else serial + pos
+        for pos in range(arity)
+    ]
+    return Relation.from_columns(name, attributes, columns)
 
 
 def relation_with_planted_output(

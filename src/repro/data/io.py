@@ -58,4 +58,4 @@ def write_csv(relation: Relation, path: str | Path, header: bool = True) -> None
         writer = csv.writer(handle)
         if header:
             writer.writerow(relation.schema.attributes)
-        writer.writerows(relation.rows())
+        writer.writerows(relation.rows_readonly())

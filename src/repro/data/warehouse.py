@@ -73,22 +73,24 @@ def make_warehouse(
 
     owner = ZipfSampler(n_customers, customer_skew, seed=seed + 1).sample(n_orders)
     months = rng.integers(1, 13, size=n_orders)
-    orders = Relation(
+    orders = Relation.from_columns(
         "Orders",
         ["order", "cust", "month"],
-        list(zip(range(n_orders), owner.tolist(), months.tolist())),
+        [np.arange(n_orders, dtype=np.int64), np.asarray(owner), months],
     )
 
-    li_rows = []
     part_choice = rng.integers(0, n_parts, size=n_orders * lineitems_per_order)
     qty = rng.integers(1, 10, size=n_orders * lineitems_per_order)
-    for order in range(n_orders):
-        for k in range(lineitems_per_order):
-            idx = order * lineitems_per_order + k
-            li_rows.append((order, int(part_choice[idx]), int(qty[idx])))
-    lineitems = Relation("Lineitems", ["order", "part", "qty"], li_rows)
-
-    parts = Relation(
-        "Parts", ["part", "brand"], [(p, p % 20) for p in range(n_parts)]
+    lineitems = Relation.from_columns(
+        "Lineitems",
+        ["order", "part", "qty"],
+        [
+            np.repeat(np.arange(n_orders, dtype=np.int64), lineitems_per_order),
+            part_choice,
+            qty,
+        ],
     )
+
+    part_ids = np.arange(n_parts, dtype=np.int64)
+    parts = Relation.from_columns("Parts", ["part", "brand"], [part_ids, part_ids % 20])
     return Warehouse(customers, orders, lineitems, parts, seed)

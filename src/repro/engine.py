@@ -126,7 +126,9 @@ class Engine:
             else:
                 cq = text_or_query
             expected = self.oracle(cq)
-            diff = multiset_diff(expected.rows(), result.output.rows())
+            diff = multiset_diff(
+                expected.rows_readonly(), result.output.rows_readonly()
+            )
             if diff:
                 raise OracleMismatchError(f"engine query {cq}", diff)
         return result
@@ -185,10 +187,15 @@ class Engine:
         """The relation re-projected to its atom's variable order.
 
         Memoized per (atom variables, relation name/identity, schema
-        fingerprint): re-running the same query text over an unchanged
-        catalog skips the projection entirely. The cache is bounded LRU
-        (:attr:`_ALIGN_CACHE_SIZE`) and cleared by :meth:`register`, so a
-        replaced relation can never serve a stale alignment.
+        fingerprint, **mutation token**): re-running the same query text
+        over an unchanged catalog skips the projection entirely, while
+        mutating a registered relation with ``add``/``extend`` between
+        queries bumps its token and can never be served a stale
+        alignment. Relations whose row list is aliased outside
+        (:attr:`Relation.is_borrowed`) are not cached at all — in-place
+        edits of such a list are invisible to the token. The cache is
+        bounded LRU (:attr:`_ALIGN_CACHE_SIZE`) and cleared by
+        :meth:`register`.
         """
         atom = cq.atoms[index]
         if set(rel.schema.attributes) != set(atom.variables):
@@ -201,6 +208,7 @@ class Engine:
             rel.name,
             id(rel),
             tuple(rel.schema.attributes),
+            rel.mutation_token(),
         )
         cached = self._align_cache.get(key)
         if cached is not None:
@@ -209,8 +217,11 @@ class Engine:
             self._align_cache.pop(key)
             self._align_cache[key] = cached
             return cached
+        cacheable = not rel.is_borrowed
         if rel.schema.attributes != atom.variables:
             rel = rel.project(list(atom.variables))
+        if not cacheable:
+            return rel
         if len(self._align_cache) >= self._ALIGN_CACHE_SIZE:
             self._align_cache.pop(next(iter(self._align_cache)))
         self._align_cache[key] = rel

@@ -28,8 +28,10 @@ from repro.exec.config import (
     TRANSPORTS,
     backend_name,
     set_backend,
+    shm_rows_enabled,
     transport_name,
     use_backend,
+    use_shm_rows,
     worker_count,
 )
 from repro.exec.pool import WorkerError, shutdown_pools
@@ -45,8 +47,10 @@ __all__ = [
     "chunk_bounds",
     "get_backend",
     "set_backend",
+    "shm_rows_enabled",
     "shutdown_pools",
     "transport_name",
     "use_backend",
+    "use_shm_rows",
     "worker_count",
 ]

@@ -142,8 +142,8 @@ class ProcessBackend(ExecutionBackend):
         ]
         pool = get_pool(self.workers, self.transport)
         try:
-            results, shm_out, shm_in, worker_seconds = pool.run(
-                task, chunks, common, kernels_enabled()
+            results, shm_out, shm_in, pickle_out, pickle_in, worker_seconds = (
+                pool.run(task, chunks, common, kernels_enabled())
             )
         except UnpicklablePayloadError:
             # Same pure function, same order — byte-identical, just local.
@@ -156,6 +156,8 @@ class ProcessBackend(ExecutionBackend):
             stats.items += len(payloads)
             stats.shm_bytes_out += shm_out
             stats.shm_bytes_in += shm_in
+            stats.pickle_bytes_out += pickle_out
+            stats.pickle_bytes_in += pickle_in
             stats.worker_seconds += worker_seconds
         merged: list[Any] = []
         for chunk_result in results:

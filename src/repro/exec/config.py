@@ -78,6 +78,40 @@ def transport_name() -> str:
     return _validated_transport(raw) if raw else "shm"
 
 
+def shm_rows_enabled() -> bool:
+    """Whether the shm transport also packs integer *row lists*.
+
+    With the columnar-native data layer, uniform all-integer tuple lists
+    are encodable as one 2-D ``int64`` block per list, so they ride the
+    shared-memory segment instead of the queue's per-tuple pickle
+    stream. ``REPRO_SHM_ROWS=off`` restores the pickle path (the A/B
+    knob the transport-bytes benchmark measures against); the in-process
+    override from :func:`use_shm_rows` wins over the environment.
+    """
+    if _forced_shm_rows is not None:
+        return _forced_shm_rows
+    raw = os.environ.get("REPRO_SHM_ROWS", "").strip().lower()
+    if raw in ("off", "0", "false", "no"):
+        return False
+    return True
+
+
+_forced_shm_rows: bool | None = None
+
+
+@contextmanager
+def use_shm_rows(flag: bool | None) -> Iterator[None]:
+    """Scoped override of :func:`shm_rows_enabled` (``None`` = no-op)."""
+    global _forced_shm_rows
+    previous = _forced_shm_rows
+    if flag is not None:
+        _forced_shm_rows = flag
+    try:
+        yield
+    finally:
+        _forced_shm_rows = previous
+
+
 def set_backend(
     name: str | None,
     workers: int | None = None,

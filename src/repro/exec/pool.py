@@ -65,7 +65,7 @@ def _worker_main(
         blob = task_queue.get()
         if blob is None:
             break
-        job_id, task_name, encoded, kernels_flag = pickle.loads(blob)
+        job_id, task_name, encoded, kernels_flag, rows_flag = pickle.loads(blob)
         started = time.perf_counter()
         try:
             (chunk, common), segment = shm.decode_for_read(encoded)
@@ -75,12 +75,22 @@ def _worker_main(
                     result = fn(chunk, common)
             finally:
                 shm.finish_read(segment)
-            payload = shm.encode_payload(result, transport)
+            payload = shm.encode_payload(result, transport, pack_rows=rows_flag)
             ok = True
         except BaseException:
             payload = f"worker {worker_index}: {traceback.format_exc()}"
             ok = False
-        result_queue.put((job_id, ok, payload, time.perf_counter() - started))
+        # The result rides the queue as an explicit pickle blob (instead
+        # of letting the queue pickle the tuple internally) so the
+        # coordinator can account the bytes that did NOT make it into
+        # shared memory — the pickle_bytes_in half of the transport
+        # story the benchmarks compare.
+        result_queue.put(
+            pickle.dumps(
+                (job_id, ok, payload, time.perf_counter() - started),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        )
 
 
 class WorkerError(RuntimeError):
@@ -127,37 +137,41 @@ class WorkerPool:
         chunks: list[tuple[int, list[Any]]],
         common: Any,
         kernels_flag: bool,
-    ) -> tuple[list[list[Any]], int, int, float]:
+    ) -> tuple[list[list[Any]], int, int, int, int, float]:
         """Run one task over ``(worker_index, payload_chunk)`` pairs.
 
         Returns ``(results_in_chunk_order, shm_bytes_out, shm_bytes_in,
-        worker_seconds)``. Chunk i's result sits at index i regardless of
-        completion order, which is what makes the merge deterministic.
+        pickle_bytes_out, pickle_bytes_in, worker_seconds)``. Chunk i's
+        result sits at index i regardless of completion order, which is
+        what makes the merge deterministic.
         """
         if self._closed:
             raise RuntimeError("worker pool is shut down")
+        from repro.exec.config import shm_rows_enabled
+
+        rows_flag = shm_rows_enabled()
         # Encode and pre-pickle every job before enqueueing any of them:
         # a serialization failure (a closure key, an exotic item type)
         # must raise here, where the backend can fall back to inline —
         # a failure inside the queue's feeder thread would silently drop
         # the job and deadlock the collect loop below.
         shm_out = 0
+        pickle_out = 0
         blobs: list[tuple[int, bytes]] = []
         encodeds: list[shm.ShmEncoded] = []
         try:
             for job_id, (worker_index, chunk) in enumerate(chunks):
-                encoded = shm.encode_payload((chunk, common), self.transport)
+                encoded = shm.encode_payload(
+                    (chunk, common), self.transport, pack_rows=rows_flag
+                )
                 encodeds.append(encoded)
                 shm_out += encoded.nbytes
-                blobs.append(
-                    (
-                        worker_index % self.workers,
-                        pickle.dumps(
-                            (job_id, task_name, encoded, kernels_flag),
-                            protocol=pickle.HIGHEST_PROTOCOL,
-                        ),
-                    )
+                blob = pickle.dumps(
+                    (job_id, task_name, encoded, kernels_flag, rows_flag),
+                    protocol=pickle.HIGHEST_PROTOCOL,
                 )
+                pickle_out += len(blob)
+                blobs.append((worker_index % self.workers, blob))
         except (pickle.PicklingError, TypeError, AttributeError) as error:
             for encoded in encodeds:
                 shm.release_payload(encoded)
@@ -169,13 +183,12 @@ class WorkerPool:
         results: list[list[Any] | None] = [None] * len(chunks)
         pending = len(chunks)
         shm_in = 0
+        pickle_in = 0
         worker_seconds = 0.0
         failure: str | None = None
         while pending:
             try:
-                job_id, ok, payload, elapsed = self._result_queue.get(
-                    timeout=_POLL_SECONDS
-                )
+                result_blob = self._result_queue.get(timeout=_POLL_SECONDS)
             except queue_module.Empty:
                 dead = [p.name for p in self._processes if not p.is_alive()]
                 if dead:
@@ -185,6 +198,8 @@ class WorkerPool:
                     )
                 continue
             pending -= 1
+            pickle_in += len(result_blob)
+            job_id, ok, payload, elapsed = pickle.loads(result_blob)
             worker_seconds += elapsed
             if not ok:
                 # Drain remaining jobs before raising so their shared
@@ -199,7 +214,14 @@ class WorkerPool:
             results[job_id] = shm.decode_owned(payload)
         if failure is not None:
             raise WorkerError(failure)
-        return [result for result in results if result is not None], shm_out, shm_in, worker_seconds
+        return (
+            [result for result in results if result is not None],
+            shm_out,
+            shm_in,
+            pickle_out,
+            pickle_in,
+            worker_seconds,
+        )
 
     def shutdown(self) -> None:
         if self._closed:

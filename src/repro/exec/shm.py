@@ -1,14 +1,21 @@
 """Shared-memory columnar transport for the process backend.
 
 A task payload is an arbitrary picklable structure (nested tuples,
-lists, dicts) whose numpy-array leaves — the PR-3 column side-cars —
-would be expensive to push through a queue's pickle stream. With the
-``shm`` transport every array leaf of one message is packed into a
-single :class:`multiprocessing.shared_memory.SharedMemory` segment and
+lists, dicts) whose numpy-array leaves — the columnar-native data
+layer's columns — would be expensive to push through a queue's pickle
+stream. With the ``shm`` transport every array leaf of one message is
+packed into a single
+:class:`multiprocessing.shared_memory.SharedMemory` segment and
 replaced by an index marker; the receiver re-attaches the segment and
-rebuilds zero-copy views. Tuple-path rows (lists of Python tuples) have
-no columnar representation and always travel through the queue's
-batched pickle, per the fallback contract of the kernels.
+rebuilds zero-copy views.
+
+Row lists (lists of Python tuples) get the same treatment when they are
+*uniform all-integer* blocks: a list of ≥ 32 same-arity int tuples
+packs into one 2-D ``int64`` array riding the segment, marked by
+:class:`_RowsRef` so the receiver rebuilds the exact tuple list. Mixed,
+ragged, non-integer, or tiny lists keep travelling through the queue's
+batched pickle — the fallback contract of the kernels, gated by
+``REPRO_SHM_ROWS`` (:func:`repro.exec.config.shm_rows_enabled`).
 
 Segment lifecycle: the *sender* creates the segment and disowns it from
 its resource tracker (:func:`disown_segment`), because the duty to
@@ -44,6 +51,44 @@ class _ArrayRef:
     """Marker standing in for the ``index``-th packed array of a message."""
 
     index: int
+
+
+@dataclass(frozen=True)
+class _RowsRef:
+    """Marker for a tuple list packed as the ``index``-th (2-D) array."""
+
+    index: int
+
+
+# Below this the fixed per-message segment cost outweighs the pickle
+# saving; the threshold only trades speed, never correctness.
+_MIN_ROW_BLOCK = 32
+
+
+def _pack_rows(obj: list[Any]) -> np.ndarray | None:
+    """The 2-D ``int64`` block for a uniform all-int tuple list, or None.
+
+    The first row acts as a cheap pre-filter (tuples of built-in ints
+    only — ``bool`` is excluded because ``True`` must round-trip as
+    ``True``, not ``1``); the array conversion then validates the rest:
+    ragged lists raise, mixed or float or oversized values produce a
+    non-``int`` dtype, and both cases fall back to pickle.
+    """
+    if len(obj) < _MIN_ROW_BLOCK or type(obj[0]) is not tuple:
+        return None
+    first = obj[0]
+    if not first:
+        return None
+    for value in first:
+        if type(value) is not int:
+            return None
+    try:
+        block = np.asarray(obj)
+    except (ValueError, TypeError, OverflowError):
+        return None
+    if block.ndim != 2 or block.shape[1] != len(first) or block.dtype.kind != "i":
+        return None
+    return block
 
 
 @dataclass
@@ -86,22 +131,34 @@ def attach_segment(name: str) -> shared_memory.SharedMemory:
     return shared_memory.SharedMemory(name=name)
 
 
-def _walk_encode(obj: Any, sink: list[np.ndarray]) -> Any:
+def _walk_encode(obj: Any, sink: list[np.ndarray], pack_rows: bool) -> Any:
     if isinstance(obj, np.ndarray):
         sink.append(obj)
         return _ArrayRef(len(sink) - 1)
     if isinstance(obj, tuple):
-        return tuple(_walk_encode(item, sink) for item in obj)
+        return tuple(_walk_encode(item, sink, pack_rows) for item in obj)
     if isinstance(obj, list):
-        return [_walk_encode(item, sink) for item in obj]
+        if pack_rows:
+            block = _pack_rows(obj)
+            if block is not None:
+                sink.append(block)
+                return _RowsRef(len(sink) - 1)
+        return [_walk_encode(item, sink, pack_rows) for item in obj]
     if isinstance(obj, dict):
-        return {key: _walk_encode(value, sink) for key, value in obj.items()}
+        return {
+            key: _walk_encode(value, sink, pack_rows)
+            for key, value in obj.items()
+        }
     return obj
 
 
 def _walk_decode(obj: Any, arrays: list[np.ndarray]) -> Any:
     if isinstance(obj, _ArrayRef):
         return arrays[obj.index]
+    if isinstance(obj, _RowsRef):
+        # .tolist() yields built-in ints, so the rebuilt tuples are
+        # byte-identical to what the sender packed.
+        return [tuple(row) for row in arrays[obj.index].tolist()]
     if isinstance(obj, tuple):
         return tuple(_walk_decode(item, arrays) for item in obj)
     if isinstance(obj, list):
@@ -111,17 +168,27 @@ def _walk_decode(obj: Any, arrays: list[np.ndarray]) -> Any:
     return obj
 
 
-def encode_payload(payload: Any, transport: str) -> ShmEncoded:
+def encode_payload(
+    payload: Any, transport: str, pack_rows: bool | None = None
+) -> ShmEncoded:
     """Lift the array leaves of ``payload`` into one shared-memory segment.
 
     With ``transport="pickle"`` (or when there are no array bytes to
     move) the payload is passed through untouched and rides the queue's
-    pickle stream whole.
+    pickle stream whole. ``pack_rows`` controls the integer row-block
+    packing; ``None`` resolves the ambient
+    :func:`repro.exec.config.shm_rows_enabled` — workers receive the
+    coordinator's resolved flag with the job instead, because a scoped
+    ``use_shm_rows`` override never crosses the fork.
     """
     if transport != "shm":
         return ShmEncoded(payload, None, [], 0)
+    if pack_rows is None:
+        from repro.exec.config import shm_rows_enabled
+
+        pack_rows = shm_rows_enabled()
     arrays: list[np.ndarray] = []
-    structure = _walk_encode(payload, arrays)
+    structure = _walk_encode(payload, arrays, pack_rows)
     total = sum(a.nbytes for a in arrays)
     if total == 0:
         # Zero-length segments are invalid; metadata-only messages (and

@@ -45,6 +45,20 @@ def _code_columns(
         right_cols = key_columns(right_rows, right_idx)
     if left_cols is None or right_cols is None:
         return None
+    return code_key_columns(left_cols, right_cols)
+
+
+def code_key_columns(
+    left_cols: Sequence[np.ndarray],
+    right_cols: Sequence[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Joint key codes directly from already-extracted key columns.
+
+    The pure core of :func:`_code_columns`, usable column-natively (no
+    row lists involved). ``None`` when a ``uint64`` column exceeds the
+    signed 64-bit range (value comparisons would collide).
+    """
+    n_left = len(left_cols[0]) if left_cols else 0
     stacked_cols = []
     for lcol, rcol in zip(left_cols, right_cols):
         lcol64 = comparable_int64(lcol)
@@ -70,7 +84,7 @@ def _code_columns(
                 limit = int(codes[codes.argmax()]) + 1 if codes.size else 1
             codes = codes * k + inv
             limit *= k
-    return codes[: len(left_rows)], codes[len(left_rows):]
+    return codes[:n_left], codes[n_left:]
 
 
 def join_indices(

@@ -408,7 +408,9 @@ class Cluster:
         """
         fragment = name if name is not None else relation.name
         columns = relation.columns() if kernels_enabled() else None
-        return self.scatter_rows(relation.rows(), fragment, columns=columns)
+        return self.scatter_rows(
+            relation.rows_readonly(), fragment, columns=columns
+        )
 
     def scatter_rows(
         self,

@@ -96,6 +96,8 @@ class ExecStats:
     items: int = 0  # per-server payloads processed
     shm_bytes_out: int = 0  # array bytes shipped coordinator -> workers
     shm_bytes_in: int = 0  # array bytes shipped workers -> coordinator
+    pickle_bytes_out: int = 0  # queue pickle bytes coordinator -> workers
+    pickle_bytes_in: int = 0  # queue pickle bytes workers -> coordinator
     worker_seconds: float = 0.0
     fallbacks: int = 0  # process dispatches run inline (unpicklable payload)
 
@@ -116,6 +118,8 @@ class ExecStats:
             total.items += part.items
             total.shm_bytes_out += part.shm_bytes_out
             total.shm_bytes_in += part.shm_bytes_in
+            total.pickle_bytes_out += part.pickle_bytes_out
+            total.pickle_bytes_in += part.pickle_bytes_in
             total.worker_seconds += part.worker_seconds
             total.fallbacks += part.fallbacks
         return total

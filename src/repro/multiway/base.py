@@ -156,7 +156,7 @@ def shuffle_multi_semijoin(
     reducer_key_sets: list[set[Row]] = []
     for i, red in enumerate(reducers):
         distinct_keys = red.project(list(shared)).distinct()
-        reducer_key_sets.append(set(distinct_keys.rows()))
+        reducer_key_sets.append(set(distinct_keys.rows_readonly()))
         light_keys = distinct_keys.select(lambda row: row not in heavy)
         reducer_frags.append(cluster.scatter(light_keys, f"K{i}@in"))
 

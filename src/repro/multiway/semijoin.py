@@ -45,7 +45,7 @@ def two_path_semijoin_plan(
     r_counts = r.degrees("x")
     t_counts = t.degrees("y")
     rows: list[Row] = []
-    for x, y in reduced.project(["x", "y"]).rows():
+    for x, y in reduced.project(["x", "y"]).rows_readonly():
         rows.extend([(x, y)] * (r_counts[x] * t_counts[y]))
     output = Relation(output_name, ["x", "y"], rows)
     run_stats = combine_sequential(p, [stats1, stats2])
@@ -96,7 +96,7 @@ def triangle_hl_semijoin(
     light_run = hypercube_join(
         triangle_query(), {"R": r, "S": s_light, "T": t_light}, p_light, seed=seed
     )
-    out_rows.extend(light_run.output.rows())
+    out_rows.extend(light_run.output.rows_readonly())
     runs.append(light_run.stats)
 
     if heavy_z:
@@ -138,6 +138,6 @@ def _heavy_z_residual(
     s_counts = s_h.degrees("y")
     t_counts = t_h.degrees("x")
     rows: list[Row] = []
-    for x, y in reduced.project(["x", "y"]).rows():
+    for x, y in reduced.project(["x", "y"]).rows_readonly():
         rows.extend([(x, y, z_value)] * (s_counts[y] * t_counts[x]))
     return rows, combine_sequential(p, [stats, stats2])

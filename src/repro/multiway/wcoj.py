@@ -99,7 +99,9 @@ def generic_join(
             )
         aligned = rel.project(list(atom.variables)) \
             if rel.schema.attributes != atom.variables else rel
-        indexes.append(_AtomIndex(atom.variables, aligned.rows(), variable_order))
+        indexes.append(
+            _AtomIndex(atom.variables, aligned.rows_readonly(), variable_order)
+        )
 
     out_rows: list[Row] = []
 

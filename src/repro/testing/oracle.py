@@ -94,7 +94,7 @@ def oracle_join(
     for atom in query.atoms:
         rel = relations[atom.name]
         positions = [rel.schema.index(v) for v in atom.variables]
-        rows = [tuple(row[i] for i in positions) for row in rel.rows()]
+        rows = [tuple(row[i] for i in positions) for row in rel.rows_readonly()]
         atom_rows.append((atom.variables, rows))
 
     out_rows: list[Row] = []
@@ -138,8 +138,8 @@ def oracle_two_way(r: Relation, s: Relation, name: str = "OUT") -> Relation:
     extra_idx = [s.schema.index(a) for a in extra]
     out_rows = [
         r_row + tuple(s_row[i] for i in extra_idx)
-        for r_row in r.rows()
-        for s_row in s.rows()
+        for r_row in r.rows_readonly()
+        for s_row in s.rows_readonly()
         if all(r_row[i] == s_row[j] for i, j in zip(r_idx, s_idx))
     ]
     return Relation(name, list(r.schema.attributes) + extra, out_rows)
@@ -147,7 +147,11 @@ def oracle_two_way(r: Relation, s: Relation, name: str = "OUT") -> Relation:
 
 def oracle_product(r: Relation, s: Relation, name: str = "OUT") -> Relation:
     """Nested-loop Cartesian product (disjoint schemas)."""
-    out_rows = [r_row + s_row for r_row in r.rows() for s_row in s.rows()]
+    out_rows = [
+        r_row + s_row
+        for r_row in r.rows_readonly()
+        for s_row in s.rows_readonly()
+    ]
     return Relation(name, list(r.schema.attributes) + list(s.schema.attributes), out_rows)
 
 
@@ -159,8 +163,8 @@ def oracle_band_join(
     s_pos = s.schema.index(s_key)
     return [
         r_row + s_row
-        for r_row in r.rows()
-        for s_row in s.rows()
+        for r_row in r.rows_readonly()
+        for s_row in s.rows_readonly()
         if abs(r_row[r_pos] - s_row[s_pos]) <= epsilon
     ]
 

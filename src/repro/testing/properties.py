@@ -58,7 +58,7 @@ def permuted_instance(instance: Instance, seed: int = 1) -> Instance:
     rng = random.Random(seed)
     relations = {}
     for name, rel in instance.relations.items():
-        rows = list(rel.rows())
+        rows = list(rel.rows_readonly())
         rng.shuffle(rows)
         relations[name] = type(rel)(rel.name, rel.schema, rows)
     items = list(instance.items)

@@ -195,10 +195,6 @@ def main(argv: list[str] | None = None) -> int:
                              "REPRO_BACKEND setting)")
     args = parser.parse_args(argv)
 
-    if args.kernels == "both" and args.backend == "both":
-        parser.error("--kernels both and --backend both cannot be combined; "
-                     "sweep one axis at a time")
-
     def run(kernels: bool | None, backend: str | None = None) -> SelftestReport:
         return run_selftest(
             instances=args.instances,
@@ -220,6 +216,48 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {line}", file=sys.stderr)
 
     fixed_backend = None if args.backend == "both" else args.backend
+
+    if args.kernels == "both" and args.backend == "both":
+        # The full 2x2 sweep: every (kernels, backend) cell must pass on
+        # its own, loads must match across kernel modes within each
+        # backend, and outputs/loads/rounds must match across backends
+        # within each kernel mode.
+        status = 0
+        reports: dict[tuple[bool, str], SelftestReport] = {}
+        for backend_name in ("inline", "process"):
+            for mode in (True, False):
+                label = f"kernels {'on' if mode else 'off'} / {backend_name}"
+                print(f"=== {label} ===")
+                report = run(mode, backend_name)
+                reports[(mode, backend_name)] = report
+                print(report.summary_table())
+                if not report.ok:
+                    report_failures(report)
+                    status = 1
+        for backend_name in ("inline", "process"):
+            drift = cross_mode_drift(
+                reports[(True, backend_name)], reports[(False, backend_name)]
+            )
+            if drift:
+                print(f"\nkernels on/off drift ({backend_name} backend):",
+                      file=sys.stderr)
+                for line in drift:
+                    print(f"  {line}", file=sys.stderr)
+                status = 1
+        for mode in (True, False):
+            drift = cross_backend_drift(
+                reports[(mode, "inline")], reports[(mode, "process")]
+            )
+            if drift:
+                print(f"\ninline/process drift (kernels "
+                      f"{'on' if mode else 'off'}):", file=sys.stderr)
+                for line in drift:
+                    print(f"  {line}", file=sys.stderr)
+                status = 1
+        if status == 0:
+            print("outputs, loads, and rounds identical across the full "
+                  "kernels x backend sweep")
+        return status
 
     if args.kernels == "both":
         status = 0

@@ -1,0 +1,119 @@
+"""Regressions for the dual-representation coherency machinery.
+
+PR 3 cached ``Relation.columns()`` keyed on ``len(rows)`` only, so a
+*same-length* in-place rewrite of a list handed out by ``rows()`` (or
+adopted by ``wrap()``) kept serving the stale arrays — the kernels then
+joined data that no longer existed. The columnar-native layer replaces
+that with a monotonic mutation token plus a sticky *borrowed* flag;
+these tests pin the exact scenarios the length key missed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.relation import Relation
+from repro.errors import SchemaError
+
+
+class TestStaleColumnRegression:
+    """Satellite 1: the length-only cache-invalidation bug."""
+
+    def test_same_length_rewrite_via_rows_is_seen(self):
+        # The pre-fix failure: len() is unchanged, so a length-keyed
+        # cache would keep returning columns built from (1, 2), (3, 4).
+        rel = Relation("R", ["x", "y"], [(1, 2), (3, 4)])
+        assert [c.tolist() for c in rel.columns()] == [[1, 3], [2, 4]]
+        live = rel.rows()
+        live[0] = (9, 9)
+        assert [c.tolist() for c in rel.columns()] == [[9, 3], [9, 4]]
+
+    def test_same_length_rewrite_via_wrap_is_seen(self):
+        rows = [(1, 10), (2, 20), (3, 30)]
+        rel = Relation.wrap("R", ["x", "y"], rows)
+        assert [c.tolist() for c in rel.columns()] == [[1, 2, 3], [10, 20, 30]]
+        rows[1] = (7, 70)  # caller kept its reference; len unchanged
+        assert [c.tolist() for c in rel.columns()] == [[1, 7, 3], [10, 70, 30]]
+
+    def test_same_length_rewrite_invalidates_key_column_reuse(self):
+        rel = Relation("R", ["x", "y"], [(1, 2), (3, 4)])
+        other = Relation("S", ["y", "z"], [(2, 5), (9, 6)])
+        assert sorted(rel.join(other).rows_readonly()) == [(1, 2, 5)]
+        live = rel.rows()
+        live[0] = (1, 9)  # now matches the other S tuple instead
+        assert sorted(rel.join(other).rows_readonly()) == [(1, 9, 6)]
+
+    def test_borrowed_relations_never_cache_extraction(self):
+        rel = Relation("R", ["x"], [(1,), (2,)])
+        rel.rows()  # borrow
+        first = rel.columns()
+        second = rel.columns()
+        assert first is not second  # fresh extraction every call
+
+    def test_unborrowed_extraction_is_cached(self):
+        rel = Relation("R", ["x"], [(1,), (2,)])
+        assert rel.columns() is rel.columns()
+
+    def test_add_invalidates_cached_columns(self):
+        rel = Relation("R", ["x"], [(1,)])
+        before = rel.columns()
+        rel.add((2,))
+        after = rel.columns()
+        assert before is not after
+        assert after[0].tolist() == [1, 2]
+
+
+class TestMutationToken:
+    def test_token_bumps_on_every_mutation(self):
+        rel = Relation("R", ["x"], [(1,)])
+        t0 = rel.mutation_token()
+        rel.add((2,))
+        t1 = rel.mutation_token()
+        rel.extend([(3,), (4,)])
+        t2 = rel.mutation_token()
+        rel.rows()
+        t3 = rel.mutation_token()
+        assert t0 < t1 < t2 < t3
+
+    def test_readonly_accessors_leave_token_alone(self):
+        rel = Relation("R", ["x", "y"], [(1, 2)])
+        t0 = rel.mutation_token()
+        rel.rows_readonly()
+        rel.columns()
+        list(rel)
+        len(rel)
+        assert rel.mutation_token() == t0
+        assert not rel.is_borrowed
+
+    def test_borrow_is_sticky(self):
+        rel = Relation("R", ["x"], [(1,)])
+        rel.rows()
+        assert rel.is_borrowed
+        rel.add((2,))  # still borrowed: the old alias can still mutate
+        assert rel.is_borrowed
+
+    def test_column_primary_demotes_on_rows(self):
+        rel = Relation.from_columns("R", ["x"], [np.array([1, 2])])
+        assert rel.is_columnar
+        live = rel.rows()
+        assert not rel.is_columnar and rel.is_borrowed
+        live.append((3,))
+        assert rel.columns()[0].tolist() == [1, 2, 3]
+
+
+class TestWrapArityCheck:
+    """Satellite 3: wrap() must reject malformed rows at the boundary."""
+
+    def test_wrong_arity_first_row_raises(self):
+        with pytest.raises(SchemaError, match="arity"):
+            Relation.wrap("R", ["x", "y"], [(1, 2, 3)])
+
+    def test_wrong_arity_later_row_raises_in_debug(self):
+        # The full scan is a __debug__ assertion; pytest runs with
+        # assertions enabled, so the deep malformed row surfaces too.
+        with pytest.raises(SchemaError, match="arity"):
+            Relation.wrap("R", ["x", "y"], [(1, 2), (3,)])
+
+    def test_empty_and_valid_lists_pass(self):
+        assert len(Relation.wrap("R", ["x", "y"], [])) == 0
+        rel = Relation.wrap("R", ["x", "y"], [(1, 2), (3, 4)])
+        assert rel.rows_readonly() == [(1, 2), (3, 4)]

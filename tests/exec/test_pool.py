@@ -45,9 +45,12 @@ def pool():
 
 def test_run_merges_in_chunk_order(pool):
     chunks = [(0, [1, 2, 3]), (1, [4, 5])]
-    results, shm_out, shm_in, seconds = pool.run("test.double", chunks, 10, False)
+    results, shm_out, shm_in, pickle_out, pickle_in, seconds = pool.run(
+        "test.double", chunks, 10, False
+    )
     assert results == [[10, 20, 30], [40, 50]]
     assert shm_out == 0 and shm_in == 0  # pickle transport
+    assert pickle_out > 0 and pickle_in > 0  # everything rode the queue
     assert seconds >= 0.0
 
 
@@ -143,11 +146,13 @@ def test_exec_stats_merge():
     parts = [
         ExecStats(backend="process", workers=2, transport="shm",
                   dispatches=3, chunks=6, items=30, shm_bytes_out=100,
-                  shm_bytes_in=50, worker_seconds=0.5, fallbacks=1),
+                  shm_bytes_in=50, pickle_bytes_out=6, pickle_bytes_in=3,
+                  worker_seconds=0.5, fallbacks=1),
         None,
         ExecStats(backend="process", workers=2, transport="shm",
                   dispatches=1, chunks=2, items=10, shm_bytes_out=20,
-                  shm_bytes_in=10, worker_seconds=0.25),
+                  shm_bytes_in=10, pickle_bytes_out=3, pickle_bytes_in=2,
+                  worker_seconds=0.25),
     ]
     merged = ExecStats.merged(parts)
     assert merged.backend == "process" and merged.workers == 2
@@ -156,6 +161,8 @@ def test_exec_stats_merge():
     assert merged.items == 40
     assert merged.shm_bytes_out == 120
     assert merged.shm_bytes_in == 60
+    assert merged.pickle_bytes_out == 9
+    assert merged.pickle_bytes_in == 5
     assert merged.worker_seconds == pytest.approx(0.75)
     assert merged.fallbacks == 1
     assert ExecStats.merged([None, None]) is None

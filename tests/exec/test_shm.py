@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.exec import shm
+from repro.exec.config import use_shm_rows
 
 
 def _payload():
@@ -103,3 +104,70 @@ def test_values_are_exact_not_approximate():
     encoded = shm.encode_payload((values,), "shm")
     (out,) = shm.decode_owned(encoded)
     assert out.tolist() == values.tolist()
+
+
+# ------------------------------------------------- integer row-block packing
+
+
+def _rows(n=40, arity=3):
+    return [tuple(i * arity + j for j in range(arity)) for i in range(n)]
+
+
+def test_row_block_round_trip_owned():
+    rows = _rows()
+    encoded = shm.encode_payload({"deliver": rows}, "shm")
+    assert encoded.segment_name is not None  # rows rode shared memory
+    assert encoded.nbytes == 40 * 3 * 8
+    out = shm.decode_owned(encoded)
+    assert out == {"deliver": rows}
+    assert all(type(v) is int for row in out["deliver"] for v in row)
+
+
+def test_row_block_round_trip_zero_copy():
+    rows = _rows(64, 2)
+    encoded = shm.encode_payload([rows, rows[:5]], "shm")
+    decoded, segment = shm.decode_for_read(encoded)
+    assert decoded[0] == rows
+    assert decoded[1] == rows[:5]  # small list: untouched, rode pickle
+    shm.finish_read(segment)
+
+
+def test_row_block_gate_off_means_pickle():
+    rows = _rows()
+    with use_shm_rows(False):
+        encoded = shm.encode_payload((rows,), "shm")
+    assert encoded.segment_name is None  # nothing packed
+    (out,) = shm.decode_owned(encoded)
+    assert out is rows
+
+
+def test_row_block_explicit_flag_beats_ambient():
+    rows = _rows()
+    assert shm.encode_payload((rows,), "shm", pack_rows=False).segment_name is None
+    assert shm.encode_payload((rows,), "shm", pack_rows=True).segment_name is not None
+
+
+@pytest.mark.parametrize("rows", [
+    _rows(31),                                    # below the size threshold
+    [tuple()] * 40,                               # arity 0
+    [(1.5, 2)] + _rows(39, 2),                    # float in the probe row
+    [(True, 2)] + _rows(39, 2),                   # bool must stay bool
+    [("a", 2)] + _rows(39, 2),                    # non-numeric
+    _rows(39, 2) + [(0.5, 1)],                    # float past the probe row
+    _rows(39, 2) + [(1, 2, 3)],                   # ragged arity
+    _rows(39, 2) + [(2**70, 1)],                  # overflows int64
+    [[1, 2]] * 40,                                # lists, not tuples
+])
+def test_row_block_fallbacks(rows):
+    encoded = shm.encode_payload((rows,), "shm")
+    assert encoded.segment_name is None
+    (out,) = shm.decode_owned(encoded)
+    assert out is rows
+
+
+def test_row_block_negative_and_extreme_ints_exact():
+    rows = [(-(2**63), 2**63 - 1, 0)] * 40
+    encoded = shm.encode_payload((rows,), "shm")
+    assert encoded.segment_name is not None
+    (out,) = shm.decode_owned(encoded)
+    assert out == rows

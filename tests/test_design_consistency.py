@@ -8,6 +8,34 @@ import pytest
 ROOT = Path(__file__).resolve().parent.parent
 
 
+class TestRowsEncapsulationLint:
+    """No module outside data/relation.py may touch ``._rows`` directly.
+
+    The dual-representation invariants (mutation token, borrowed flag,
+    column cache) live entirely inside :class:`Relation`; a stray
+    ``rel._rows`` bypasses all three and reintroduces exactly the stale-
+    column bug this PR fixes. CI runs the same check as a grep step; this
+    test makes it fail locally first. The rows-footgun test is the one
+    sanctioned exception (it *installs* a guard on the slot on purpose)
+    and tests are outside the scanned tree anyway.
+    """
+
+    def test_no_direct_rows_access_outside_relation(self):
+        offenders = []
+        for path in sorted((ROOT / "src" / "repro").rglob("*.py")):
+            if path.name == "relation.py" and path.parent.name == "data":
+                continue
+            for lineno, line in enumerate(
+                path.read_text().splitlines(), start=1
+            ):
+                if re.search(r"\._rows\b", line):
+                    offenders.append(f"{path.relative_to(ROOT)}:{lineno}: {line.strip()}")
+        assert not offenders, (
+            "direct Relation._rows access outside data/relation.py "
+            "(use rows()/rows_readonly()/columns()):\n" + "\n".join(offenders)
+        )
+
+
 class TestExperimentIndex:
     def test_every_indexed_bench_exists(self):
         design = (ROOT / "DESIGN.md").read_text()

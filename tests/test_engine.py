@@ -194,3 +194,37 @@ class TestAlignCache:
         # Oldest entries evicted; the most recent still hit.
         recent = engine.query("T7(u,v)")
         assert recent.align_cache_hits == 1
+
+    def test_mutating_a_registered_relation_between_queries(self):
+        # Regression: the cache used to key on (name, id, schema) only,
+        # so add()/extend() after a query kept serving the old aligned
+        # projection — the second query answered over vanished data.
+        engine = Engine(p=4)
+        engine.register(Relation("T", ["v", "u"], [(2, 1)]))
+        first = engine.query("T(u,v)")
+        assert sorted(first.output.rows()) == [(1, 2)]
+        engine.relation("T").add((4, 3))
+        second = engine.query("T(u,v)")
+        assert second.align_cache_hits == 0  # token bump = new cache key
+        assert sorted(second.output.rows()) == [(1, 2), (3, 4)]
+        engine.relation("T").extend([(6, 5)])
+        engine.query("T(u,v)", verify=True)  # oracle agrees post-mutation
+
+    def test_mutated_two_way_join_inputs_verify(self):
+        engine = self._engine()
+        engine.query("R(a,b), S(b,z)")
+        engine.relation("R").add((1, 99))
+        engine.relation("S").extend([(1, 7), (1, 8)])
+        after = engine.query("R(a,b), S(b,z)", verify=True)
+        assert after.align_cache_hits == 0
+        assert (99, 1, 7) in after.output.rows_readonly()
+
+    def test_borrowed_relation_is_never_cached(self):
+        engine = Engine(p=2)
+        rows = [(2, 1)]
+        engine.register(Relation.wrap("T", ["v", "u"], rows))
+        engine.query("T(u,v)")
+        rows[0] = (9, 8)  # in-place: invisible to any token
+        fresh = engine.query("T(u,v)")
+        assert fresh.align_cache_hits == 0
+        assert sorted(fresh.output.rows()) == [(8, 9)]
