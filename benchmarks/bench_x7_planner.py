@@ -1,0 +1,101 @@
+"""X7 — the cost-based adaptive planner: predicted vs measured load.
+
+The optimizer (:mod:`repro.planner.optimizer`) prices every applicable
+strategy for a query from its statistics and the closed-form MPC load
+bounds, then runs the cheapest. This experiment holds those prices
+accountable: for each scenario of
+:func:`repro.bench.planner_scenarios.planner_scenarios` — one workload
+per cost-model regime (uniform/skewed two-way, tiny build side, uniform
+and power-law triangles, path, star, Cartesian pair) — it executes
+*every* applicable candidate and reports predicted load, measured
+L_max, and their ratio.
+
+Asserted shape:
+
+- the chosen strategy matches the scenario's expected regime winner;
+- no strategy's measured L_max exceeds twice its prediction;
+- the chosen strategy's measured load is within its conformance
+  envelope (the same ``factor · predicted + additive`` discipline the
+  ``selftest --planner`` gate uses).
+
+The committed BENCH_7 artifact is produced by the measured counterpart:
+``python -m repro bench --x7`` (see :mod:`repro.bench.runner`).
+"""
+
+import time
+
+from repro.bench.planner_scenarios import planner_scenarios
+from repro.planner.optimizer import execute_strategy, plan_query
+from repro.query.parser import parse_query
+
+from common import print_table
+
+RATIO_CEILING = 2.0
+
+
+def planner_experiment(quick=True):
+    """One row per (scenario, applicable strategy): the x7 sweep."""
+    rows = []
+    for scenario in planner_scenarios(quick=quick):
+        cq = parse_query(scenario.query)
+        explain = plan_query(cq, scenario.relations, scenario.p,
+                             seed=scenario.seed)
+        assert explain.chosen == scenario.expect, (
+            f"{scenario.name}: planner chose {explain.chosen}, "
+            f"the regime winner is {scenario.expect}"
+        )
+        for candidate in explain.candidates:
+            if not candidate.applicable:
+                continue
+            start = time.perf_counter()
+            _, stats = execute_strategy(
+                cq, scenario.relations, scenario.p, candidate.strategy,
+                seed=scenario.seed,
+            )
+            seconds = time.perf_counter() - start
+            predicted = candidate.predicted_load or 0.0
+            ratio = stats.max_load / predicted if predicted > 0 else 0.0
+            chosen = candidate.strategy == explain.chosen
+            assert ratio <= RATIO_CEILING, (
+                f"{scenario.name}/{candidate.strategy}: measured "
+                f"{stats.max_load} is {ratio:.2f}x the predicted "
+                f"{predicted:.1f}"
+            )
+            if chosen:
+                assert candidate.within_envelope(stats.max_load), (
+                    f"{scenario.name}: chosen {candidate.strategy} "
+                    f"measured {stats.max_load} above envelope "
+                    f"{candidate.envelope:.1f}"
+                )
+            rows.append((
+                scenario.name, candidate.strategy,
+                "chosen" if chosen else "",
+                predicted, stats.max_load, ratio,
+                stats.num_rounds, seconds,
+            ))
+    return rows
+
+
+def test_x7_planner_predictions(benchmark):
+    rows = benchmark.pedantic(planner_experiment, rounds=1, iterations=1)
+    print_table(
+        "X7 planner predicted vs measured load (quick sizes)",
+        ["scenario", "strategy", "", "predicted L", "measured L",
+         "ratio", "rounds", "seconds"],
+        rows,
+    )
+    # Every scenario produced exactly one chosen row, and the winner's
+    # measured load never beats a rejected candidate's by the kind of
+    # margin that would mean the cost model ranked them wrongly.
+    chosen = [row for row in rows if row[2] == "chosen"]
+    assert len(chosen) == len({row[0] for row in rows})
+    assert all(row[5] <= RATIO_CEILING for row in rows)
+
+
+if __name__ == "__main__":
+    print_table(
+        "X7 planner predicted vs measured load",
+        ["scenario", "strategy", "", "predicted L", "measured L",
+         "ratio", "rounds", "seconds"],
+        planner_experiment(quick=False),
+    )

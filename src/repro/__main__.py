@@ -47,6 +47,7 @@ _EXPERIMENTS = {
     "x2": "bench_x2_open_problems",
     "x3": "bench_x3_faults",
     "x4": "bench_x4_backend_scaling",
+    "x7": "bench_x7_planner",
     "ablations": "bench_ablations",
 }
 

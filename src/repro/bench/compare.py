@@ -16,6 +16,12 @@
   failure: a pair that cannot be checked must not pass silently;
 - ``new`` — present now but not in the baseline (informational).
 
+When both files carry an ``x7`` planner section, the same classification
+is applied per ``(scenario, strategy)`` pair to the measured/predicted
+load *ratio* (entries named ``x7:{scenario}/{strategy}``, unit ``x``):
+a ratio drifting more than the threshold against the baseline means the
+cost model and the executors moved apart and is flagged ``regressed``.
+
 Comparing files measured at different sizes (``--quick`` vs full) is
 refused: the ratio would be meaningless. So is comparing files measured
 under different execution backends (``machine.backend`` — inline vs a
@@ -33,12 +39,19 @@ __all__ = ["BenchComparison", "ComparisonEntry", "compare_bench"]
 
 @dataclass(frozen=True)
 class ComparisonEntry:
-    """One experiment's baseline-vs-current verdict."""
+    """One experiment's baseline-vs-current verdict.
+
+    ``unit`` is ``"s"`` for wall-time entries and ``"x"`` for the x7
+    planner entries, whose compared quantity is the dimensionless
+    measured/predicted load ratio (the field names keep ``seconds`` for
+    compatibility; they hold whatever quantity ``unit`` says).
+    """
 
     name: str
     baseline_seconds: float | None
     current_seconds: float | None
     status: str  # ok | improved | regressed | missing | incomparable | new
+    unit: str = "s"
 
     @property
     def ratio(self) -> float | None:
@@ -76,8 +89,14 @@ class BenchComparison:
         header = f"{'experiment':<22} {'baseline':>9} {'current':>9} {'ratio':>7}  status"
         lines = [header, "-" * len(header)]
         for e in self.entries:
-            base = f"{e.baseline_seconds:.3f}s" if e.baseline_seconds is not None else "-"
-            cur = f"{e.current_seconds:.3f}s" if e.current_seconds is not None else "-"
+            base = (
+                f"{e.baseline_seconds:.3f}{e.unit}"
+                if e.baseline_seconds is not None else "-"
+            )
+            cur = (
+                f"{e.current_seconds:.3f}{e.unit}"
+                if e.current_seconds is not None else "-"
+            )
             ratio = f"{e.ratio:.2f}x" if e.ratio is not None else "-"
             lines.append(f"{e.name:<22} {base:>9} {cur:>9} {ratio:>7}  {e.status}")
         verdict = "PASS" if self.ok else f"FAIL ({len(self.regressions)} regressions)"
@@ -91,6 +110,14 @@ def _times_by_name(document: dict[str, Any]) -> dict[str, float]:
     return {
         record["name"]: float(record["seconds"])
         for record in document.get("experiments", [])
+    }
+
+
+def _x7_ratios_by_pair(document: dict[str, Any]) -> dict[str, float]:
+    """``x7:{scenario}/{strategy}`` -> measured/predicted load ratio."""
+    return {
+        f"x7:{record['name']}/{record['strategy']}": float(record["ratio"])
+        for record in document.get("x7", [])
     }
 
 
@@ -155,4 +182,37 @@ def compare_bench(
     for name, cur_s in cur_times.items():
         if name not in base_times:
             comparison.entries.append(ComparisonEntry(name, None, cur_s, "new"))
+    # x7 planner entries: compare the measured/predicted load ratio per
+    # (scenario, strategy) pair. The quantity is dimensionless and
+    # deterministic at the committed seeds — no noise floor applies; a
+    # drift beyond the threshold means the cost model's predictions
+    # genuinely moved against the executors (or vice versa).
+    base_x7 = _x7_ratios_by_pair(baseline)
+    cur_x7 = _x7_ratios_by_pair(current)
+    for name, base_r in base_x7.items():
+        if name not in cur_x7:
+            comparison.entries.append(
+                ComparisonEntry(name, base_r, None, "missing", unit="x")
+            )
+            continue
+        cur_r = cur_x7[name]
+        if base_r <= 0 or cur_r <= 0:
+            # A genuine ratio is strictly positive (predicted and
+            # measured loads both are); zero or negative means a corrupt
+            # or hand-edited file and must not pass silently.
+            status = "incomparable"
+        elif cur_r > base_r * (1 + threshold):
+            status = "regressed"
+        elif cur_r < base_r / (1 + threshold):
+            status = "improved"
+        else:
+            status = "ok"
+        comparison.entries.append(
+            ComparisonEntry(name, base_r, cur_r, status, unit="x")
+        )
+    for name, cur_r in cur_x7.items():
+        if name not in base_x7:
+            comparison.entries.append(
+                ComparisonEntry(name, None, cur_r, "new", unit="x")
+            )
     return comparison

@@ -1,0 +1,159 @@
+"""The x7 planner scenarios: one workload per cost-model regime.
+
+Each scenario is a conjunctive query plus seeded relations shaped so
+that exactly one strategy family should win on predicted load — a
+uniform two-way join for ``hash``, a tiny build side for ``broadcast``,
+a Zipf-skewed join for ``skew``, uniform and power-law triangles for
+``hypercube`` / ``skewhc``, an acyclic path for ``gym``, a star for
+``hypercube`` again, and a variable-disjoint pair for ``cartesian``.
+
+The x7 bench (:func:`repro.bench.runner.run_bench_x7`) plans each
+scenario once, then executes *every* applicable candidate — chosen and
+rejected alike — recording the predicted-vs-measured load ratio per
+strategy. The committed BENCH_7 artifact certifies that no strategy's
+measured L_max exceeds twice its prediction at these seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.data.generators import (
+    skewed_relation,
+    uniform_relation,
+)
+from repro.data.graphs import power_law_edges, random_edges, triangle_relations
+from repro.data.relation import Relation
+
+__all__ = ["PlannerScenario", "planner_scenarios"]
+
+
+@dataclass(frozen=True)
+class PlannerScenario:
+    """One planner workload: query text, inputs, and the expected winner."""
+
+    name: str
+    query: str
+    relations: Mapping[str, Relation]
+    p: int
+    n: int
+    seed: int
+    expect: str  # the strategy the cost model should choose here
+
+    @property
+    def in_size(self) -> int:
+        return sum(len(r) for r in self.relations.values())
+
+
+def planner_scenarios(quick: bool = False) -> list[PlannerScenario]:
+    """The committed scenario set (smaller sizes under ``quick``)."""
+    scale = 4 if quick else 1
+    scenarios: list[PlannerScenario] = []
+
+    # Uniform two-way join: no skew, both sides large -> hash wins the
+    # IN/p regime (hypercube ties and loses the precedence tiebreak).
+    n = 20_000 // scale
+    scenarios.append(PlannerScenario(
+        name="two_way_uniform",
+        query="R(x, y), S(y, z)",
+        relations={
+            "R": uniform_relation("R", ("x", "y"), n, 4_000 // scale, seed=701),
+            "S": uniform_relation("S", ("y", "z"), n, 4_000 // scale, seed=702),
+        },
+        p=16, n=n, seed=7, expect="hash",
+    ))
+
+    # One tiny side: replicating it everywhere is cheaper than
+    # repartitioning the big side.
+    n = 12_000 // scale
+    scenarios.append(PlannerScenario(
+        name="broadcast_small_side",
+        query="R(x, y), S(y, z)",
+        relations={
+            "R": uniform_relation("R", ("x", "y"), n, 1_200 // scale, seed=711),
+            "S": uniform_relation("S", ("y", "z"), 150, 1_200 // scale, seed=712),
+        },
+        p=16, n=n, seed=7, expect="broadcast",
+    ))
+
+    # Zipf-skewed join key: heavy hitters void the hash guarantee; the
+    # two-phase skew join prices below broadcast and hash.
+    n = 6_000 // scale
+    scenarios.append(PlannerScenario(
+        name="two_way_zipf",
+        query="R(x, y), S(y, z)",
+        relations={
+            "R": skewed_relation("R", ["x", "y"], n, "y",
+                                 universe=600 // scale, s=1.3, seed=721),
+            "S": skewed_relation("S", ["y", "z"], n, "y",
+                                 universe=600 // scale, s=1.3, seed=722),
+        },
+        p=16, n=n, seed=7, expect="skew",
+    ))
+
+    # Uniform triangle: the one-round HyperCube regime.
+    n = 4_000 // scale
+    edges = random_edges(n, 300 // scale, seed=731)
+    r, s, t = triangle_relations(edges)
+    scenarios.append(PlannerScenario(
+        name="triangle_uniform",
+        query="R(x, y), S(y, z), T(z, x)",
+        relations={"R": r, "S": s, "T": t},
+        p=16, n=n, seed=7, expect="hypercube",
+    ))
+
+    # Power-law triangle: degree skew voids plain HyperCube; SkewHC's
+    # residual decomposition is the only guaranteed one-round plan.
+    n = 3_000 // scale
+    edges = power_law_edges(n, 400 // scale, s=1.4, seed=741)
+    r, s, t = triangle_relations(edges)
+    scenarios.append(PlannerScenario(
+        name="triangle_power_law",
+        query="R(x, y), S(y, z), T(z, x)",
+        relations={"R": r, "S": s, "T": t},
+        p=16, n=n, seed=7, expect="skewhc",
+    ))
+
+    # Acyclic path, sparse joins (domain ~ n, so OUT stays near IN):
+    # GYM's (IN+OUT)/p multi-round bound beats the one-round shares'
+    # IN/p^{1/2} on a length-3 chain.
+    n = 3_000 // scale
+    scenarios.append(PlannerScenario(
+        name="path_three",
+        query="R(x, y), S(y, z), T(z, w)",
+        relations={
+            "R": uniform_relation("R", ("x", "y"), n, 2_000 // scale, seed=751),
+            "S": uniform_relation("S", ("y", "z"), n, 2_000 // scale, seed=752),
+            "T": uniform_relation("T", ("z", "w"), n, 2_000 // scale, seed=753),
+        },
+        p=8, n=n, seed=7, expect="gym",
+    ))
+
+    # Star: high fractional edge packing keeps HyperCube's one-round
+    # share allocation ahead of the multi-round plans.
+    n = 3_000 // scale
+    scenarios.append(PlannerScenario(
+        name="star_three",
+        query="R(x, y), S(x, z), T(x, w)",
+        relations={
+            "R": uniform_relation("R", ("x", "y"), n, 600 // scale, seed=761),
+            "S": uniform_relation("S", ("x", "z"), n, 600 // scale, seed=762),
+            "T": uniform_relation("T", ("x", "w"), n, 600 // scale, seed=763),
+        },
+        p=16, n=n, seed=7, expect="hypercube",
+    ))
+
+    # Variable-disjoint pair: a pure Cartesian product; the p_1 x p_2
+    # grid beats broadcasting either side.
+    n = 250 if not quick else 120
+    scenarios.append(PlannerScenario(
+        name="product_pair",
+        query="R(a, b), S(c, d)",
+        relations={
+            "R": uniform_relation("R", ("a", "b"), n, 200, seed=771),
+            "S": uniform_relation("S", ("c", "d"), n, 200, seed=772),
+        },
+        p=16, n=n, seed=7, expect="cartesian",
+    ))
+    return scenarios

@@ -37,6 +37,7 @@ __all__ = [
     "main",
     "run_bench",
     "run_bench_x4",
+    "run_bench_x7",
     "run_experiment",
     "run_scaling",
     "run_speedup",
@@ -381,6 +382,95 @@ def run_bench_x4(quick: bool = False, echo: bool = True) -> dict[str, Any]:
     }
 
 
+# The x7 acceptance ceiling: no recorded strategy's measured L_max may
+# exceed this multiple of its prediction at the committed seeds.
+X7_RATIO_CEILING = 2.0
+
+
+def run_bench_x7(quick: bool = False, echo: bool = True) -> dict[str, Any]:
+    """The x7 document: planner predicted-vs-measured load per strategy.
+
+    Plans every :func:`~repro.bench.planner_scenarios.planner_scenarios`
+    workload once, then times *every* applicable candidate — the chosen
+    strategy and the rejected ones alike — recording predicted load,
+    measured L_max, round counts, and the measured/predicted ratio. The
+    ``experiments`` section holds the chosen strategy's wall time per
+    scenario (so the file diffs against any BENCH with the standard
+    comparator); the ``x7`` section holds the full per-strategy sweep
+    that :func:`~repro.bench.compare.compare_bench` checks for ratio
+    drift.
+    """
+    from repro.bench.planner_scenarios import planner_scenarios
+    from repro.planner.optimizer import execute_strategy, plan_query
+    from repro.query.parser import parse_query
+
+    def say(message: str) -> None:
+        if echo:
+            print(message, flush=True)
+
+    experiments: list[dict[str, Any]] = []
+    x7: list[dict[str, Any]] = []
+    for scenario in planner_scenarios(quick):
+        cq = parse_query(scenario.query)
+        explain = plan_query(
+            cq, scenario.relations, scenario.p, seed=scenario.seed
+        )
+        say(f"  {scenario.name}: chose {explain.chosen} "
+            f"(expected {scenario.expect})")
+        for candidate in explain.candidates:
+            if not candidate.applicable:
+                continue
+            start = time.perf_counter()
+            output, stats = execute_strategy(
+                cq, scenario.relations, scenario.p, candidate.strategy,
+                seed=scenario.seed,
+            )
+            seconds = time.perf_counter() - start
+            predicted = float(candidate.predicted_load or 0.0)
+            ratio = stats.max_load / predicted if predicted > 0 else 0.0
+            chosen = candidate.strategy == explain.chosen
+            record = {
+                "name": scenario.name,
+                "strategy": candidate.strategy,
+                "n": scenario.n,
+                "p": scenario.p,
+                "chosen": chosen,
+                "predicted_load": predicted,
+                "measured_load": stats.max_load,
+                "predicted_rounds": int(candidate.predicted_rounds or 0),
+                "measured_rounds": stats.num_rounds,
+                "ratio": ratio,
+                "seconds": seconds,
+                "out_size": len(output),
+            }
+            x7.append(record)
+            say(
+                f"    {candidate.strategy:<10} pred={predicted:>10.1f} "
+                f"meas={stats.max_load:>8} ratio={ratio:.2f} "
+                f"r={stats.num_rounds} {seconds:.3f}s"
+                f"{'  <- chosen' if chosen else ''}"
+            )
+            if chosen:
+                experiments.append({
+                    "name": f"x7_{scenario.name}",
+                    "n": scenario.n,
+                    "p": scenario.p,
+                    "seconds": seconds,
+                    "L_max": stats.max_load,
+                    "rounds": stats.num_rounds,
+                    "out_size": len(output),
+                })
+    return {
+        "schema": SCHEMA_VERSION,
+        "machine": machine_info(),
+        "kernels": kernels_enabled(),
+        "quick": quick,
+        "experiments": experiments,
+        "speedups": [],
+        "x7": x7,
+    }
+
+
 def _load(path: str) -> dict[str, Any]:
     with open(path, encoding="utf-8") as handle:
         return json.load(handle)
@@ -419,6 +509,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="run the backend-scaling sweep (worker counts "
                              "1/2/4/8 × shm/pickle transports) instead of the "
                              "standard experiment set; default out BENCH_5.json")
+    parser.add_argument("--x7", action="store_true",
+                        help="run the planner predicted-vs-measured sweep "
+                             "(every applicable strategy per scenario) instead "
+                             "of the standard experiment set; default out "
+                             "BENCH_7.json")
     parser.add_argument("--force", action="store_true",
                         help="allow diffing BENCH files measured under "
                              "different execution backends")
@@ -427,8 +522,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="compare two existing BENCH files and exit")
     args = parser.parse_args(argv)
 
+    if args.x4 and args.x7:
+        print("--x4 and --x7 are mutually exclusive", file=sys.stderr)
+        return 2
     if args.x4 and args.out == parser.get_default("out"):
         args.out = "BENCH_5.json"
+    if args.x7 and args.out == parser.get_default("out"):
+        args.out = "BENCH_7.json"
 
     if args.diff is not None:
         try:
@@ -464,6 +564,58 @@ def main(argv: Sequence[str] | None = None) -> int:
         if broken:
             print(f"backend determinism FAILED for: {broken}", file=sys.stderr)
             return 1
+        return 0
+
+    if args.x7:
+        print(f"running {'quick' if args.quick else 'full'} planner "
+              f"predicted-vs-measured sweep "
+              f"(kernels={'on' if kernels_enabled() else 'off'}):")
+        document = run_bench_x7(quick=args.quick)
+        errors = validate_bench(document)
+        if errors:
+            print("generated document violates the BENCH schema:", file=sys.stderr)
+            for error in errors:
+                print(f"  {error}", file=sys.stderr)
+            return 2
+        Path(args.out).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.out}")
+        mispredicted = [
+            f"{r['name']}/{r['strategy']} (ratio={r['ratio']:.2f})"
+            for r in document["x7"]
+            if r["ratio"] > X7_RATIO_CEILING
+        ]
+        if mispredicted:
+            print(
+                f"planner predictions exceeded {X7_RATIO_CEILING}x measured "
+                f"for: {mispredicted}",
+                file=sys.stderr,
+            )
+            return 1
+        chosen_scenarios = {r["name"] for r in document["experiments"]}
+        all_scenarios = {f"x7_{r['name']}" for r in document["x7"]}
+        if chosen_scenarios != all_scenarios:
+            print(
+                "some scenario produced no chosen-strategy record: "
+                f"{sorted(all_scenarios - chosen_scenarios)}",
+                file=sys.stderr,
+            )
+            return 1
+        if args.baseline:
+            try:
+                baseline = _load(args.baseline)
+                comparison = compare_bench(
+                    baseline, document, threshold=args.threshold,
+                    force=args.force,
+                )
+            except (OSError, ValueError, json.JSONDecodeError) as exc:
+                print(f"baseline comparison failed: {exc}", file=sys.stderr)
+                return 0 if args.warn_only else 2
+            print(comparison.format_table())
+            if not comparison.ok and not args.warn_only:
+                return 1
         return 0
 
     print(f"running {'quick' if args.quick else 'full'} benchmarks "

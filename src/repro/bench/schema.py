@@ -28,6 +28,16 @@ A BENCH file is a JSON document::
          "L_max": int, "rounds": int, "out_size": int,
          "identical": bool}, ...  # matches the inline reference exactly
       ],
+      "x7": [                   # optional: planner predicted-vs-measured
+        {"name": str,           # scenario name
+         "strategy": str,       # the candidate executed for this record
+         "n": int, "p": int,
+         "chosen": bool,        # the cost model picked this candidate
+         "predicted_load": float, "measured_load": int,
+         "predicted_rounds": int, "measured_rounds": int,
+         "ratio": float,        # measured_load / predicted_load
+         "seconds": float, "out_size": int}, ...
+      ],
       "transport_ab": [         # optional: shm row-packing on/off bytes
         {"name": str, "n": int, "p": int, "workers": int,
          "rows_packing": bool,  # REPRO_SHM_ROWS state for this run
@@ -102,6 +112,22 @@ _SCALING_FIELDS: dict[str, tuple[type, ...]] = {
     "rounds": (int,),
     "out_size": (int,),
     "identical": (bool,),
+}
+
+
+_X7_FIELDS: dict[str, tuple[type, ...]] = {
+    "name": (str,),
+    "strategy": (str,),
+    "n": (int,),
+    "p": (int,),
+    "chosen": (bool,),
+    "predicted_load": (int, float),
+    "measured_load": (int,),
+    "predicted_rounds": (int,),
+    "measured_rounds": (int,),
+    "ratio": (int, float),
+    "seconds": (int, float),
+    "out_size": (int,),
 }
 
 
@@ -204,6 +230,20 @@ def validate_bench(document: Any) -> list[str]:
                         f"scaling[{i}].backend: expected 'inline' or "
                         f"'process', got {backend!r}"
                     )
+    x7 = document.get("x7", [])  # optional: only planner (x7) runs emit it
+    if not isinstance(x7, list):
+        errors.append("x7: expected a list")
+    else:
+        pairs: set[tuple[Any, Any]] = set()
+        for i, record in enumerate(x7):
+            _check_record(record, _X7_FIELDS, f"x7[{i}]", errors)
+            if isinstance(record, dict):
+                pair = (record.get("name"), record.get("strategy"))
+                if pair in pairs:
+                    errors.append(
+                        f"x7[{i}]: duplicate (name, strategy) pair {pair!r}"
+                    )
+                pairs.add(pair)
     transport_ab = document.get("transport_ab", [])  # optional section
     if not isinstance(transport_ab, list):
         errors.append("transport_ab: expected a list")

@@ -30,6 +30,13 @@ from repro.exec.config import use_backend
 from repro.kernels.config import use_kernels
 from repro.mpc.stats import RunStats
 from repro.planner.multiway import MultiwayPlan, execute_multiway_join
+from repro.planner.optimizer import (
+    STRATEGIES,
+    ExplainResult,
+    execute_strategy,
+    plan_query,
+)
+from repro.planner.statistics import JoinStatistics, join_statistics
 from repro.planner.two_way import TwoWayPlan, execute_two_way_join
 from repro.query.cq import ConjunctiveQuery
 from repro.query.parser import parse_query
@@ -49,6 +56,9 @@ class QueryResult:
     plan: TwoWayPlan | MultiwayPlan
     stats: RunStats
     align_cache_hits: int = 0
+    # The optimizer's full decision record (strategy="classic" leaves it
+    # None — the legacy per-family planners don't produce one).
+    explain: ExplainResult | None = None
 
     @property
     def load(self) -> int:
@@ -111,15 +121,29 @@ class Engine:
     # --------------------------------------------------------------- queries
 
     def query(self, text_or_query: str | ConjunctiveQuery,
-              out_estimate: int | None = None, verify: bool = False) -> QueryResult:
+              out_estimate: int | None = None, verify: bool = False,
+              strategy: str = "auto") -> QueryResult:
         """Plan and execute a conjunctive query over registered relations.
+
+        ``strategy`` selects the planning path:
+
+        - ``"auto"`` (the default): the cost-based optimizer
+          (:mod:`repro.planner.optimizer`) prices every applicable
+          strategy and runs the cheapest; the decision record is
+          attached as :attr:`QueryResult.explain`;
+        - an explicit strategy name (``"hash"``, ``"hypercube"``,
+          ``"gym"``, ...): force that strategy through the same dispatch
+          the optimizer uses — output is byte-identical to an ``"auto"``
+          run that chose it;
+        - ``"classic"``: the legacy per-family planners
+          (:mod:`repro.planner.two_way` / :mod:`repro.planner.multiway`).
 
         With ``verify=True`` the distributed output is compared — as a
         multiset — against the trusted single-node oracle; a mismatch
         raises :class:`~repro.errors.OracleMismatchError` carrying the
         inspectable bag difference.
         """
-        result = self._query(text_or_query, out_estimate)
+        result = self._query(text_or_query, out_estimate, strategy)
         if verify:
             if isinstance(text_or_query, str):
                 cq = parse_query(text_or_query)
@@ -143,13 +167,68 @@ class Engine:
         return oracle_join(cq, bindings)
 
     def _query(self, text_or_query: str | ConjunctiveQuery,
-               out_estimate: int | None = None) -> QueryResult:
+               out_estimate: int | None = None,
+               strategy: str = "auto") -> QueryResult:
         if isinstance(text_or_query, str):
             cq = parse_query(text_or_query)
         else:
             cq = text_or_query
         bindings = {a.name: self.relation(a.name) for a in cq.atoms}
 
+        if strategy == "classic":
+            return self._query_classic(cq, bindings, out_estimate)
+        if strategy != "auto" and strategy not in STRATEGIES:
+            raise QueryError(
+                f"unknown strategy {strategy!r} (choose 'auto', 'classic', "
+                f"or one of {', '.join(STRATEGIES)})"
+            )
+
+        hits_before = self._align_hits
+        with use_kernels(self.kernels), use_backend(self.backend):
+            aligned = {
+                atom.name: self._align(cq, index, bindings[atom.name])
+                for index, atom in enumerate(cq.atoms)
+            }
+            explain = plan_query(
+                cq, aligned, self.p, out_estimate=out_estimate, seed=self.seed
+            )
+            executed = explain.chosen if strategy == "auto" else strategy
+            output, stats = execute_strategy(
+                cq, aligned, self.p, executed, seed=self.seed
+            )
+            plan = self._wrap_plan(cq, aligned, explain, executed)
+            return QueryResult(
+                output, plan, stats, self._align_hits - hits_before, explain
+            )
+
+    def _wrap_plan(self, cq: ConjunctiveQuery, aligned: dict[str, Relation],
+                   explain: ExplainResult, executed: str) -> TwoWayPlan | MultiwayPlan:
+        """The legacy plan object for the strategy that actually ran."""
+        candidate = explain.candidate(executed)
+        predicted = candidate.predicted_load or 0.0
+        if executed == "scan":
+            rel = aligned[cq.atoms[0].name]
+            return TwoWayPlan(
+                "scan", predicted,
+                JoinStatistics(len(rel), 0, (), len(rel), 0, 0),
+            )
+        if executed in ("broadcast", "hash", "skew", "cartesian"):
+            left, right = (aligned[a.name] for a in cq.atoms)
+            return TwoWayPlan(executed, predicted, join_statistics(left, right))
+        return MultiwayPlan(
+            executed,
+            explain.acyclic,
+            explain.tau_star,
+            explain.statistics.skewed,
+            explain.statistics.in_size,
+            explain.statistics.out_estimate,
+            predicted,
+        )
+
+    def _query_classic(self, cq: ConjunctiveQuery,
+                       bindings: dict[str, Relation],
+                       out_estimate: int | None = None) -> QueryResult:
+        """The pre-optimizer planning path (two_way/multiway heuristics)."""
         hits_before = self._align_hits
         with use_kernels(self.kernels), use_backend(self.backend):
             if len(cq.atoms) == 2:
@@ -164,8 +243,6 @@ class Engine:
             if len(cq.atoms) == 1:
                 atom = cq.atoms[0]
                 rel = self._align(cq, 0, bindings[atom.name])
-                from repro.planner.statistics import JoinStatistics
-
                 plan = TwoWayPlan(
                     "scan",
                     0.0,

@@ -24,15 +24,28 @@ Row = tuple[Any, ...]
 
 
 def find_heavy_keys(
-    r: Relation, s: Relation, shared: tuple[str, ...], threshold: float
+    r: Relation,
+    s: Relation,
+    shared: tuple[str, ...],
+    threshold: float | tuple[float, float],
 ) -> list[Row]:
-    """Join-key values of degree ≥ threshold in R or in S."""
+    """Join-key values of degree ≥ threshold in R or in S.
+
+    ``threshold`` may be a single cutoff applied to both sides (the
+    tutorial's IN/p) or an ``(r_threshold, s_threshold)`` pair for the
+    per-relation m/p rule of arXiv:1401.1872, where each relation's
+    heavy hitters are judged against its own cardinality.
+    """
     from collections import Counter
 
+    if isinstance(threshold, tuple):
+        r_threshold, s_threshold = threshold
+    else:
+        r_threshold = s_threshold = threshold
     r_deg = Counter(tuple(row[i] for i in r.schema.indices(shared)) for row in r)
     s_deg = Counter(tuple(row[i] for i in s.schema.indices(shared)) for row in s)
-    heavy = {k for k, c in r_deg.items() if c >= threshold}
-    heavy |= {k for k, c in s_deg.items() if c >= threshold}
+    heavy = {k for k, c in r_deg.items() if c >= r_threshold}
+    heavy |= {k for k, c in s_deg.items() if c >= s_threshold}
     return sorted(heavy)
 
 
@@ -42,14 +55,15 @@ def skew_join(
     p: int,
     seed: int = 0,
     output_name: str = "OUT",
-    threshold: float | None = None,
+    threshold: float | tuple[float, float] | None = None,
     audit: bool | None = None,
 ) -> JoinRun:
     """Skew-aware natural join: hash join for light values, grid products
     for heavy ones, all in one (model) round on disjoint server pools.
 
     ``threshold`` defaults to the tutorial's IN/p. Lower thresholds peel
-    more values into products (an ablation knob).
+    more values into products (an ablation knob); an ``(r, s)`` pair
+    applies the per-relation m/p rule (see :func:`find_heavy_keys`).
     """
     shared = require_join_key(r, s)
     in_size = len(r) + len(s)

@@ -1,0 +1,541 @@
+"""The cost-based adaptive planner: every strategy priced, cheapest wins.
+
+Given a conjunctive query, its relation statistics
+(:mod:`repro.planner.statistics`, heavy hitters at the m/p threshold of
+arXiv:1401.1872), and the server count p, :func:`plan_query` enumerates
+the full strategy menu —
+
+- ``broadcast`` / ``hash`` / ``skew`` / ``cartesian`` for two-atom
+  queries (the slide 23–32 decision surface, now priced instead of
+  ruled);
+- ``hypercube`` (one round, L = IN/p^{1/τ*}, guaranteed only skew-free);
+- ``skewhc`` (one round, L = IN/p^{1/ψ*} under skew);
+- ``gym`` (GHD multi-round, L = O((IN+OUT)/p), r = O(depth)) and
+  ``semijoin`` (the vanilla one-node-per-round variant, r = O(#nodes))
+  for acyclic connected queries
+
+— predicts max-load L and round count for each from the closed forms of
+:mod:`repro.theory.loads`, and picks the cheapest under an L-dominant
+cost model with a round-count tiebreak (then a fixed precedence order,
+so ties are deterministic). The result is an :class:`ExplainResult`
+carrying every candidate's prediction, the statistics used, and the
+arXiv:1602.06236 per-round load lower bound L ≥ OUT^{1/ρ*}/(r·p^{1/ρ*})
+the predictions can be sanity-checked against. Every prediction also
+carries its *conformance envelope* (factor, additive) — the constants
+under which ``selftest --planner`` and the x7 bench hold the measured
+L_max accountable.
+
+:func:`execute_strategy` runs any executable strategy by name, so
+``Engine.query(strategy="auto")`` and an explicitly forced strategy go
+through the byte-identical code path.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.data.relation import Relation
+from repro.errors import QueryError
+from repro.joins.broadcast_join import broadcast_join
+from repro.joins.cartesian import cartesian_product, predicted_cartesian_load
+from repro.joins.hash_join import parallel_hash_join
+from repro.joins.skew_join import skew_join
+from repro.mpc.stats import RunStats
+from repro.multiway.gym import gym
+from repro.multiway.hypercube import hypercube_join
+from repro.multiway.skewhc import find_heavy_values, skewhc_join
+from repro.planner.statistics import QueryStatistics, collect_query_statistics
+from repro.query.cq import ConjunctiveQuery
+from repro.query.fractional import psi_star, rho_star, tau_star
+from repro.query.ghd import width1_ghd
+from repro.query.hypergraph import is_acyclic
+from repro.theory.lower_bounds import join_load_lower_bound
+
+__all__ = [
+    "STRATEGIES",
+    "CandidatePlan",
+    "ExplainResult",
+    "execute_strategy",
+    "plan_and_execute",
+    "plan_query",
+]
+
+# Deterministic tiebreak precedence (also the display order). One-round
+# specialists come before the general one-round algorithms, which come
+# before the multi-round family, so equal predictions resolve to the
+# simplest machinery that achieves them.
+STRATEGIES = (
+    "scan",
+    "broadcast",
+    "hash",
+    "skew",
+    "cartesian",
+    "hypercube",
+    "skewhc",
+    "gym",
+    "semijoin",
+)
+
+
+@dataclass(frozen=True)
+class CandidatePlan:
+    """One strategy's applicability verdict and cost prediction."""
+
+    strategy: str
+    applicable: bool
+    predicted_load: float | None
+    predicted_rounds: int | None
+    envelope_factor: float = 1.0
+    envelope_additive: float = 0.0
+    reason: str = ""
+
+    @property
+    def envelope(self) -> float | None:
+        """The load ceiling ``factor · predicted + additive`` (None if n/a)."""
+        if self.predicted_load is None:
+            return None
+        return self.envelope_factor * self.predicted_load + self.envelope_additive
+
+    def within_envelope(self, measured: float) -> bool:
+        """Whether a measured L_max honours this candidate's prediction."""
+        ceiling = self.envelope
+        return ceiling is not None and measured <= ceiling
+
+    def describe(self) -> str:
+        if not self.applicable:
+            return f"{self.strategy:<10} inapplicable: {self.reason}"
+        return (
+            f"{self.strategy:<10} L~{self.predicted_load:<9.1f} "
+            f"r={self.predicted_rounds}"
+        )
+
+
+@dataclass(frozen=True)
+class ExplainResult:
+    """The optimizer's full decision record for one query."""
+
+    query: str
+    p: int
+    chosen: str
+    candidates: tuple[CandidatePlan, ...]
+    statistics: QueryStatistics
+    tau_star: float
+    rho_star: float
+    psi_star: float | None
+    acyclic: bool
+    connected: bool
+    lower_bound: float
+
+    def candidate(self, strategy: str) -> CandidatePlan:
+        for cand in self.candidates:
+            if cand.strategy == strategy:
+                return cand
+        raise KeyError(f"no candidate named {strategy!r}")
+
+    @property
+    def chosen_plan(self) -> CandidatePlan:
+        return self.candidate(self.chosen)
+
+    @property
+    def trace(self) -> tuple[str, ...]:
+        """The decision trace, one line per fact (joined by describe())."""
+        stats = self.statistics
+        heavy = ", ".join(
+            f"{var}({len(values)})"
+            for var, values in stats.heavy_join_values.items()
+            if values
+        ) or "none"
+        psi = f"{self.psi_star:.2f}" if self.psi_star is not None else "-"
+        flag = lambda b: "yes" if b else "no"  # noqa: E731 - local formatter
+        lines = [
+            f"adaptive plan for {self.query}",
+            (
+                f"  p={self.p}  IN={stats.in_size}  OUT~{stats.out_estimate}  "
+                f"skewed={flag(stats.skewed)}  acyclic={flag(self.acyclic)}  "
+                f"connected={flag(self.connected)}"
+            ),
+            (
+                f"  tau*={self.tau_star:.2f}  rho*={self.rho_star:.2f}  "
+                f"psi*={psi}  max joint degree={stats.max_joint_degree}  "
+                f"heavy join values: {heavy}"
+            ),
+            f"  lower bound (1 round): L >= {self.lower_bound:.1f}",
+            "  candidates:",
+        ]
+        for cand in self.candidates:
+            marker = "  <- chosen" if cand.strategy == self.chosen else ""
+            lines.append(f"    {cand.describe()}{marker}")
+        chosen = self.chosen_plan
+        lines.append(
+            f"  chosen: {self.chosen} (predicted L~{chosen.predicted_load:.1f}, "
+            f"r={chosen.predicted_rounds}, envelope "
+            f"{chosen.envelope_factor:.1f}x + {chosen.envelope_additive:.1f})"
+        )
+        return tuple(lines)
+
+    def describe(self) -> str:
+        """The golden-diffable explain trace."""
+        return "\n".join(self.trace)
+
+
+def _as_query(query: str | ConjunctiveQuery) -> ConjunctiveQuery:
+    if isinstance(query, str):
+        from repro.query.parser import parse_query
+
+        return parse_query(query)
+    return query
+
+
+def _connected(query: ConjunctiveQuery) -> bool:
+    """Whether the atoms form one connected hypergraph component."""
+    atoms = query.atoms
+    if len(atoms) <= 1:
+        return True
+    seen = {0}
+    frontier = [0]
+    while frontier:
+        i = frontier.pop()
+        for j in range(len(atoms)):
+            if j not in seen and set(atoms[i].variables) & set(atoms[j].variables):
+                seen.add(j)
+                frontier.append(j)
+    return len(seen) == len(atoms)
+
+
+def _skew_predicted_load(stats: QueryStatistics, p: int) -> float:
+    """The skew-join load prediction from the heavy-value degree profile.
+
+    The executor peels heavy join values onto exclusive grid Cartesian
+    products and hash-joins the light residue: a heavy value with a
+    d_R x d_S rectangle on a g x h grid loads each server with
+    d_R/g + d_S/h — at the optimal grid, 2*sqrt(area/servers). The area
+    is estimated from the joint degree as (d/2)^2 (exact when the two
+    sides are balanced, an overestimate otherwise — the safe direction),
+    and the light residue pays IN_light/p. With no heavy values the
+    prediction degenerates to IN/p, tying the plain hash join (which the
+    precedence order then prefers).
+    """
+    joint = [
+        degree
+        for values in stats.heavy_joint_degrees.values()
+        for _, degree in values
+    ]
+    heavy_area = sum((degree / 2.0) ** 2 for degree in joint)
+    light_in = max(stats.in_size - sum(joint), 0)
+    return 2.0 * math.sqrt(heavy_area / p) + light_in / p
+
+
+def _hypercube_predicted_load(
+    query: ConjunctiveQuery, stats: QueryStatistics, p: int
+) -> float:
+    """The share-faithful HyperCube load prediction.
+
+    The closed form IN/p^{1/τ*} is the *fractional, balanced* optimum;
+    the executor rounds shares to an integer grid and every server
+    receives the **sum** of its atoms' fragments, so the faithful
+    prediction is Σ_j |R_j| / Π_{v ∈ vars(R_j)} s_v under the exact
+    integral assignment :func:`~repro.query.shares.optimal_shares`
+    produces (the one :func:`~repro.multiway.hypercube.hypercube_join`
+    will use). The two agree when the LP balances the grid, but the LP's
+    max-objective is indifferent to replication cost — on a two-atom
+    join with one tiny side it may put all share on a non-join variable
+    and replicate the small side everywhere, which only the sum form
+    prices. Falls back to the closed form if the share LP fails.
+    """
+    from repro.errors import OptimizationError
+    from repro.query.shares import optimal_shares
+
+    sizes = {a.name: stats.sizes[a.name] for a in query.atoms}
+    try:
+        shares = optimal_shares(query, sizes, p).integral
+    except OptimizationError:
+        tau = tau_star(query)
+        return stats.in_size / p ** (1.0 / tau) if tau > 0 else float(stats.in_size)
+    return sum(
+        sizes[atom.name] / math.prod(shares[v] for v in atom.variables)
+        for atom in query.atoms
+    )
+
+
+def _residual_job_estimate(
+    query: ConjunctiveQuery, relations: Mapping[str, Relation], p: int
+) -> int:
+    """How many residual HyperCube jobs SkewHC would spawn (upper bound).
+
+    Mirrors :func:`repro.multiway.skewhc.skewhc_join`'s own threshold
+    (max relation size over p): each join variable contributes either
+    "light" or one of its heavy values, so the residual count is at most
+    Π(1 + |heavy(v)|). With more jobs than servers some residuals run
+    on a single server and the IN/p^{1/ψ*} analysis loses its server
+    allocation — the prediction is scaled accordingly.
+    """
+    n_max = max((len(relations[a.name]) for a in query.atoms), default=0)
+    heavy = find_heavy_values(query, dict(relations), threshold=max(n_max / p, 1.0))
+    jobs = 1
+    for variable in query.variables:
+        if len(query.atoms_with(variable)) >= 2:
+            jobs *= 1 + len(heavy.get(variable, ()))
+    return jobs
+
+
+def plan_query(
+    query: str | ConjunctiveQuery,
+    relations: Mapping[str, Relation],
+    p: int,
+    out_estimate: int | None = None,
+    sample: int | None = None,
+    seed: int = 0,
+    statistics: QueryStatistics | None = None,
+) -> ExplainResult:
+    """Price every applicable strategy and pick the cheapest.
+
+    The cost model is L-dominant: candidates are ranked by predicted
+    max-load, then by predicted round count, then by the fixed
+    :data:`STRATEGIES` precedence (so equal predictions resolve
+    deterministically, independent of atom order). ``statistics`` lets
+    callers supply pre-collected (possibly sampled) statistics; by
+    default they are gathered exactly via
+    :func:`~repro.planner.statistics.collect_query_statistics`.
+    """
+    cq = _as_query(query)
+    if p <= 0:
+        raise QueryError("the planner needs at least one server")
+    if not cq.atoms:
+        raise QueryError("cannot plan an empty query")
+    stats = statistics if statistics is not None else collect_query_statistics(
+        cq, relations, p, out_estimate=out_estimate, sample=sample, seed=seed
+    )
+
+    tau = tau_star(cq)
+    rho = rho_star(cq)
+    acyclic = is_acyclic(cq)
+    connected = _connected(cq)
+    out = stats.out_estimate
+    in_size = stats.in_size
+    maxdeg = stats.max_joint_degree
+    skewed = stats.skewed
+    psi = psi_star(cq) if skewed and len(cq.atoms) >= 2 else None
+    lower = (
+        join_load_lower_bound(out, rho, p, rounds=1)
+        if out > 0 and len(cq.atoms) >= 2
+        else 0.0
+    )
+
+    if len(cq.atoms) == 1:
+        scan = CandidatePlan("scan", True, 0.0, 0, 1.0, 0.0, "single atom")
+        return ExplainResult(
+            str(cq), p, "scan", (scan,), stats, tau, rho, psi,
+            acyclic, connected, 0.0,
+        )
+
+    atoms = cq.atoms
+    two_atoms = len(atoms) == 2
+    shared = (
+        tuple(sorted(set(atoms[0].variables) & set(atoms[1].variables)))
+        if two_atoms
+        else ()
+    )
+    sizes = [stats.sizes[a.name] for a in atoms]
+    candidates: list[CandidatePlan] = []
+
+    def add(strategy: str, load: float, rounds: int,
+            factor: float, additive: float, reason: str = "") -> None:
+        candidates.append(CandidatePlan(
+            strategy, True, load, rounds, factor, additive, reason
+        ))
+
+    def skip(strategy: str, reason: str) -> None:
+        candidates.append(CandidatePlan(strategy, False, None, None, reason=reason))
+
+    # ----- two-atom specialists
+    if two_atoms and shared:
+        small = min(sizes)
+        add("broadcast", float(small), 1, 1.5, 4.0)
+        # Hash-partitioning floors at the heaviest joint key degree: all
+        # tuples of one value meet on one server regardless of p.
+        add("hash", max(in_size / p, float(maxdeg)), 1, 4.0, maxdeg + 8.0)
+        skew_load = _skew_predicted_load(stats, p)
+        add("skew", skew_load, 1, 6.0, p ** 2 + maxdeg + 8.0)
+        skip("cartesian", "the atoms share variables")
+    elif two_atoms:
+        for name in ("broadcast", "hash", "skew"):
+            skip(name, "the atoms share no join variable")
+        add("cartesian", predicted_cartesian_load(sizes[0], sizes[1], p), 1, 3.0, 8.0)
+    else:
+        for name in ("broadcast", "hash", "skew", "cartesian"):
+            skip(name, "only applies to two-atom queries")
+
+    # ----- one-round share-based algorithms
+    one_round_free = _hypercube_predicted_load(cq, stats, p)
+    if skewed:
+        skip("hypercube", "heavy hitters void the IN/p^{1/tau*} guarantee")
+    else:
+        add("hypercube", one_round_free, 1, 4.0, p + 8.0)
+
+    if skewed and two_atoms and shared:
+        # On a two-atom join SkewHC's residual decomposition degenerates
+        # to the skew join's heavy/light split — identical price, and
+        # the tie then resolves to the dedicated specialist by
+        # precedence.
+        skewhc_load = skew_load
+    elif skewed and psi is not None and psi > 0:
+        skewhc_load = in_size / p ** (1.0 / psi)
+    else:
+        skewhc_load = one_round_free
+    jobs = _residual_job_estimate(cq, relations, p)
+    if jobs > p:
+        # More residual jobs than servers: residuals share servers and
+        # the per-residual allocation argument degrades proportionally.
+        skewhc_load *= jobs / p
+    add(
+        "skewhc", skewhc_load, 1, 6.0,
+        p + 8.0 + math.sqrt(max(out, 1) / p) + maxdeg,
+        reason=f"{jobs} residual jobs" if jobs > p else "",
+    )
+
+    # ----- multi-round GHD family
+    if not acyclic:
+        skip("gym", "the query is cyclic (no width-1 GHD)")
+        skip("semijoin", "the query is cyclic (no width-1 GHD)")
+    elif not connected:
+        skip("gym", "the query hypergraph is disconnected")
+        skip("semijoin", "the query hypergraph is disconnected")
+    else:
+        ghd = width1_ghd(cq)
+        depth = max(ghd.depth, 1)
+        nodes = len(ghd.nodes())
+        gym_load = (in_size + out) / p
+        add("gym", gym_load, 3 * depth, 6.0, maxdeg + p + 8.0)
+        add("semijoin", gym_load, 3 * max(nodes - 1, 1), 6.0, maxdeg + p + 8.0)
+
+    ranked = sorted(
+        (c for c in candidates if c.applicable),
+        key=lambda c: (
+            c.predicted_load, c.predicted_rounds, STRATEGIES.index(c.strategy)
+        ),
+    )
+    if not ranked:
+        raise QueryError(f"no strategy applies to {cq}")
+    ordered = tuple(
+        sorted(candidates, key=lambda c: STRATEGIES.index(c.strategy))
+    )
+    return ExplainResult(
+        str(cq), p, ranked[0].strategy, ordered, stats, tau, rho, psi,
+        acyclic, connected, lower,
+    )
+
+
+# ------------------------------------------------------------------ execution
+
+
+_TWO_WAY_RUNNERS = {
+    "broadcast": broadcast_join,
+    "hash": parallel_hash_join,
+    "skew": skew_join,
+    "cartesian": cartesian_product,
+}
+
+
+def _aligned(atom, rel: Relation) -> Relation:
+    if set(rel.schema.attributes) != set(atom.variables):
+        raise QueryError(
+            f"relation {rel.name} attributes {rel.schema.attributes} do not "
+            f"match atom {atom}"
+        )
+    if tuple(rel.schema.attributes) != atom.variables:
+        return rel.project(list(atom.variables))
+    return rel
+
+
+def execute_strategy(
+    query: str | ConjunctiveQuery,
+    relations: Mapping[str, Relation],
+    p: int,
+    strategy: str,
+    seed: int = 0,
+) -> tuple[Relation, RunStats]:
+    """Run one strategy by name; output is projected to query-variable order.
+
+    This is the single dispatch point shared by ``strategy="auto"`` and
+    explicitly forced strategies, so forcing the planner's choice is
+    byte-identical to letting it decide. Strategies that cannot execute
+    on the query's *shape* (atom count, shared variables, cyclicity)
+    raise :class:`~repro.errors.QueryError`; strategies whose *guarantee*
+    does not apply (e.g. HyperCube on skewed data) still run.
+    """
+    cq = _as_query(query)
+    atoms = cq.atoms
+    if strategy not in STRATEGIES:
+        raise QueryError(
+            f"unknown strategy {strategy!r} (choose from {', '.join(STRATEGIES)})"
+        )
+    bindings = {a.name: _aligned(a, relations[a.name]) for a in atoms}
+    variables = list(cq.variables)
+
+    if strategy == "scan":
+        if len(atoms) != 1:
+            raise QueryError("scan applies to single-atom queries only")
+        return bindings[atoms[0].name].project(variables, name="OUT"), RunStats(p)
+    if len(atoms) == 1:
+        raise QueryError("single-atom queries only support the 'scan' strategy")
+
+    if strategy in _TWO_WAY_RUNNERS:
+        if len(atoms) != 2:
+            raise QueryError(f"{strategy} applies to two-atom queries only")
+        shared = set(atoms[0].variables) & set(atoms[1].variables)
+        if strategy == "cartesian" and shared:
+            raise QueryError("cartesian applies only when the atoms share no variables")
+        if strategy != "cartesian" and not shared:
+            raise QueryError(f"{strategy} needs a shared join variable")
+        left, right = (bindings[a.name] for a in atoms)
+        if strategy == "skew":
+            # Peel at the statistics' per-relation m/p rule
+            # (arXiv:1401.1872) rather than skew_join's IN/p default, so
+            # the values the cost model priced as grid products are the
+            # ones the executor actually peels — an IN/p cut leaves
+            # joint degrees up to 2·IN/p in the light hash join, voiding
+            # the prediction.
+            threshold = (len(left) / p, len(right) / p)
+            run = skew_join(left, right, p, seed=seed, threshold=threshold)
+        else:
+            run = _TWO_WAY_RUNNERS[strategy](left, right, p, seed=seed)
+        return run.output.project(variables, name="OUT"), run.stats
+
+    if strategy == "hypercube":
+        run = hypercube_join(cq, bindings, p, seed=seed)
+    elif strategy == "skewhc":
+        run = skewhc_join(cq, bindings, p, seed=seed)
+    else:  # gym | semijoin
+        if not is_acyclic(cq):
+            raise QueryError(f"{strategy} needs an acyclic query")
+        if not _connected(cq):
+            raise QueryError(f"{strategy} needs a connected query hypergraph")
+        run = gym(
+            cq, bindings, p, seed=seed,
+            variant="optimized" if strategy == "gym" else "vanilla",
+        )
+    return run.output.project(variables, name="OUT"), run.stats
+
+
+def plan_and_execute(
+    query: str | ConjunctiveQuery,
+    relations: Mapping[str, Relation],
+    p: int,
+    seed: int = 0,
+    out_estimate: int | None = None,
+    strategy: str = "auto",
+    sample: int | None = None,
+) -> tuple[ExplainResult, str, Relation, RunStats]:
+    """Plan, then execute either the chosen or a forced strategy.
+
+    Returns ``(explain, executed_strategy, output, stats)``.
+    """
+    cq = _as_query(query)
+    explain = plan_query(
+        cq, relations, p, out_estimate=out_estimate, sample=sample, seed=seed
+    )
+    executed = explain.chosen if strategy == "auto" else strategy
+    output, stats = execute_strategy(cq, relations, p, executed, seed=seed)
+    return explain, executed, output, stats

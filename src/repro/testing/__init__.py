@@ -45,6 +45,11 @@ from repro.testing.properties import (
     run_metamorphic,
     with_servers,
 )
+from repro.testing.planner import (
+    PlannerRecord,
+    PlannerReport,
+    run_planner_selftest,
+)
 from repro.testing.selftest import SelftestReport, run_selftest
 
 __all__ = [
@@ -57,6 +62,8 @@ __all__ = [
     "Instance",
     "LoadClaim",
     "MultisetDiff",
+    "PlannerRecord",
+    "PlannerReport",
     "PropertyResult",
     "SelftestReport",
     "algorithm",
@@ -78,6 +85,7 @@ __all__ = [
     "run_case",
     "run_differential",
     "run_metamorphic",
+    "run_planner_selftest",
     "run_selftest",
     "same_bag",
     "with_servers",

@@ -193,7 +193,53 @@ def main(argv: list[str] | None = None) -> int:
                              "under both backends and cross-check outputs, "
                              "loads, and rounds (default: ambient "
                              "REPRO_BACKEND setting)")
+    parser.add_argument("--planner", action="store_true",
+                        help="validate the cost-based optimizer instead: "
+                             "auto-planned output must be byte-identical to "
+                             "the oracle and to the forced chosen strategy, "
+                             "and measured L_max must sit within each "
+                             "prediction's constant envelope (see "
+                             "repro.testing.planner)")
     args = parser.parse_args(argv)
+
+    if args.planner:
+        from repro.testing.planner import run_planner_selftest
+
+        if args.kernels == "both" or args.backend == "both":
+            status = 0
+            modes = (
+                [(True, None), (False, None)] if args.kernels == "both"
+                else [(None, "inline"), (None, "process")]
+            )
+            for kernels_mode, backend_mode in modes:
+                label = (
+                    f"kernels {'on' if kernels_mode else 'off'}"
+                    if backend_mode is None else f"backend {backend_mode}"
+                )
+                print(f"=== planner / {label} ===")
+                report = run_planner_selftest(
+                    instances=args.instances, seed=args.seed, kinds=args.kinds,
+                    verbose=args.verbose, kernels=kernels_mode,
+                    backend=backend_mode,
+                )
+                print(report.summary_table())
+                if not report.ok:
+                    for record in report.failures:
+                        print(f"  {record.describe()}", file=sys.stderr)
+                    status = 1
+            return status
+        kernels_mode = {"on": True, "off": False, None: None}[args.kernels]
+        report = run_planner_selftest(
+            instances=args.instances, seed=args.seed, kinds=args.kinds,
+            verbose=args.verbose, kernels=kernels_mode, backend=args.backend,
+        )
+        print(report.summary_table())
+        if not report.ok:
+            print("\nfailures:", file=sys.stderr)
+            for record in report.failures:
+                print(f"  {record.describe()}", file=sys.stderr)
+            return 1
+        return 0
 
     def run(kernels: bool | None, backend: str | None = None) -> SelftestReport:
         return run_selftest(

@@ -166,3 +166,84 @@ class TestBackendGuard:
         assert cmp.ok
         with pytest.raises(ValueError, match="different execution backends"):
             compare_bench(self._doc(), self._doc("process", 4))
+
+
+def x7_doc(ratios, quick=False):
+    """A BENCH doc whose x7 section holds the given {(name, strat): ratio}."""
+    doc = bench_doc({"anchor": 1.0}, quick=quick)
+    doc["x7"] = [
+        {
+            "name": name, "strategy": strategy, "n": 100, "p": 4,
+            "chosen": True, "predicted_load": 10.0,
+            "measured_load": int(10 * ratio), "predicted_rounds": 1,
+            "measured_rounds": 1, "ratio": ratio, "seconds": 0.1,
+            "out_size": 5,
+        }
+        for (name, strategy), ratio in ratios.items()
+    ]
+    return doc
+
+
+class TestX7RatioDrift:
+    """Predicted-vs-measured ratios diff as dimensionless 'x' entries."""
+
+    KEY = ("zipf", "skew")
+
+    def test_stable_ratio_is_ok(self):
+        cmp = compare_bench(x7_doc({self.KEY: 1.50}), x7_doc({self.KEY: 1.55}))
+        assert statuses(cmp)["x7:zipf/skew"] == "ok"
+        assert cmp.ok
+
+    def test_drift_beyond_threshold_regresses(self):
+        # 1.2 -> 1.5 is a 25% ratio drift: the prediction got worse
+        # relative to reality even if wall time improved.
+        cmp = compare_bench(x7_doc({self.KEY: 1.2}), x7_doc({self.KEY: 1.5}))
+        assert statuses(cmp)["x7:zipf/skew"] == "regressed"
+        assert not cmp.ok
+
+    def test_improved_ratio_flagged_but_passes(self):
+        cmp = compare_bench(x7_doc({self.KEY: 2.0}), x7_doc({self.KEY: 1.2}))
+        assert statuses(cmp)["x7:zipf/skew"] == "improved"
+        assert cmp.ok
+
+    def test_no_noise_floor_for_ratios(self):
+        # Ratios are dimensionless; the seconds noise floor must not
+        # suppress a genuine 25% drift at small absolute values.
+        cmp = compare_bench(x7_doc({self.KEY: 0.04}), x7_doc({self.KEY: 0.05}))
+        assert statuses(cmp)["x7:zipf/skew"] == "regressed"
+
+    def test_zero_baseline_ratio_incomparable(self):
+        cmp = compare_bench(x7_doc({self.KEY: 0.0}), x7_doc({self.KEY: 1.0}))
+        assert statuses(cmp)["x7:zipf/skew"] == "incomparable"
+        assert not cmp.ok
+
+    def test_zero_current_ratio_incomparable(self):
+        cmp = compare_bench(x7_doc({self.KEY: 1.0}), x7_doc({self.KEY: 0.0}))
+        assert statuses(cmp)["x7:zipf/skew"] == "incomparable"
+        assert not cmp.ok
+
+    def test_missing_pair_fails(self):
+        base = x7_doc({self.KEY: 1.0, ("zipf", "hash"): 1.1})
+        cmp = compare_bench(base, x7_doc({self.KEY: 1.0}))
+        assert statuses(cmp)["x7:zipf/hash"] == "missing"
+        assert not cmp.ok
+
+    def test_new_pair_is_informational(self):
+        cmp = compare_bench(
+            x7_doc({self.KEY: 1.0}),
+            x7_doc({self.KEY: 1.0, ("zipf", "hash"): 1.1}),
+        )
+        assert statuses(cmp)["x7:zipf/hash"] == "new"
+        assert cmp.ok
+
+    def test_x7_only_in_one_side_still_compares_experiments(self):
+        cmp = compare_bench(bench_doc({"anchor": 1.0}), x7_doc({self.KEY: 1.0}))
+        assert statuses(cmp)["anchor"] == "ok"
+        assert statuses(cmp)["x7:zipf/skew"] == "new"
+
+    def test_ratio_entries_render_with_x_unit(self):
+        cmp = compare_bench(x7_doc({self.KEY: 1.2}), x7_doc({self.KEY: 1.5}))
+        table = cmp.format_table()
+        assert "x7:zipf/skew" in table
+        assert "1.500x" in table
+        assert "1.200x" in table

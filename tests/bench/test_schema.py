@@ -148,3 +148,89 @@ class TestScalingSection:
         doc = minimal_document()
         doc["machine"]["backend"] = 42
         assert any("machine.backend" in e for e in validate_bench(doc))
+
+
+class TestX7Section:
+    """The planner predicted-vs-measured sweep (``bench --x7``)."""
+
+    def _x7_record(self, **overrides):
+        record = {
+            "name": "two_way_zipf", "strategy": "skew", "n": 6000, "p": 16,
+            "chosen": True, "predicted_load": 1357.8, "measured_load": 2282,
+            "predicted_rounds": 1, "measured_rounds": 1, "ratio": 1.68,
+            "seconds": 3.2, "out_size": 120,
+        }
+        record.update(overrides)
+        return record
+
+    def test_valid_x7_section(self):
+        doc = minimal_document()
+        doc["x7"] = [self._x7_record()]
+        assert validate_bench(doc) == []
+
+    def test_x7_is_optional(self):
+        assert validate_bench(minimal_document()) == []
+
+    def test_x7_must_be_a_list(self):
+        doc = minimal_document()
+        doc["x7"] = {"name": "two_way_zipf"}
+        assert any("x7" in e for e in validate_bench(doc))
+
+    def test_missing_field_reported(self):
+        doc = minimal_document()
+        record = self._x7_record()
+        del record["predicted_load"]
+        doc["x7"] = [record]
+        assert any("predicted_load" in e for e in validate_bench(doc))
+
+    def test_negative_measurement_rejected(self):
+        doc = minimal_document()
+        doc["x7"] = [self._x7_record(measured_load=-1)]
+        assert any("measured_load" in e for e in validate_bench(doc))
+
+    def test_chosen_must_be_bool(self):
+        doc = minimal_document()
+        doc["x7"] = [self._x7_record(chosen=1)]
+        assert any("chosen" in e for e in validate_bench(doc))
+
+    def test_duplicate_scenario_strategy_pair_rejected(self):
+        doc = minimal_document()
+        doc["x7"] = [self._x7_record(), self._x7_record(ratio=1.1)]
+        assert any("duplicate" in e for e in validate_bench(doc))
+
+    def test_same_scenario_different_strategy_allowed(self):
+        doc = minimal_document()
+        doc["x7"] = [
+            self._x7_record(),
+            self._x7_record(strategy="hash", chosen=False),
+        ]
+        assert validate_bench(doc) == []
+
+
+class TestCommittedX7Baseline:
+    """BENCH_7.json is the planner PR's committed artifact."""
+
+    BASELINE_7 = REPO_ROOT / "BENCH_7.json"
+
+    def test_baseline_exists_and_validates(self):
+        document = json.loads(self.BASELINE_7.read_text())
+        assert validate_bench(document) == []
+        assert document["x7"], "x7 section must be non-empty"
+
+    def test_no_strategy_exceeds_twice_its_prediction(self):
+        # The PR's acceptance bar: measured load never exceeds 2x the
+        # planner's prediction at the committed seeds.
+        document = json.loads(self.BASELINE_7.read_text())
+        offenders = [
+            (r["name"], r["strategy"], r["ratio"])
+            for r in document["x7"] if r["ratio"] > 2.0
+        ]
+        assert not offenders, offenders
+
+    def test_every_scenario_has_exactly_one_chosen_strategy(self):
+        document = json.loads(self.BASELINE_7.read_text())
+        by_scenario = {}
+        for record in document["x7"]:
+            by_scenario.setdefault(record["name"], []).append(record["chosen"])
+        for name, flags in by_scenario.items():
+            assert sum(flags) == 1, (name, flags)

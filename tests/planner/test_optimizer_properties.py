@@ -1,0 +1,145 @@
+"""Property-based invariants of the adaptive planner (hypothesis).
+
+Three laws the optimizer must satisfy on *every* input, not just the
+canonical scenarios:
+
+1. Optimality of the choice: the chosen candidate's predicted load is a
+   lower bound on every other applicable candidate's.
+2. Structural invariance: renaming relations or permuting atoms changes
+   neither the chosen strategy nor its predicted load — the cost model
+   reads cardinalities and degrees, never names or atom order.
+3. Auto ≡ forced: executing ``strategy="auto"`` produces byte-identical
+   rows and identical measured load to forcing the strategy the explain
+   says it chose.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.relation import Relation
+from repro.planner.optimizer import execute_strategy, plan_and_execute, plan_query
+from repro.query.parser import parse_query
+
+# Small value domains force collisions (and thus occasional heavy
+# hitters), so the generated corpus exercises skew and uniform branches.
+_rows = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 5)), min_size=1, max_size=40
+)
+
+
+def _instance(draw, query="R(x, y), S(y, z)"):
+    cq = parse_query(query)
+    relations = {}
+    schemas = {"R": ["x", "y"], "S": ["y", "z"], "T": ["z", "x"]}
+    for atom in cq.atoms:
+        rows = draw(_rows)
+        relations[atom.name] = Relation(atom.name, schemas[atom.name], rows)
+    p = draw(st.sampled_from([2, 4, 8]))
+    return cq, relations, p
+
+
+@st.composite
+def two_way_instances(draw):
+    return _instance(draw)
+
+
+@st.composite
+def triangle_instances(draw):
+    return _instance(draw, "R(x, y), S(y, z), T(z, x)")
+
+
+class TestChosenIsCheapest:
+    @settings(max_examples=40, deadline=None)
+    @given(two_way_instances())
+    def test_two_way(self, instance):
+        cq, relations, p = instance
+        explain = plan_query(cq, relations, p)
+        chosen = explain.chosen_plan
+        for cand in explain.candidates:
+            if cand.applicable and cand.strategy != explain.chosen:
+                assert chosen.predicted_load <= cand.predicted_load
+
+    @settings(max_examples=15, deadline=None)
+    @given(triangle_instances())
+    def test_triangle(self, instance):
+        cq, relations, p = instance
+        explain = plan_query(cq, relations, p)
+        chosen = explain.chosen_plan
+        for cand in explain.candidates:
+            if cand.applicable and cand.strategy != explain.chosen:
+                assert chosen.predicted_load <= cand.predicted_load
+
+
+class TestStructuralInvariance:
+    @settings(max_examples=30, deadline=None)
+    @given(two_way_instances())
+    def test_relation_renaming(self, instance):
+        cq, relations, p = instance
+        baseline = plan_query(cq, relations, p)
+        renamed_cq = parse_query("A(x, y), B(y, z)")
+        renamed = {
+            "A": Relation("A", ["x", "y"], relations["R"].rows()),
+            "B": Relation("B", ["y", "z"], relations["S"].rows()),
+        }
+        other = plan_query(renamed_cq, renamed, p)
+        assert other.chosen == baseline.chosen
+        assert other.chosen_plan.predicted_load == pytest.approx(
+            baseline.chosen_plan.predicted_load
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(two_way_instances())
+    def test_atom_permutation(self, instance):
+        cq, relations, p = instance
+        baseline = plan_query(cq, relations, p)
+        flipped = parse_query("S(y, z), R(x, y)")
+        other = plan_query(flipped, relations, p)
+        assert other.chosen == baseline.chosen
+        assert other.chosen_plan.predicted_load == pytest.approx(
+            baseline.chosen_plan.predicted_load
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(triangle_instances())
+    def test_triangle_atom_rotation(self, instance):
+        cq, relations, p = instance
+        baseline = plan_query(cq, relations, p)
+        rotated = parse_query("T(z, x), R(x, y), S(y, z)")
+        other = plan_query(rotated, relations, p)
+        assert other.chosen == baseline.chosen
+        assert other.chosen_plan.predicted_load == pytest.approx(
+            baseline.chosen_plan.predicted_load
+        )
+
+
+class TestAutoEqualsForced:
+    @settings(max_examples=25, deadline=None)
+    @given(two_way_instances())
+    def test_two_way(self, instance):
+        cq, relations, p = instance
+        explain, executed, output, stats = plan_and_execute(cq, relations, p)
+        assert executed == explain.chosen
+        forced_output, forced_stats = execute_strategy(
+            cq, relations, p, explain.chosen
+        )
+        assert output.rows() == forced_output.rows()
+        assert stats.max_load == forced_stats.max_load
+        assert stats.num_rounds == forced_stats.num_rounds
+        # and both agree with the sequential oracle
+        assert sorted(output.rows()) == sorted(cq.evaluate(relations).rows())
+
+    @settings(max_examples=8, deadline=None)
+    @given(triangle_instances())
+    def test_triangle(self, instance):
+        cq, relations, p = instance
+        explain, executed, output, stats = plan_and_execute(cq, relations, p)
+        assert executed == explain.chosen
+        forced_output, forced_stats = execute_strategy(
+            cq, relations, p, explain.chosen
+        )
+        assert output.rows() == forced_output.rows()
+        assert stats.max_load == forced_stats.max_load
+        assert sorted(output.rows()) == sorted(cq.evaluate(relations).rows())

@@ -5,7 +5,23 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.data.relation import Relation
-from repro.planner.statistics import join_statistics
+from repro.planner.statistics import (
+    QueryStatistics,
+    collect_query_statistics,
+    join_statistics,
+    relation_statistics,
+)
+from repro.query.parser import parse_query
+
+
+def _relation_with_degree(name, attrs, size, degree, key_index=1):
+    """``size`` rows where one join value occurs exactly ``degree`` times."""
+    assert degree <= size
+    rows = [(i, 0) for i in range(degree)]
+    rows += [(1000 + i, 1 + i) for i in range(size - degree)]
+    if key_index == 0:
+        rows = [(b, a) for a, b in rows]
+    return Relation(name, attrs, rows)
 
 
 class TestJoinStatistics:
@@ -48,3 +64,96 @@ class TestJoinStatistics:
         r = Relation("R", ["x", "y"], r_rows)
         s = Relation("S", ["y", "z"], s_rows)
         assert join_statistics(r, s).out_size == len(r.join(s))
+
+
+class TestHeavyHitterThresholdBoundary:
+    """The paper's rule (arXiv:1401.1872): heavy iff frequency > m/p,
+    with m the size of the relation the value appears in — NOT the
+    combined input IN/p. These pin the boundary exactly; they fail
+    against the old IN/p-relative implementation.
+    """
+
+    def test_exactly_m_over_p_is_not_heavy(self):
+        # m=100, p=4: threshold 25. Degree exactly 25 is NOT heavy.
+        r = _relation_with_degree("R", ["x", "y"], 100, 25)
+        s = Relation("S", ["y", "z"], [(i, i) for i in range(100)])
+        assert not join_statistics(r, s).has_heavy_hitter(p=4)
+
+    def test_one_above_m_over_p_is_heavy(self):
+        # Degree 26 > 100/4: heavy — even though the old IN/p threshold
+        # (200/4 = 50) would have called this uniform.
+        r = _relation_with_degree("R", ["x", "y"], 100, 26)
+        s = Relation("S", ["y", "z"], [(i, i) for i in range(100)])
+        assert join_statistics(r, s).has_heavy_hitter(p=4)
+
+    def test_one_below_m_over_p_is_not_heavy(self):
+        r = _relation_with_degree("R", ["x", "y"], 100, 24)
+        s = Relation("S", ["y", "z"], [(i, i) for i in range(100)])
+        assert not join_statistics(r, s).has_heavy_hitter(p=4)
+
+    def test_threshold_is_per_relation_not_combined(self):
+        # The heavy side is small next to its partner: degree 26 in a
+        # 100-row R is heavy at p=4 (26 > 25) although the combined
+        # input's IN/p = (100+900)/4 = 250 would miss it entirely.
+        r = _relation_with_degree("R", ["x", "y"], 100, 26)
+        s = Relation("S", ["y", "z"], [(i, i) for i in range(900)])
+        assert join_statistics(r, s).has_heavy_hitter(p=4)
+
+    def test_heavy_in_s_side_uses_s_size(self):
+        r = Relation("R", ["x", "y"], [(i, 1000 + i) for i in range(400)])
+        s = _relation_with_degree("S", ["y", "z"], 100, 26, key_index=0)
+        assert join_statistics(r, s).has_heavy_hitter(p=4)
+        s_ok = _relation_with_degree("S", ["y", "z"], 100, 25, key_index=0)
+        assert not join_statistics(r, s_ok).has_heavy_hitter(p=4)
+
+    def test_relation_statistics_same_boundary(self):
+        heavy = _relation_with_degree("R", ["x", "y"], 100, 26)
+        level = _relation_with_degree("R", ["x", "y"], 100, 25)
+        assert relation_statistics(heavy, p=4).heavy_values("y") == (0,)
+        assert relation_statistics(level, p=4).heavy_values("y") == ()
+
+    def test_query_statistics_skewed_flag_same_boundary(self):
+        cq = parse_query("R(x, y), S(y, z)")
+        s = Relation("S", ["y", "z"], [(i, i) for i in range(100)])
+        heavy = collect_query_statistics(
+            cq, {"R": _relation_with_degree("R", ["x", "y"], 100, 26), "S": s},
+            p=4,
+        )
+        level = collect_query_statistics(
+            cq, {"R": _relation_with_degree("R", ["x", "y"], 100, 25), "S": s},
+            p=4,
+        )
+        assert heavy.skewed and not level.skewed
+        # Heavy joint degrees carry the summed cross-atom degree: 26
+        # from R plus the single matching S tuple.
+        assert heavy.heavy_joint_degrees["y"] == ((0, 27),)
+        assert level.heavy_joint_degrees["y"] == ()
+
+
+class TestQueryStatistics:
+    def test_sampled_statistics_flagged_and_plausible(self):
+        cq = parse_query("R(x, y), S(y, z)")
+        r = Relation("R", ["x", "y"], [(i, i % 7) for i in range(600)])
+        s = Relation("S", ["y", "z"], [(i % 7, i) for i in range(600)])
+        stats = collect_query_statistics(cq, {"R": r, "S": s}, p=4, sample=200)
+        assert stats.sampled
+        assert stats.in_size == 1200
+        # Every residue class has degree ~86 > 150/…? threshold 600/4:
+        # none heavy; the sampled estimate must agree at this margin.
+        assert not stats.skewed
+
+    def test_out_estimate_override(self):
+        cq = parse_query("R(x, y), S(y, z)")
+        r = Relation("R", ["x", "y"], [(1, 1)])
+        s = Relation("S", ["y", "z"], [(1, 2)])
+        stats = collect_query_statistics(cq, {"R": r, "S": s}, p=2,
+                                         out_estimate=99)
+        assert stats.out_estimate == 99
+
+    def test_statistics_are_frozen(self):
+        stats = QueryStatistics(
+            p=2, in_size=0, out_estimate=0, sizes={},
+            heavy_join_values={}, max_joint_degree=0, per_relation=(),
+        )
+        with pytest.raises(AttributeError):
+            stats.p = 4

@@ -62,6 +62,7 @@ EXPERIMENTS = [
     ("bench_x4_backend_scaling", "worker_scaling_experiment",
      {"workers": (1, 2), "n_join": 400, "n_tri": 300}),
     ("bench_x4_backend_scaling", "transport_experiment", {"n_join": 400}),
+    ("bench_x7_planner", "planner_experiment", {"quick": True}),
     ("bench_ablations", "share_rounding_ablation", {}),
     ("bench_ablations", "threshold_ablation", {}),
     ("bench_ablations", "psrs_sampling_ablation", {}),
