@@ -7,6 +7,7 @@ Usage::
     python -m repro run all              # run everything (minutes)
     python -m repro selftest             # differential correctness gate
     python -m repro bench --quick        # measured wall-time benchmarks
+    python -m repro serve --clients 8    # concurrent query service + load
 
 Each experiment prints the same rows the tutorial reports; the mapping
 from ids to slides lives in DESIGN.md. ``selftest`` validates every
@@ -84,6 +85,11 @@ def main(argv: list[str] | None = None) -> int:
         help="run the measured benchmarks and write BENCH_3.json",
         add_help=False,
     )
+    sub.add_parser(
+        "serve",
+        help="run the concurrent query service under a client load",
+        add_help=False,
+    )
     if argv is None:
         argv = sys.argv[1:]
     if argv[:1] == ["selftest"]:
@@ -96,6 +102,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.runner import main as bench_main
 
         return bench_main(argv[1:])
+    if argv[:1] == ["serve"]:
+        from repro.service.cli import main as serve_main
+
+        return serve_main(argv[1:])
     args = parser.parse_args(argv)
 
     if args.command == "list":

@@ -38,6 +38,7 @@ __all__ = [
     "run_bench",
     "run_bench_x4",
     "run_bench_x7",
+    "run_bench_x8",
     "run_experiment",
     "run_scaling",
     "run_speedup",
@@ -471,6 +472,153 @@ def run_bench_x7(quick: bool = False, echo: bool = True) -> dict[str, Any]:
     }
 
 
+def run_bench_x8(quick: bool = False, echo: bool = True) -> dict[str, Any]:
+    """The x8 document: concurrent service throughput and byte-identity.
+
+    Stands up a :class:`~repro.service.QueryService` over the generated
+    star-schema warehouse and plays the built-in workload mix against it
+    at increasing client counts (barrier-started threads, each its own
+    tenant), plus one query-splitting arm. Every arm records throughput,
+    admission counts, and cache counters, and asserts every concurrent
+    result **byte-identical** (canonical row order) to a serial baseline
+    captured before any contention; repeated workloads must show a
+    non-zero cache hit rate. The ``experiments`` section carries one
+    chosen record per arm so the file diffs with the standard comparator.
+    """
+    import threading
+
+    from repro.data.warehouse import make_warehouse
+    from repro.service.cli import WORKLOAD
+    from repro.service.service import QueryService, TenantQuota
+    from repro.service.splitter import canonical
+
+    def say(message: str) -> None:
+        if echo:
+            print(message, flush=True)
+
+    orders = 800 if quick else 3000
+    client_counts = [1, 2, 4] if quick else [1, 2, 4, 8]
+    queries_per_client = 4 if quick else 10
+    p = 8
+    workers = 4
+    warehouse = make_warehouse(
+        n_orders=orders, n_customers=max(50, orders // 10), seed=0
+    )
+
+    # Serial baselines: one uncontended, cache-free pass per workload
+    # query — the byte-identity reference and the L_max/rounds source
+    # for the experiments section.
+    baselines: dict[str, tuple[list, int, int, int]] = {}
+    with QueryService(warehouse, p=p, workers=1, cache_size=0, seed=0) as svc:
+        for query in WORKLOAD:
+            result = svc.query(query)
+            baselines[query] = (
+                canonical(result.output).rows_readonly(),
+                result.max_load, result.rounds, len(result.output),
+            )
+
+    def run_arm(name: str, clients: int, split: int) -> dict[str, Any]:
+        service = QueryService(
+            warehouse, p=p, workers=workers, queue_size=max(64, clients * 16),
+            default_quota=TenantQuota(max_in_flight=queries_per_client + 1),
+            cache_size=256, seed=0,
+        )
+        mismatches = [0]
+        rejected = [0]
+        failures: list[BaseException] = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(clients + 1)
+
+        def client(index: int) -> None:
+            barrier.wait(timeout=60)
+            for j in range(queries_per_client):
+                query = WORKLOAD[(index + j) % len(WORKLOAD)]
+                use_split = split if query.count("(") > 2 else 1
+                try:
+                    result = service.query(
+                        query, tenant=f"client-{index}", split=use_split
+                    )
+                except Exception as exc:  # noqa: BLE001 - reported per arm
+                    from repro.errors import AdmissionError
+
+                    with lock:
+                        if isinstance(exc, AdmissionError):
+                            rejected[0] += 1
+                        else:
+                            failures.append(exc)
+                    continue
+                rows = canonical(result.output).rows_readonly()
+                if rows != baselines[query][0]:
+                    with lock:
+                        mismatches[0] += 1
+
+        threads = [
+            threading.Thread(target=client, args=(i,), name=f"x8-client-{i}")
+            for i in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait(timeout=60)
+        start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        seconds = time.perf_counter() - start
+        stats = service.stats()
+        service.close()
+        if failures:
+            raise failures[0]
+        completed = stats.completed
+        return {
+            "name": name,
+            "clients": clients,
+            "workers": workers,
+            "split": split,
+            "queries": clients * queries_per_client,
+            "completed": completed,
+            "rejected": rejected[0],
+            "seconds": seconds,
+            "queries_per_second": completed / seconds if seconds > 0 else 0.0,
+            "cache_hits": stats.cache.hits,
+            "cache_misses": stats.cache.misses,
+            "cache_hit_rate": stats.cache.hit_rate,
+            "identical": mismatches[0] == 0,
+        }
+
+    x8: list[dict[str, Any]] = []
+    experiments: list[dict[str, Any]] = []
+    arms = [(f"clients{c}", c, 1) for c in client_counts]
+    arms.append((f"split2_clients{client_counts[-1]}", client_counts[-1], 2))
+    reference_query = WORKLOAD[0]
+    ref_rows, ref_load, ref_rounds, ref_out = baselines[reference_query]
+    for name, clients, split in arms:
+        record = run_arm(name, clients, split)
+        x8.append(record)
+        say(
+            f"  x8_{name}: {record['completed']}/{record['queries']} done, "
+            f"{record['queries_per_second']:.1f} q/s, "
+            f"cache {record['cache_hits']}/{record['cache_hits'] + record['cache_misses']}"
+            f" hits, identical={record['identical']}"
+        )
+        experiments.append({
+            "name": f"x8_{name}",
+            "n": orders,
+            "p": p,
+            "seconds": record["seconds"],
+            "L_max": ref_load,
+            "rounds": ref_rounds,
+            "out_size": ref_out,
+        })
+    return {
+        "schema": SCHEMA_VERSION,
+        "machine": machine_info(),
+        "kernels": kernels_enabled(),
+        "quick": quick,
+        "experiments": experiments,
+        "speedups": [],
+        "x8": x8,
+    }
+
+
 def _load(path: str) -> dict[str, Any]:
     with open(path, encoding="utf-8") as handle:
         return json.load(handle)
@@ -514,6 +662,12 @@ def main(argv: Sequence[str] | None = None) -> int:
                              "(every applicable strategy per scenario) instead "
                              "of the standard experiment set; default out "
                              "BENCH_7.json")
+    parser.add_argument("--x8", action="store_true",
+                        help="run the concurrent service throughput sweep "
+                             "(client scaling + query splitting, with "
+                             "byte-identity checks against a serial "
+                             "baseline) instead of the standard experiment "
+                             "set; default out BENCH_8.json")
     parser.add_argument("--force", action="store_true",
                         help="allow diffing BENCH files measured under "
                              "different execution backends")
@@ -522,13 +676,15 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="compare two existing BENCH files and exit")
     args = parser.parse_args(argv)
 
-    if args.x4 and args.x7:
-        print("--x4 and --x7 are mutually exclusive", file=sys.stderr)
+    if sum((args.x4, args.x7, args.x8)) > 1:
+        print("--x4, --x7, and --x8 are mutually exclusive", file=sys.stderr)
         return 2
     if args.x4 and args.out == parser.get_default("out"):
         args.out = "BENCH_5.json"
     if args.x7 and args.out == parser.get_default("out"):
         args.out = "BENCH_7.json"
+    if args.x8 and args.out == parser.get_default("out"):
+        args.out = "BENCH_8.json"
 
     if args.diff is not None:
         try:
@@ -617,6 +773,43 @@ def main(argv: Sequence[str] | None = None) -> int:
             if not comparison.ok and not args.warn_only:
                 return 1
         return 0
+
+    if args.x8:
+        print(f"running {'quick' if args.quick else 'full'} concurrent "
+              f"service sweep "
+              f"(kernels={'on' if kernels_enabled() else 'off'}):")
+        document = run_bench_x8(quick=args.quick)
+        errors = validate_bench(document)
+        if errors:
+            print("generated document violates the BENCH schema:", file=sys.stderr)
+            for error in errors:
+                print(f"  {error}", file=sys.stderr)
+            return 2
+        Path(args.out).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.out}")
+        status = 0
+        broken = [r["name"] for r in document["x8"] if not r["identical"]]
+        if broken:
+            print(f"concurrent results diverged from the serial baseline "
+                  f"for: {broken}", file=sys.stderr)
+            status = 1
+        dropped = [
+            r["name"] for r in document["x8"]
+            if r["completed"] + r["rejected"] != r["queries"]
+        ]
+        if dropped:
+            print(f"queries lost (neither completed nor rejected) in: "
+                  f"{dropped}", file=sys.stderr)
+            status = 1
+        repeated = [r for r in document["x8"] if r["clients"] > 1]
+        if repeated and all(r["cache_hits"] == 0 for r in repeated):
+            print("result cache never hit on a repeated workload",
+                  file=sys.stderr)
+            status = 1
+        return status
 
     print(f"running {'quick' if args.quick else 'full'} benchmarks "
           f"(kernels={'on' if kernels_enabled() else 'off'}):")

@@ -38,6 +38,20 @@ A BENCH file is a JSON document::
          "ratio": float,        # measured_load / predicted_load
          "seconds": float, "out_size": int}, ...
       ],
+      "x8": [                   # optional: concurrent service throughput
+        {"name": str,           # arm name, e.g. "clients4" or "split2"
+         "clients": int,        # concurrent client threads
+         "workers": int,        # service worker threads
+         "split": int,          # query split factor (1 = no rewrite)
+         "queries": int,        # requests issued across all clients
+         "completed": int, "rejected": int,
+         "seconds": float,      # wall time of the whole arm
+         "queries_per_second": float,
+         "cache_hits": int, "cache_misses": int,
+         "cache_hit_rate": float,
+         "identical": bool}, ...  # every result byte-matched the serial
+                                  # baseline (canonical row order)
+      ],
       "transport_ab": [         # optional: shm row-packing on/off bytes
         {"name": str, "n": int, "p": int, "workers": int,
          "rows_packing": bool,  # REPRO_SHM_ROWS state for this run
@@ -128,6 +142,23 @@ _X7_FIELDS: dict[str, tuple[type, ...]] = {
     "ratio": (int, float),
     "seconds": (int, float),
     "out_size": (int,),
+}
+
+
+_X8_FIELDS: dict[str, tuple[type, ...]] = {
+    "name": (str,),
+    "clients": (int,),
+    "workers": (int,),
+    "split": (int,),
+    "queries": (int,),
+    "completed": (int,),
+    "rejected": (int,),
+    "seconds": (int, float),
+    "queries_per_second": (int, float),
+    "cache_hits": (int,),
+    "cache_misses": (int,),
+    "cache_hit_rate": (int, float),
+    "identical": (bool,),
 }
 
 
@@ -244,6 +275,18 @@ def validate_bench(document: Any) -> list[str]:
                         f"x7[{i}]: duplicate (name, strategy) pair {pair!r}"
                     )
                 pairs.add(pair)
+    x8 = document.get("x8", [])  # optional: only service (x8) runs emit it
+    if not isinstance(x8, list):
+        errors.append("x8: expected a list")
+    else:
+        names: set[Any] = set()
+        for i, record in enumerate(x8):
+            _check_record(record, _X8_FIELDS, f"x8[{i}]", errors)
+            if isinstance(record, dict):
+                name = record.get("name")
+                if name in names:
+                    errors.append(f"x8[{i}]: duplicate name {name!r}")
+                names.add(name)
     transport_ab = document.get("transport_ab", [])  # optional section
     if not isinstance(transport_ab, list):
         errors.append("transport_ab: expected a list")

@@ -27,10 +27,25 @@ The class offers the small relational-algebra surface the parallel
 algorithms need: projection, selection, renaming, key extraction, degree
 (frequency) statistics, and exact local joins for verifying distributed
 results.
+
+**Concurrency contract.** A relation may be read from many threads at
+once — :meth:`rows_readonly`, :meth:`columns`, and the pure operators
+(project/select/join/...) are safe under concurrent readers, including
+when the lazy row/column derivations race: every cache fill, the
+:meth:`rows` borrow/demote transition, and the mutation bookkeeping of
+:meth:`add`/:meth:`extend` happen under a per-relation lock, so no
+reader can ever observe a half-built view or a cleared-but-unreplaced
+representation. *Mutations are not serialized against readers*: callers
+that interleave :meth:`add`/:meth:`extend`/:meth:`rows` with concurrent
+reads must provide external synchronization (the
+:class:`repro.data.warehouse.RelationWarehouse` writer lock is the
+service layer's way of doing exactly that) — the lock here guarantees
+the relation's *internal* coherency, not snapshot isolation.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from typing import Any
@@ -80,7 +95,7 @@ class Relation:
     """
 
     __slots__ = ("name", "schema", "_rows", "_cols", "_colcache", "_version",
-                 "_borrowed")
+                 "_borrowed", "_lock")
 
     def __init__(
         self,
@@ -97,6 +112,11 @@ class Relation:
         self._colcache: tuple[int, list | None] | None = None
         self._version = 0
         self._borrowed = False
+        # Guards the lazy derivations (row materialization, column
+        # extraction), the borrow/demote transition of rows(), and the
+        # mutation bookkeeping — see the module-level concurrency
+        # contract. Never held while user code runs.
+        self._lock = threading.Lock()
         arity = self.schema.arity
         for row in rows:
             t = tuple(row)
@@ -173,13 +193,38 @@ class Relation:
         out._borrowed = True
         return out
 
-    def _materialize(self) -> list[Row]:
-        """The tuple store, deriving (and caching) it from the columns."""
+    def __getstate__(self) -> dict:
+        # The per-relation lock is not picklable (and must not be
+        # shared across processes anyway); a fresh one is created on
+        # unpickle. Everything else round-trips verbatim.
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot != "_lock"
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._lock = threading.Lock()
+
+    def _derive_rows(self) -> list[Row]:
+        """The tuple store (caller must hold :attr:`_lock` or own the relation)."""
         rows = self._rows
         if rows is None:
             assert self._cols is not None
             rows = list(zip(*(c.tolist() for c in self._cols)))
             self._rows = rows
+        return rows
+
+    def _materialize(self) -> list[Row]:
+        """The tuple store, deriving (and caching) it from the columns."""
+        rows = self._rows
+        if rows is None:
+            # Lazy derivation races with other readers: take the lock,
+            # re-check, and let exactly one thread build the view.
+            with self._lock:
+                rows = self._derive_rows()
         return rows
 
     def rows(self) -> list[Row]:
@@ -191,16 +236,22 @@ class Relation:
         and marks the relation *borrowed* (cached column extraction is
         never trusted again; see :meth:`columns`). Internal read-only
         code paths use :meth:`rows_readonly` to avoid the demotion.
+
+        The borrow/demote transition happens atomically under the
+        relation lock, so a concurrent :meth:`columns` reader sees
+        either the pre-demotion columnar view or the post-demotion row
+        view — never a state with both representations cleared.
         """
-        rows = self._materialize()
-        if not self._borrowed:
-            self._version += 1
-            self._borrowed = True
-        elif self._cols is not None:
-            self._version += 1
-        self._cols = None
-        self._colcache = None
-        return rows
+        with self._lock:
+            rows = self._derive_rows()
+            if not self._borrowed:
+                self._version += 1
+                self._borrowed = True
+            elif self._cols is not None:
+                self._version += 1
+            self._cols = None
+            self._colcache = None
+            return rows
 
     def rows_readonly(self) -> list[Row]:
         """The tuple view for callers that promise not to mutate it.
@@ -245,16 +296,24 @@ class Relation:
         serve a stale view — and *borrowed* relations skip the cache
         entirely. ``None`` when any column holds non-integer values (the
         kernels then have no fast path for this relation).
+
+        Safe under concurrent readers: the extraction (and its cache
+        fill) runs under the relation lock, so a racing :meth:`rows`
+        demotion or a second extractor can never interleave with it.
         """
-        if self._cols is not None:
-            return self._cols
-        cached = self._colcache
-        if cached is not None and cached[0] == self._version:
-            return cached[1]
-        cols = key_columns(self._rows, range(self.schema.arity))
-        if not self._borrowed:
-            self._colcache = (self._version, cols)
-        return cols
+        cols = self._cols
+        if cols is not None:
+            return cols
+        with self._lock:
+            if self._cols is not None:
+                return self._cols
+            cached = self._colcache
+            if cached is not None and cached[0] == self._version:
+                return cached[1]
+            cols = key_columns(self._rows, range(self.schema.arity))
+            if not self._borrowed:
+                self._colcache = (self._version, cols)
+            return cols
 
     def prime_columns(self, cols: list | None) -> None:
         """Install a precomputed columnar view (e.g. a delivered side-car).
@@ -265,13 +324,14 @@ class Relation:
         *knows* the arrays match the rows (a shuffle's side-car); the
         installed view is still dropped on the next token bump.
         """
-        if self._cols is not None:
-            return
-        if cols is not None and (
-            len(cols) == self.schema.arity
-            and all(len(c) == len(self._materialize()) for c in cols)
-        ):
-            self._colcache = (self._version, list(cols))
+        with self._lock:
+            if self._cols is not None:
+                return
+            if cols is not None and (
+                len(cols) == self.schema.arity
+                and all(len(c) == len(self._derive_rows()) for c in cols)
+            ):
+                self._colcache = (self._version, list(cols))
 
     def _cached_key_columns(self, idx: Sequence[int]) -> list | None:
         """The coherent columns at ``idx``, or ``None`` when they would cost.
@@ -325,11 +385,12 @@ class Relation:
                 f"tuple {t!r} has arity {len(t)}, schema {self.name} expects "
                 f"{self.schema.arity}"
             )
-        rows = self._materialize()
-        self._cols = None
-        self._colcache = None
-        self._version += 1
-        rows.append(t)
+        with self._lock:
+            rows = self._derive_rows()
+            self._cols = None
+            self._colcache = None
+            self._version += 1
+            rows.append(t)
 
     def extend(self, rows: Iterable[Row]) -> None:
         """Append many tuples (arity-checked); bumps the mutation token."""

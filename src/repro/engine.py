@@ -22,6 +22,7 @@ disagreement raises :class:`repro.errors.OracleMismatchError`.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.data.relation import Relation
@@ -98,6 +99,13 @@ class Engine:
         # attributes) -> aligned relation; LRU, invalidated on register().
         self._align_cache: dict[tuple, Relation] = {}
         self._align_hits = 0
+        # Guards _align_cache and _align_hits: concurrent queries (the
+        # repro.service worker threads) share one engine, and an
+        # unsynchronized LRU races on the pop/re-insert recency bump
+        # (two threads can both observe a hit and the second pop raises
+        # KeyError) and on the eviction scan. The lock covers only the
+        # dict bookkeeping, never the projection work.
+        self._align_lock = threading.Lock()
 
     # --------------------------------------------------------------- catalog
 
@@ -105,7 +113,8 @@ class Engine:
         """Add (or replace) a relation under ``name`` (default: its own)."""
         self._relations[name or relation.name] = relation
         # Cached alignments may reference the replaced relation's data.
-        self._align_cache.clear()
+        with self._align_lock:
+            self._align_cache.clear()
 
     def relation(self, name: str) -> Relation:
         try:
@@ -271,8 +280,12 @@ class Engine:
         alignment. Relations whose row list is aliased outside
         (:attr:`Relation.is_borrowed`) are not cached at all — in-place
         edits of such a list are invisible to the token. The cache is
-        bounded LRU (:attr:`_ALIGN_CACHE_SIZE`) and cleared by
-        :meth:`register`.
+        bounded LRU (:attr:`_ALIGN_CACHE_SIZE`), cleared by
+        :meth:`register`, and thread-safe: lookups, the recency bump,
+        insertion, and eviction all happen under :attr:`_align_lock`
+        (single-threaded behaviour is unchanged — the lock is uncontended
+        there), so concurrent queries through one engine can never
+        double-pop a hit or race the eviction scan.
         """
         atom = cq.atoms[index]
         if set(rel.schema.attributes) != set(atom.variables):
@@ -287,19 +300,21 @@ class Engine:
             tuple(rel.schema.attributes),
             rel.mutation_token(),
         )
-        cached = self._align_cache.get(key)
-        if cached is not None:
-            self._align_hits += 1
-            # Refresh LRU recency.
-            self._align_cache.pop(key)
-            self._align_cache[key] = cached
-            return cached
+        with self._align_lock:
+            cached = self._align_cache.get(key)
+            if cached is not None:
+                self._align_hits += 1
+                # Refresh LRU recency.
+                self._align_cache.pop(key)
+                self._align_cache[key] = cached
+                return cached
         cacheable = not rel.is_borrowed
         if rel.schema.attributes != atom.variables:
             rel = rel.project(list(atom.variables))
         if not cacheable:
             return rel
-        if len(self._align_cache) >= self._ALIGN_CACHE_SIZE:
-            self._align_cache.pop(next(iter(self._align_cache)))
-        self._align_cache[key] = rel
+        with self._align_lock:
+            if len(self._align_cache) >= self._ALIGN_CACHE_SIZE:
+                self._align_cache.pop(next(iter(self._align_cache)))
+            self._align_cache[key] = rel
         return rel

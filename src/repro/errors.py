@@ -81,6 +81,63 @@ class OracleMismatchError(ReproError):
         self.diff = diff
 
 
+class ServiceError(ReproError):
+    """Base class for the concurrent query service (:mod:`repro.service`)."""
+
+
+class ServiceClosedError(ServiceError):
+    """A query was submitted to a service that has been shut down."""
+
+
+class AdmissionError(ServiceError):
+    """A query was rejected at admission; subclasses say why.
+
+    Every admission rejection is *graceful*: the query never enters the
+    work queue, no worker state is touched, and the rejection is counted
+    in :class:`~repro.service.ServiceStats` under the subclass's
+    counter. The ``tenant`` attribute names who was rejected.
+    """
+
+    def __init__(self, tenant: str, detail: str) -> None:
+        super().__init__(f"tenant {tenant!r}: {detail}")
+        self.tenant = tenant
+
+
+class QueueFullError(AdmissionError):
+    """The service's bounded work queue is full (global backpressure)."""
+
+    def __init__(self, tenant: str, capacity: int) -> None:
+        super().__init__(
+            tenant, f"work queue is full (capacity {capacity})"
+        )
+        self.capacity = capacity
+
+
+class InFlightQuotaError(AdmissionError):
+    """The tenant already has its maximum number of queries in flight."""
+
+    def __init__(self, tenant: str, in_flight: int, quota: int) -> None:
+        super().__init__(
+            tenant,
+            f"{in_flight} queries in flight, quota allows {quota}",
+        )
+        self.in_flight = in_flight
+        self.quota = quota
+
+
+class LoadCapQuotaError(AdmissionError):
+    """The optimizer priced the query above the tenant's load cap."""
+
+    def __init__(self, tenant: str, predicted: float, cap: float) -> None:
+        super().__init__(
+            tenant,
+            f"predicted load {predicted:.1f} exceeds the tenant load cap "
+            f"{cap:.1f}",
+        )
+        self.predicted = predicted
+        self.cap = cap
+
+
 class DecompositionError(ReproError):
     """A hypertree decomposition could not be built (e.g. cyclic query)."""
 

@@ -19,6 +19,11 @@ This module is import-light on purpose (stdlib only): resolving a
 *name* must not fork a worker pool — pools are created lazily by
 :func:`repro.exec.base.get_backend` the first time a ``process`` cluster
 actually maps work.
+
+Like :mod:`repro.kernels.config`, the overrides live in
+:class:`contextvars.ContextVar` slots so concurrent threads (the
+:mod:`repro.service` workers) each see their own forcing; a thread that
+never forces anything falls through to the environment defaults.
 """
 
 from __future__ import annotations
@@ -26,13 +31,20 @@ from __future__ import annotations
 import os
 from collections.abc import Iterator
 from contextlib import contextmanager
+from contextvars import ContextVar
 
 BACKENDS = ("inline", "process")
 TRANSPORTS = ("shm", "pickle")
 
-_forced_backend: str | None = None
-_forced_workers: int | None = None
-_forced_transport: str | None = None
+_forced_backend: ContextVar[str | None] = ContextVar(
+    "repro_backend_forced", default=None
+)
+_forced_workers: ContextVar[int | None] = ContextVar(
+    "repro_workers_forced", default=None
+)
+_forced_transport: ContextVar[str | None] = ContextVar(
+    "repro_transport_forced", default=None
+)
 
 
 def _validated_backend(name: str) -> str:
@@ -51,16 +63,18 @@ def _validated_transport(name: str) -> str:
 
 def backend_name() -> str:
     """The backend clusters created right now inherit."""
-    if _forced_backend is not None:
-        return _forced_backend
+    forced = _forced_backend.get()
+    if forced is not None:
+        return forced
     raw = os.environ.get("REPRO_BACKEND", "").strip().lower()
     return _validated_backend(raw) if raw else "inline"
 
 
 def worker_count() -> int:
     """Process-pool size for the ``process`` backend (≥ 1)."""
-    if _forced_workers is not None:
-        return _forced_workers
+    forced = _forced_workers.get()
+    if forced is not None:
+        return forced
     raw = os.environ.get("REPRO_WORKERS", "").strip()
     if raw:
         workers = int(raw)
@@ -72,8 +86,9 @@ def worker_count() -> int:
 
 def transport_name() -> str:
     """Cross-process buffer transport: ``shm`` or ``pickle``."""
-    if _forced_transport is not None:
-        return _forced_transport
+    forced = _forced_transport.get()
+    if forced is not None:
+        return forced
     raw = os.environ.get("REPRO_TRANSPORT", "").strip().lower()
     return _validated_transport(raw) if raw else "shm"
 
@@ -88,28 +103,31 @@ def shm_rows_enabled() -> bool:
     knob the transport-bytes benchmark measures against); the in-process
     override from :func:`use_shm_rows` wins over the environment.
     """
-    if _forced_shm_rows is not None:
-        return _forced_shm_rows
+    forced = _forced_shm_rows.get()
+    if forced is not None:
+        return forced
     raw = os.environ.get("REPRO_SHM_ROWS", "").strip().lower()
     if raw in ("off", "0", "false", "no"):
         return False
     return True
 
 
-_forced_shm_rows: bool | None = None
+_forced_shm_rows: ContextVar[bool | None] = ContextVar(
+    "repro_shm_rows_forced", default=None
+)
 
 
 @contextmanager
 def use_shm_rows(flag: bool | None) -> Iterator[None]:
     """Scoped override of :func:`shm_rows_enabled` (``None`` = no-op)."""
-    global _forced_shm_rows
-    previous = _forced_shm_rows
-    if flag is not None:
-        _forced_shm_rows = flag
+    if flag is None:
+        yield
+        return
+    token = _forced_shm_rows.set(flag)
     try:
         yield
     finally:
-        _forced_shm_rows = previous
+        _forced_shm_rows.reset(token)
 
 
 def set_backend(
@@ -117,11 +135,15 @@ def set_backend(
     workers: int | None = None,
     transport: str | None = None,
 ) -> None:
-    """Force the backend in-process (``None`` restores the env default)."""
-    global _forced_backend, _forced_workers, _forced_transport
-    _forced_backend = _validated_backend(name) if name is not None else None
-    _forced_workers = workers
-    _forced_transport = (
+    """Force the backend for this context (``None`` restores the env default).
+
+    Like :func:`repro.kernels.config.set_kernels`, the forcing is scoped
+    to the current :mod:`contextvars` context — process-wide for plain
+    single-threaded programs, per-thread once threads are involved.
+    """
+    _forced_backend.set(_validated_backend(name) if name is not None else None)
+    _forced_workers.set(workers)
+    _forced_transport.set(
         _validated_transport(transport) if transport is not None else None
     )
 
@@ -139,15 +161,21 @@ def use_backend(
     :func:`repro.kernels.config.use_kernels`. ``workers``/``transport``
     only take effect together with an explicit ``name``.
     """
-    global _forced_backend, _forced_workers, _forced_transport
-    previous = (_forced_backend, _forced_workers, _forced_transport)
-    if name is not None:
-        _forced_backend = _validated_backend(name)
-        if workers is not None:
-            _forced_workers = workers
-        if transport is not None:
-            _forced_transport = _validated_transport(transport)
+    if name is None:
+        yield
+        return
+    backend_token = _forced_backend.set(_validated_backend(name))
+    worker_token = _forced_workers.set(workers) if workers is not None else None
+    transport_token = (
+        _forced_transport.set(_validated_transport(transport))
+        if transport is not None
+        else None
+    )
     try:
         yield
     finally:
-        _forced_backend, _forced_workers, _forced_transport = previous
+        if transport_token is not None:
+            _forced_transport.reset(transport_token)
+        if worker_token is not None:
+            _forced_workers.reset(worker_token)
+        _forced_backend.reset(backend_token)

@@ -13,6 +13,14 @@ for correctness escape hatches. Three layers, highest priority first:
 
 This module is import-light on purpose (stdlib only): the data layer
 consults :func:`kernels_enabled` without pulling in numpy.
+
+The override lives in a :class:`contextvars.ContextVar`, not a module
+global: concurrent threads (the :mod:`repro.service` workers) each see
+their own forcing, so one engine running ``kernels=False`` can never
+flip the fast paths out from under a neighbour mid-query. A thread that
+never forces anything falls through to the environment default, and
+:mod:`repro.service` propagates the submitter's context into its worker
+threads, so ambient forcing still crosses the queue boundary.
 """
 
 from __future__ import annotations
@@ -20,23 +28,29 @@ from __future__ import annotations
 import os
 from collections.abc import Iterator
 from contextlib import contextmanager
+from contextvars import ContextVar
 
 _DISABLING = ("off", "0", "false", "no")
 
-_forced: bool | None = None
+_forced: ContextVar[bool | None] = ContextVar("repro_kernels_forced", default=None)
 
 
 def kernels_enabled() -> bool:
     """Whether the vectorized fast paths should be used right now."""
-    if _forced is not None:
-        return _forced
+    forced = _forced.get()
+    if forced is not None:
+        return forced
     return os.environ.get("REPRO_KERNELS", "").strip().lower() not in _DISABLING
 
 
 def set_kernels(enabled: bool | None) -> None:
-    """Force kernels on/off in-process (``None`` restores the env default)."""
-    global _forced
-    _forced = enabled
+    """Force kernels on/off for this context (``None`` restores the env default).
+
+    The forcing is scoped to the current :mod:`contextvars` context —
+    process-wide for plain single-threaded programs, per-thread once
+    threads are involved.
+    """
+    _forced.set(enabled)
 
 
 @contextmanager
@@ -46,11 +60,11 @@ def use_kernels(enabled: bool | None) -> Iterator[None]:
     ``None`` is a no-op (keep the ambient setting) so callers can thread
     an optional tri-state flag straight through.
     """
-    global _forced
-    previous = _forced
-    if enabled is not None:
-        _forced = enabled
+    if enabled is None:
+        yield
+        return
+    token = _forced.set(enabled)
     try:
         yield
     finally:
-        _forced = previous
+        _forced.reset(token)

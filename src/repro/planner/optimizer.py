@@ -33,7 +33,7 @@ through the byte-identical code path.
 from __future__ import annotations
 
 import math
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
 from repro.data.relation import Relation
@@ -55,11 +55,13 @@ from repro.theory.lower_bounds import join_load_lower_bound
 
 __all__ = [
     "STRATEGIES",
+    "BranchPricing",
     "CandidatePlan",
     "ExplainResult",
     "execute_strategy",
     "plan_and_execute",
     "plan_query",
+    "price_branches",
 ]
 
 # Deterministic tiebreak precedence (also the display order). One-round
@@ -517,6 +519,65 @@ def execute_strategy(
             variant="optimized" if strategy == "gym" else "vanilla",
         )
     return run.output.project(variables, name="OUT"), run.stats
+
+
+@dataclass(frozen=True)
+class BranchPricing:
+    """The optimizer's verdict on a k-way query split (see repro.service).
+
+    ``explains`` holds one full :class:`ExplainResult` per branch — each
+    branch is an independent query over its mod-partition of the split
+    relation, so each gets its own statistics, heavy-hitter profile, and
+    strategy choice. ``predicted_load`` is the *sum* of the branches'
+    chosen predictions: the service executes branches as independent
+    engine calls over the same ``p`` simulated servers, so per-server
+    load accumulates across branches (the pessimistic, admission-safe
+    reading; branches that run on disjoint server pools would cost the
+    max instead).
+    """
+
+    branches: int
+    explains: tuple[ExplainResult, ...]
+
+    @property
+    def predicted_load(self) -> float:
+        return sum(
+            e.chosen_plan.predicted_load or 0.0 for e in self.explains
+        )
+
+    @property
+    def predicted_rounds(self) -> int:
+        return sum(
+            e.chosen_plan.predicted_rounds or 0 for e in self.explains
+        )
+
+    @property
+    def chosen(self) -> tuple[str, ...]:
+        return tuple(e.chosen for e in self.explains)
+
+
+def price_branches(
+    query: str | ConjunctiveQuery,
+    branch_bindings: Sequence[Mapping[str, Relation]],
+    p: int,
+    seed: int = 0,
+) -> BranchPricing:
+    """Price every branch of a split query through the standard planner.
+
+    The service's query splitter partitions one relation into k disjoint
+    mod-based fragments; each element of ``branch_bindings`` is the full
+    relation map for one branch. Pricing each branch independently is
+    what makes the split *adaptive*: a branch that inherits a heavy
+    hitter keeps the skew strategy while its uniform siblings drop to
+    plain hash joins.
+    """
+    cq = _as_query(query)
+    if not branch_bindings:
+        raise QueryError("price_branches needs at least one branch")
+    explains = tuple(
+        plan_query(cq, bindings, p, seed=seed) for bindings in branch_bindings
+    )
+    return BranchPricing(len(explains), explains)
 
 
 def plan_and_execute(

@@ -193,6 +193,15 @@ def main(argv: list[str] | None = None) -> int:
                              "under both backends and cross-check outputs, "
                              "loads, and rounds (default: ambient "
                              "REPRO_BACKEND setting)")
+    parser.add_argument("--service", action="store_true",
+                        help="validate every entry point under concurrent "
+                             "execution instead: the full sweep runs once "
+                             "serially (audits on) and once across "
+                             "--threads barrier-started threads, and every "
+                             "concurrent result must be byte-identical to "
+                             "its serial twin (see repro.testing.service)")
+    parser.add_argument("--threads", type=int, default=4,
+                        help="thread count for --service (default 4)")
     parser.add_argument("--planner", action="store_true",
                         help="validate the cost-based optimizer instead: "
                              "auto-planned output must be byte-identical to "
@@ -201,6 +210,30 @@ def main(argv: list[str] | None = None) -> int:
                              "prediction's constant envelope (see "
                              "repro.testing.planner)")
     args = parser.parse_args(argv)
+
+    if args.service:
+        from repro.testing.service import run_service_selftest
+
+        kernels_mode = {"on": True, "off": False, "both": None, None: None}[
+            args.kernels
+        ]
+        backend_mode = None if args.backend == "both" else args.backend
+        from repro.exec.config import use_backend
+        from repro.kernels.config import use_kernels
+
+        with use_kernels(kernels_mode), use_backend(backend_mode):
+            report = run_service_selftest(
+                instances=args.instances if args.instances != 120 else 24,
+                threads=args.threads, seed=args.seed, kinds=args.kinds,
+                verbose=args.verbose,
+            )
+        print(report.summary_table())
+        if not report.ok:
+            print("\nfailures:", file=sys.stderr)
+            for line in report.failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        return 0
 
     if args.planner:
         from repro.testing.planner import run_planner_selftest

@@ -1,0 +1,116 @@
+"""Unit tests for the service result cache (repro.service.cache)."""
+
+import threading
+
+import pytest
+
+from repro.service.cache import CacheKey, ResultCache
+
+
+def key(query="Q(x) :- R(x)", token=0, name="R", split=1, strategy="auto"):
+    return CacheKey(
+        query=query, p=4, seed=0, strategy=strategy, split=split,
+        relation_state=((name, 1, token),),
+    )
+
+
+def test_miss_then_hit_then_counters():
+    cache = ResultCache(capacity=4)
+    assert cache.get(key()) is None
+    cache.put(key(), "value")
+    assert cache.get(key()) == "value"
+    stats = cache.stats()
+    assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+    assert stats.hit_rate == pytest.approx(0.5)
+
+
+def test_token_change_is_a_miss():
+    cache = ResultCache()
+    cache.put(key(token=1), "old")
+    assert cache.get(key(token=2)) is None
+    assert cache.get(key(token=1)) == "old"
+
+
+def test_lru_eviction_order_and_counter():
+    cache = ResultCache(capacity=2)
+    cache.put(key(query="a"), 1)
+    cache.put(key(query="b"), 2)
+    assert cache.get(key(query="a")) == 1      # bump a to most-recent
+    cache.put(key(query="c"), 3)               # evicts b, the oldest
+    assert cache.get(key(query="b")) is None
+    assert cache.get(key(query="a")) == 1
+    assert cache.get(key(query="c")) == 3
+    assert cache.stats().evictions == 1
+
+
+def test_put_existing_key_refreshes_without_eviction():
+    cache = ResultCache(capacity=2)
+    cache.put(key(query="a"), 1)
+    cache.put(key(query="b"), 2)
+    cache.put(key(query="a"), 10)              # replace, not insert
+    assert cache.stats().evictions == 0
+    assert cache.get(key(query="a")) == 10
+
+
+def test_capacity_zero_disables_caching():
+    cache = ResultCache(capacity=0)
+    cache.put(key(), "value")
+    assert cache.get(key()) is None
+    assert len(cache) == 0
+
+
+def test_invalidate_relation_drops_only_matching_entries():
+    cache = ResultCache()
+    cache.put(key(query="a", name="R"), 1)
+    cache.put(key(query="b", name="S"), 2)
+    assert cache.invalidate_relation("R") == 1
+    assert cache.get(key(query="a", name="R")) is None
+    assert cache.get(key(query="b", name="S")) == 2
+    assert cache.stats().invalidations == 1
+
+
+def test_invalidate_all():
+    cache = ResultCache()
+    cache.put(key(query="a"), 1)
+    cache.put(key(query="b"), 2)
+    assert cache.invalidate_all() == 2
+    assert len(cache) == 0
+
+
+def test_distinct_split_and_strategy_are_distinct_entries():
+    cache = ResultCache()
+    cache.put(key(split=1), "whole")
+    cache.put(key(split=2), "split")
+    cache.put(key(strategy="hash"), "forced")
+    assert cache.get(key(split=1)) == "whole"
+    assert cache.get(key(split=2)) == "split"
+    assert cache.get(key(strategy="hash")) == "forced"
+
+
+def test_concurrent_hammer_is_consistent():
+    """N threads mixing gets/puts/invalidations never corrupt the LRU."""
+    cache = ResultCache(capacity=8)
+    barrier = threading.Barrier(4)
+    errors = []
+
+    def worker(index):
+        try:
+            barrier.wait(timeout=10)
+            for i in range(300):
+                k = key(query=f"q{(index + i) % 12}")
+                if i % 7 == 0:
+                    cache.invalidate_relation("R")
+                cache.put(k, (index, i))
+                cache.get(k)
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    stats = cache.stats()
+    assert stats.size <= 8
+    assert stats.hits + stats.misses == 4 * 300

@@ -1,0 +1,181 @@
+"""Tests for the shared catalog: ReadWriteLock + RelationWarehouse."""
+
+import threading
+import time
+
+import pytest
+
+from repro.data.relation import Relation
+from repro.data.warehouse import ReadWriteLock, RelationWarehouse, make_warehouse
+from repro.errors import QueryError
+
+
+@pytest.fixture
+def wh():
+    return RelationWarehouse({
+        "R": Relation("R", ["a", "b"], [(1, 2), (3, 4)]),
+        "S": Relation("S", ["b", "c"], [(2, 5)]),
+    })
+
+
+# ------------------------------------------------------------ ReadWriteLock
+
+
+def test_many_concurrent_readers():
+    lock = ReadWriteLock()
+    inside = []
+    barrier = threading.Barrier(3)
+
+    def reader():
+        with lock.read():
+            barrier.wait(timeout=5)     # all three inside the read side at once
+            inside.append(True)
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(inside) == 3
+
+
+def test_writer_excludes_readers_and_writers():
+    lock = ReadWriteLock()
+    log = []
+
+    def writer():
+        with lock.write():
+            log.append("w-in")
+            time.sleep(0.05)
+            log.append("w-out")
+
+    def reader():
+        with lock.read():
+            log.append("r")
+
+    w = threading.Thread(target=writer)
+    w.start()
+    time.sleep(0.01)                    # let the writer take the lock
+    r = threading.Thread(target=reader)
+    r.start()
+    w.join()
+    r.join()
+    assert log.index("w-out") < log.index("r")
+
+
+def test_writer_preference_blocks_new_readers():
+    """A waiting writer gets in before readers that arrive after it."""
+    lock = ReadWriteLock()
+    order = []
+    first_reader_in = threading.Event()
+    release_first_reader = threading.Event()
+
+    def long_reader():
+        with lock.read():
+            first_reader_in.set()
+            release_first_reader.wait(timeout=5)
+        order.append("r1-out")
+
+    def writer():
+        first_reader_in.wait(timeout=5)
+        with lock.write():
+            order.append("w")
+
+    def late_reader():
+        first_reader_in.wait(timeout=5)
+        time.sleep(0.05)                # arrive after the writer queued
+        with lock.read():
+            order.append("r2")
+
+    threads = [
+        threading.Thread(target=long_reader),
+        threading.Thread(target=writer),
+        threading.Thread(target=late_reader),
+    ]
+    for t in threads:
+        t.start()
+    time.sleep(0.1)
+    release_first_reader.set()
+    for t in threads:
+        t.join()
+    assert order.index("w") < order.index("r2")
+
+
+# -------------------------------------------------------- RelationWarehouse
+
+
+def test_read_view_is_a_snapshot(wh):
+    with wh.read_view() as catalog:
+        assert set(catalog) == {"R", "S"}
+    wh.register(Relation("T", ["x"], [(1,)]))
+    assert set(catalog) == {"R", "S"}    # old snapshot untouched
+    assert wh.names() == ["R", "S", "T"]
+
+
+def test_relation_lookup_and_missing(wh):
+    assert wh.relation("R").name == "R"
+    with pytest.raises(QueryError):
+        wh.relation("missing")
+
+
+def test_tokens_change_on_extend(wh):
+    before = wh.tokens(["R"])
+    wh.extend("R", [(9, 9)])
+    after = wh.tokens(["R"])
+    assert before != after
+    assert before[0][0] == after[0][0] == "R"
+
+
+def test_replace_requires_existing_name(wh):
+    with pytest.raises(QueryError):
+        wh.replace("missing", Relation("X", ["a"], [(1,)]))
+    wh.replace("R", Relation("R2", ["a", "b"], [(7, 8)]))
+    assert wh.relation("R").rows_readonly() == [(7, 8)]
+
+
+def test_extend_unknown_name(wh):
+    with pytest.raises(QueryError):
+        wh.extend("missing", [(1,)])
+
+
+def test_invalidation_listeners_fire_per_write(wh):
+    seen = []
+    wh.add_invalidation_listener(seen.append)
+    wh.register(Relation("T", ["x"], [(1,)]))
+    wh.extend("R", [(5, 6)])
+    wh.replace("S", Relation("S", ["b", "c"], []))
+    assert seen == ["T", "R", "S"]
+    assert wh.mutation_count == 3
+
+
+def test_listener_runs_inside_write_lock(wh):
+    """No reader can observe the catalog mid-invalidation."""
+    listener_running = threading.Event()
+    reader_done = threading.Event()
+
+    def listener(name):
+        listener_running.set()
+        # A reader started now must NOT complete until we return.
+        time.sleep(0.05)
+        assert not reader_done.is_set()
+
+    wh.add_invalidation_listener(listener)
+
+    def reader():
+        listener_running.wait(timeout=5)
+        with wh.read_view():
+            pass
+        reader_done.set()
+
+    t = threading.Thread(target=reader)
+    t.start()
+    wh.extend("R", [(8, 8)])
+    t.join()
+    assert reader_done.is_set()
+
+
+def test_from_warehouse_adopts_generated_relations():
+    generated = make_warehouse(n_orders=50, n_customers=10)
+    wh = RelationWarehouse.from_warehouse(generated)
+    assert set(wh.names()) == {"Customers", "Orders", "Lineitems", "Parts"}
+    assert len(wh.relation("Orders")) == 50

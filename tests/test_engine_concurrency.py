@@ -1,0 +1,150 @@
+"""Regression tests for Engine thread-safety (the _align LRU race).
+
+Before the ``_align_lock`` fix, two threads hitting the same cache key
+raced between ``get`` and the recency-bump ``pop``: both observed the
+entry, both popped, and the second raised ``KeyError``. The regression
+test reproduces that exact interleaving deterministically with a dict
+subclass that parks inside ``get`` on a two-party barrier:
+
+- **pre-fix**: both threads enter ``get`` concurrently, the barrier
+  releases them together, both pop → ``KeyError`` every run;
+- **post-fix**: the lock admits one thread at a time, its barrier wait
+  times out (broken barrier, caught), and both queries finish cleanly.
+"""
+
+import threading
+
+import pytest
+
+from repro.data.relation import Relation
+from repro.engine import Engine
+
+QUERY = "Q(a, b, c) :- R(a, b), S(b, c)"
+
+
+def make_engine():
+    engine = Engine(4)
+    engine.register(Relation("R", ["a", "b"], [(i, i % 5) for i in range(30)]))
+    engine.register(Relation("S", ["b", "c"], [(i % 5, i) for i in range(20)]))
+    return engine
+
+
+class RendezvousDict(dict):
+    """A dict whose ``pop`` parks callers on a barrier before popping.
+
+    Reproduces the old unlocked hit path's get→pop race on demand: with
+    two parties, the first rendezvous only releases once BOTH threads
+    have observed the entry via ``get`` and committed to popping it,
+    and the second holds the winner inside ``pop`` until the loser has
+    popped too — so the loser always raises ``KeyError`` before the
+    winner can reinsert. Under the fixed (locked) implementation only
+    one thread can reach ``pop`` at a time, so its waits time out, the
+    barrier breaks, and every later wait returns immediately — no such
+    interleaving exists.
+    """
+
+    def __init__(self, *args, barrier=None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.barrier = barrier
+
+    def _rendezvous(self):
+        if self.barrier is not None:
+            try:
+                self.barrier.wait(timeout=0.5)
+            except threading.BrokenBarrierError:
+                pass
+
+    def pop(self, key, *args):
+        self._rendezvous()                    # both committed to popping
+        try:
+            return super().pop(key, *args)
+        finally:
+            self._rendezvous()                # hold until both have popped
+
+
+def test_align_cache_concurrent_hits_do_not_double_pop():
+    """The pre-fix failing race: concurrent hits on one cached alignment."""
+    engine = make_engine()
+    engine.query(QUERY)                       # prime the alignment cache
+    assert len(engine._align_cache) > 0
+
+    barrier = threading.Barrier(2)
+    engine._align_cache = RendezvousDict(engine._align_cache, barrier=barrier)
+    errors = []
+
+    def hit():
+        try:
+            engine.query(QUERY)
+        except BaseException as exc:  # noqa: BLE001 - the assertion target
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hit) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, f"concurrent cache hits raised: {errors!r}"
+    assert engine._align_hits >= 2
+
+
+def test_concurrent_queries_byte_identical():
+    """N threads through one engine produce the serial answer, always."""
+    engine = make_engine()
+    expected = sorted(engine.query(QUERY).output.rows_readonly())
+    outputs = []
+    errors = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(4)
+
+    def worker():
+        try:
+            barrier.wait(timeout=10)
+            for _ in range(5):
+                rows = sorted(engine.query(QUERY).output.rows_readonly())
+                with lock:
+                    outputs.append(rows)
+        except BaseException as exc:  # noqa: BLE001
+            with lock:
+                errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(outputs) == 20
+    assert all(rows == expected for rows in outputs)
+
+
+def test_register_during_queries_is_safe():
+    """register() clearing the cache mid-query storm never corrupts hits."""
+    engine = make_engine()
+    errors = []
+    stop = threading.Event()
+
+    def querier():
+        try:
+            while not stop.is_set():
+                engine.query(QUERY)
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    def registrar():
+        try:
+            for i in range(50):
+                engine.register(
+                    Relation("S", ["b", "c"], [(j % 5, j) for j in range(20)])
+                )
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+        finally:
+            stop.set()
+
+    threads = [threading.Thread(target=querier) for _ in range(2)]
+    threads.append(threading.Thread(target=registrar))
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
