@@ -22,6 +22,14 @@ load *ratio* (entries named ``x7:{scenario}/{strategy}``, unit ``x``):
 a ratio drifting more than the threshold against the baseline means the
 cost model and the executors moved apart and is flagged ``regressed``.
 
+``x8`` (concurrent service) and ``x9`` (dispatch protocol) sections are
+compared as *higher-is-better* quantities: per-arm throughput
+(``x8:{arm}``, unit ``q/s``) and the resident-over-snapshot savings
+ratios (``x9:{workload}/dispatch`` and ``x9:{workload}/pickle``, unit
+``x``). For these a *drop* beyond the threshold is the regression — the
+service got slower, or the resident protocol stopped saving what it
+used to.
+
 Comparing files measured at different sizes (``--quick`` vs full) is
 refused: the ratio would be meaningless. So is comparing files measured
 under different execution backends (``machine.backend`` — inline vs a
@@ -121,6 +129,29 @@ def _x7_ratios_by_pair(document: dict[str, Any]) -> dict[str, float]:
     }
 
 
+def _x8_throughputs_by_arm(document: dict[str, Any]) -> dict[str, float]:
+    """``x8:{arm}`` -> queries per second (higher is better)."""
+    return {
+        f"x8:{record['name']}": float(record["queries_per_second"])
+        for record in document.get("x8", [])
+    }
+
+
+def _x9_ratios_by_workload(document: dict[str, Any]) -> dict[str, float]:
+    """``x9:{workload}/{quantity}`` -> snapshot/resident savings ratio.
+
+    Both arm records of a workload carry the same pair ratios; reading
+    the ``resident`` arm picks each exactly once.
+    """
+    ratios: dict[str, float] = {}
+    for record in document.get("x9", []):
+        if record.get("protocol") != "resident":
+            continue
+        ratios[f"x9:{record['name']}/dispatch"] = float(record["dispatch_ratio"])
+        ratios[f"x9:{record['name']}/pickle"] = float(record["pickle_ratio"])
+    return ratios
+
+
 def _backend_fingerprint(document: dict[str, Any]) -> tuple[str, int]:
     """(backend, workers) a BENCH file was measured under.
 
@@ -215,4 +246,38 @@ def compare_bench(
             comparison.entries.append(
                 ComparisonEntry(name, None, cur_r, "new", unit="x")
             )
+    # x8 throughput and x9 protocol-savings entries: higher is better,
+    # so the classification flips — a drop beyond the threshold is the
+    # regression. Both quantities are strictly positive in a genuine
+    # file; zero or negative on either side is flagged, not skipped.
+    for higher_better, unit in (
+        (( _x8_throughputs_by_arm(baseline), _x8_throughputs_by_arm(current)),
+         "q/s"),
+        ((_x9_ratios_by_workload(baseline), _x9_ratios_by_workload(current)),
+         "x"),
+    ):
+        base_values, cur_values = higher_better
+        for name, base_v in base_values.items():
+            if name not in cur_values:
+                comparison.entries.append(
+                    ComparisonEntry(name, base_v, None, "missing", unit=unit)
+                )
+                continue
+            cur_v = cur_values[name]
+            if base_v <= 0 or cur_v <= 0:
+                status = "incomparable"
+            elif cur_v < base_v / (1 + threshold):
+                status = "regressed"
+            elif cur_v > base_v * (1 + threshold):
+                status = "improved"
+            else:
+                status = "ok"
+            comparison.entries.append(
+                ComparisonEntry(name, base_v, cur_v, status, unit=unit)
+            )
+        for name, cur_v in cur_values.items():
+            if name not in base_values:
+                comparison.entries.append(
+                    ComparisonEntry(name, None, cur_v, "new", unit=unit)
+                )
     return comparison

@@ -39,6 +39,7 @@ __all__ = [
     "run_bench_x4",
     "run_bench_x7",
     "run_bench_x8",
+    "run_bench_x9",
     "run_experiment",
     "run_scaling",
     "run_speedup",
@@ -619,6 +620,156 @@ def run_bench_x8(quick: bool = False, echo: bool = True) -> dict[str, Any]:
     }
 
 
+# The x9 protocol bench: each workload re-runs the same query this many
+# times through one persistent pool. The resident protocol pays its
+# block shipments on the first run only, so its full-snapshot dispatch
+# count stays near the cold-start floor while the snapshot arm re-ships
+# everything every run — the acceptance floor below is the minimum
+# factor by which snapshot-protocol overhead must exceed resident.
+X9_QUERIES = 8
+X9_RATIO_FLOOR = 5.0
+X9_EXPERIMENTS = ("hash_join_uniform", "hypercube_triangle")
+
+
+def run_bench_x9(
+    quick: bool = False, workers: int = 2, echo: bool = True
+) -> dict[str, Any]:
+    """The x9 document: resident vs snapshot dispatch-protocol overhead.
+
+    Each workload runs the same query :data:`X9_QUERIES` times against
+    one persistent process pool under both dispatch protocols:
+
+    - ``snapshot`` with row packing forced off — the PR 5 wire protocol,
+      where every dispatch re-pickles the full payload onto the queue;
+    - ``resident`` with row packing on (today's defaults), after an
+      explicit :func:`~repro.exec.pool.invalidate_resident` so the arm
+      pays its own cold start inside the measurement.
+
+    Recorded per arm: wall time, queue messages, full-snapshot dispatch
+    count, and the byte split between shm segments and queue pickle.
+    ``identical`` certifies every run of both arms reproduced the inline
+    reference output, L_max, and round count byte-for-byte. The
+    ``dispatch_ratio``/``pickle_ratio`` fields (snapshot over resident)
+    are the acceptance quantities: both must be ≥
+    :data:`X9_RATIO_FLOOR`.
+    """
+    from repro.bench.experiments import experiment as experiment_by_name
+    from repro.exec.config import use_protocol, use_shm_rows
+    from repro.exec.pool import invalidate_resident
+    from repro.joins.hash_join import parallel_hash_join
+    from repro.mpc.stats import ExecStats
+    from repro.multiway.hypercube import triangle_hypercube
+
+    def say(message: str) -> None:
+        if echo:
+            print(message, flush=True)
+
+    runners = {
+        "hash_join_uniform": lambda inputs, p, seed: parallel_hash_join(
+            inputs[0], inputs[1], p=p, seed=seed
+        ),
+        "hypercube_triangle": lambda inputs, p, seed: triangle_hypercube(
+            *inputs, p=p, seed=seed
+        ),
+    }
+    records: list[dict[str, Any]] = []
+    experiments: list[dict[str, Any]] = []
+    for name in X9_EXPERIMENTS:
+        exp = experiment_by_name(name)
+        n = exp.size(quick)
+        inputs = exp.prepare(n, exp.seed)
+        with use_backend("inline"):
+            reference = runners[name](inputs, exp.p, exp.seed)
+        ref_rows = reference.output.rows_readonly()
+        arm_records: dict[str, dict[str, Any]] = {}
+        for protocol, rows_packing in (("snapshot", False), ("resident", True)):
+            if protocol == "resident":
+                # Cold start: the resident arm must pay its own block
+                # shipments inside the measurement, not inherit a cache
+                # warmed by an earlier workload.
+                invalidate_resident()
+            per_run_stats: list[Any] = []
+            identical = True
+            with use_backend("process", workers=workers, transport="shm"), \
+                    use_protocol(protocol), use_shm_rows(rows_packing):
+                start = time.perf_counter()
+                for _ in range(X9_QUERIES):
+                    run = runners[name](inputs, exp.p, exp.seed)
+                    per_run_stats.append(run.stats.exec)
+                    identical = identical and (
+                        run.load == reference.load
+                        and run.rounds == reference.rounds
+                        and run.output.rows_readonly() == ref_rows
+                    )
+                seconds = time.perf_counter() - start
+            ex = ExecStats.merged(per_run_stats)
+            record = {
+                "name": name,
+                "n": n,
+                "p": exp.p,
+                "workers": workers,
+                "queries": X9_QUERIES,
+                "protocol": protocol,
+                "seconds": seconds,
+                "queue_messages": ex.queue_messages,
+                "snapshot_dispatches": ex.snapshot_dispatches,
+                "shm_bytes_out": ex.shm_bytes_out,
+                "pickle_bytes_out": ex.pickle_bytes_out,
+                "dispatch_bytes_out": ex.dispatch_bytes_out,
+                "resident_hits": ex.resident_hits,
+                "resident_bytes_saved": ex.resident_bytes_saved,
+                "fallback_dispatches": ex.fallback_dispatches,
+                "dispatch_ratio": 0.0,  # filled in from the pair below
+                "pickle_ratio": 0.0,
+                "identical": identical,
+            }
+            arm_records[protocol] = record
+            records.append(record)
+        snap, res = arm_records["snapshot"], arm_records["resident"]
+        dispatch_ratio = (
+            snap["snapshot_dispatches"] / res["snapshot_dispatches"]
+            if res["snapshot_dispatches"] else float(snap["snapshot_dispatches"])
+        )
+        pickle_ratio = (
+            snap["pickle_bytes_out"] / res["pickle_bytes_out"]
+            if res["pickle_bytes_out"] else float(snap["pickle_bytes_out"])
+        )
+        for record in (snap, res):
+            record["dispatch_ratio"] = dispatch_ratio
+            record["pickle_ratio"] = pickle_ratio
+            say(
+                f"  {record['name']:<22} {record['protocol']:<9} "
+                f"snapshots={record['snapshot_dispatches']:>4} "
+                f"pickle={record['pickle_bytes_out']:>12,}B "
+                f"msgs={record['queue_messages']:>4} "
+                f"identical={record['identical']}"
+            )
+        say(
+            f"  {name:<22} dispatch_ratio={dispatch_ratio:.1f}x "
+            f"pickle_ratio={pickle_ratio:.1f}x"
+        )
+        # One standard experiment record per workload (the resident-arm
+        # wall time) so the file diffs with the plain comparator too.
+        experiments.append({
+            "name": f"x9_{name}",
+            "n": n,
+            "p": exp.p,
+            "seconds": res["seconds"],
+            "L_max": reference.load,
+            "rounds": reference.rounds,
+            "out_size": len(reference.output),
+        })
+    return {
+        "schema": SCHEMA_VERSION,
+        "machine": machine_info(),
+        "kernels": kernels_enabled(),
+        "quick": quick,
+        "experiments": experiments,
+        "speedups": [],
+        "x9": records,
+    }
+
+
 def _load(path: str) -> dict[str, Any]:
     with open(path, encoding="utf-8") as handle:
         return json.load(handle)
@@ -668,6 +819,12 @@ def main(argv: Sequence[str] | None = None) -> int:
                              "byte-identity checks against a serial "
                              "baseline) instead of the standard experiment "
                              "set; default out BENCH_8.json")
+    parser.add_argument("--x9", action="store_true",
+                        help="run the dispatch-protocol sweep (resident vs "
+                             "snapshot over repeated queries, with "
+                             "byte-identity checks against an inline "
+                             "reference) instead of the standard experiment "
+                             "set; default out BENCH_9.json")
     parser.add_argument("--force", action="store_true",
                         help="allow diffing BENCH files measured under "
                              "different execution backends")
@@ -676,8 +833,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="compare two existing BENCH files and exit")
     args = parser.parse_args(argv)
 
-    if sum((args.x4, args.x7, args.x8)) > 1:
-        print("--x4, --x7, and --x8 are mutually exclusive", file=sys.stderr)
+    if sum((args.x4, args.x7, args.x8, args.x9)) > 1:
+        print("--x4, --x7, --x8, and --x9 are mutually exclusive",
+              file=sys.stderr)
         return 2
     if args.x4 and args.out == parser.get_default("out"):
         args.out = "BENCH_5.json"
@@ -685,6 +843,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         args.out = "BENCH_7.json"
     if args.x8 and args.out == parser.get_default("out"):
         args.out = "BENCH_8.json"
+    if args.x9 and args.out == parser.get_default("out"):
+        args.out = "BENCH_9.json"
 
     if args.diff is not None:
         try:
@@ -809,6 +969,56 @@ def main(argv: Sequence[str] | None = None) -> int:
             print("result cache never hit on a repeated workload",
                   file=sys.stderr)
             status = 1
+        return status
+
+    if args.x9:
+        print(f"running {'quick' if args.quick else 'full'} dispatch-"
+              f"protocol sweep "
+              f"(kernels={'on' if kernels_enabled() else 'off'}):")
+        document = run_bench_x9(quick=args.quick)
+        errors = validate_bench(document)
+        if errors:
+            print("generated document violates the BENCH schema:", file=sys.stderr)
+            for error in errors:
+                print(f"  {error}", file=sys.stderr)
+            return 2
+        Path(args.out).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.out}")
+        status = 0
+        broken = sorted({
+            r["name"] for r in document["x9"] if not r["identical"]
+        })
+        if broken:
+            print(f"protocol outputs diverged from the inline reference "
+                  f"for: {broken}", file=sys.stderr)
+            status = 1
+        weak = sorted({
+            f"{r['name']} (dispatch={r['dispatch_ratio']:.1f}x, "
+            f"pickle={r['pickle_ratio']:.1f}x)"
+            for r in document["x9"]
+            if r["dispatch_ratio"] < X9_RATIO_FLOOR
+            or r["pickle_ratio"] < X9_RATIO_FLOOR
+        })
+        if weak:
+            print(f"resident protocol saved less than {X9_RATIO_FLOOR}x "
+                  f"over snapshot for: {weak}", file=sys.stderr)
+            status = 1
+        if args.baseline:
+            try:
+                baseline = _load(args.baseline)
+                comparison = compare_bench(
+                    baseline, document, threshold=args.threshold,
+                    force=args.force,
+                )
+            except (OSError, ValueError, json.JSONDecodeError) as exc:
+                print(f"baseline comparison failed: {exc}", file=sys.stderr)
+                return 0 if args.warn_only else 2
+            print(comparison.format_table())
+            if not comparison.ok and not args.warn_only:
+                return 1
         return status
 
     print(f"running {'quick' if args.quick else 'full'} benchmarks "

@@ -60,6 +60,21 @@ A BENCH file is a JSON document::
          "pickle_bytes": int,   # bytes carried via queue pickle (both ways)
          "L_max": int, "rounds": int, "out_size": int,
          "identical": bool}, ...  # both modes agree with each other
+      ],
+      "x9": [                   # optional: dispatch-protocol overhead sweep
+        {"name": str, "n": int, "p": int, "workers": int,
+         "queries": int,        # repeated runs through one pool
+         "protocol": str,       # "resident" or "snapshot"
+         "seconds": float,
+         "queue_messages": int, # coordinator->worker round-trips
+         "snapshot_dispatches": int,  # messages shipping a full payload
+         "shm_bytes_out": int, "pickle_bytes_out": int,
+         "dispatch_bytes_out": int,
+         "resident_hits": int, "resident_bytes_saved": int,
+         "fallback_dispatches": int,
+         "dispatch_ratio": float,  # snapshot/resident snapshot_dispatches
+         "pickle_ratio": float,    # snapshot/resident pickle_bytes_out
+         "identical": bool}, ...   # every run matched the inline reference
       ]
     }
 
@@ -174,6 +189,28 @@ _TRANSPORT_FIELDS: dict[str, tuple[type, ...]] = {
     "L_max": (int,),
     "rounds": (int,),
     "out_size": (int,),
+    "identical": (bool,),
+}
+
+
+_X9_FIELDS: dict[str, tuple[type, ...]] = {
+    "name": (str,),
+    "n": (int,),
+    "p": (int,),
+    "workers": (int,),
+    "queries": (int,),
+    "protocol": (str,),
+    "seconds": (int, float),
+    "queue_messages": (int,),
+    "snapshot_dispatches": (int,),
+    "shm_bytes_out": (int,),
+    "pickle_bytes_out": (int,),
+    "dispatch_bytes_out": (int,),
+    "resident_hits": (int,),
+    "resident_bytes_saved": (int,),
+    "fallback_dispatches": (int,),
+    "dispatch_ratio": (int, float),
+    "pickle_ratio": (int, float),
     "identical": (bool,),
 }
 
@@ -293,4 +330,24 @@ def validate_bench(document: Any) -> list[str]:
     else:
         for i, record in enumerate(transport_ab):
             _check_record(record, _TRANSPORT_FIELDS, f"transport_ab[{i}]", errors)
+    x9 = document.get("x9", [])  # optional: only protocol (x9) runs emit it
+    if not isinstance(x9, list):
+        errors.append("x9: expected a list")
+    else:
+        arms: set[tuple[Any, Any]] = set()
+        for i, record in enumerate(x9):
+            _check_record(record, _X9_FIELDS, f"x9[{i}]", errors)
+            if isinstance(record, dict):
+                protocol = record.get("protocol")
+                if isinstance(protocol, str) and protocol not in (
+                    "resident", "snapshot"
+                ):
+                    errors.append(
+                        f"x9[{i}].protocol: expected 'resident' or "
+                        f"'snapshot', got {protocol!r}"
+                    )
+                arm = (record.get("name"), protocol)
+                if arm in arms:
+                    errors.append(f"x9[{i}]: duplicate (name, protocol) {arm!r}")
+                arms.add(arm)
     return errors

@@ -18,6 +18,7 @@ registered pure functions (see :mod:`repro.exec.base`).
 
 from repro.exec.base import (
     ExecutionBackend,
+    FallbackHotPathWarning,
     InlineBackend,
     ProcessBackend,
     chunk_bounds,
@@ -25,32 +26,48 @@ from repro.exec.base import (
 )
 from repro.exec.config import (
     BACKENDS,
+    PROTOCOLS,
     TRANSPORTS,
     backend_name,
+    protocol_name,
+    resident_cache_bytes,
     set_backend,
     shm_rows_enabled,
     transport_name,
     use_backend,
+    use_protocol,
     use_shm_rows,
     worker_count,
 )
-from repro.exec.pool import WorkerError, shutdown_pools
+from repro.exec.pool import (
+    DispatchStats,
+    WorkerError,
+    invalidate_resident,
+    shutdown_pools,
+)
 
 __all__ = [
     "BACKENDS",
+    "PROTOCOLS",
     "TRANSPORTS",
+    "DispatchStats",
     "ExecutionBackend",
+    "FallbackHotPathWarning",
     "InlineBackend",
     "ProcessBackend",
     "WorkerError",
     "backend_name",
     "chunk_bounds",
     "get_backend",
+    "invalidate_resident",
+    "protocol_name",
+    "resident_cache_bytes",
     "set_backend",
     "shm_rows_enabled",
     "shutdown_pools",
     "transport_name",
     "use_backend",
+    "use_protocol",
     "use_shm_rows",
     "worker_count",
 ]

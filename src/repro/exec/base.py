@@ -18,6 +18,7 @@ conservation, and fault replay cannot diverge between backends.
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.exec import config
@@ -27,11 +28,33 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (repro.mpc pkg)
 
 __all__ = [
     "ExecutionBackend",
+    "FallbackHotPathWarning",
     "InlineBackend",
     "ProcessBackend",
     "chunk_bounds",
     "get_backend",
 ]
+
+
+class FallbackHotPathWarning(UserWarning):
+    """Columnar-sized row data rode the queue pickle instead of shm.
+
+    The shm transport is the only sanctioned hot path for columnar
+    data; a dispatch whose pack-eligible rows fell back to per-tuple
+    pickling at this volume is paying serialization cost the transport
+    was built to avoid. The event is counted
+    (``ExecStats.fallback_dispatches``) on every occurrence and warned
+    about once per task when it crosses the hot threshold.
+    """
+
+
+# One dispatch moving this many pack-eligible rows through pickle is
+# "hot": roughly a megabyte of per-tuple pickling, far past the point
+# where the segment cost would have amortized.
+_HOT_FALLBACK_ROWS = 50_000
+
+# Task names already warned about (once per process, not per dispatch).
+_warned_hot_tasks: set[str] = set()
 
 
 def chunk_bounds(count: int, parts: int) -> list[tuple[int, int]]:
@@ -79,6 +102,24 @@ class ExecutionBackend:
         """Apply the named task to every payload, in order."""
         raise NotImplementedError
 
+    def map_payload_batch(
+        self,
+        calls: list[tuple[str, list[Any], Any]],
+        stats: ExecStats | None = None,
+    ) -> list[list[Any]]:
+        """Run several *independent* task maps as one dispatch.
+
+        ``calls[k] = (task, payloads, common)``; the result list is
+        call-aligned. The calls must not depend on each other's results
+        (the process backend ships them in a single queue message per
+        worker). The default runs them sequentially — backends override
+        to actually collapse the round-trips.
+        """
+        return [
+            self.map_payloads(task, payloads, common, stats=stats)
+            for task, payloads, common in calls
+        ]
+
 
 class InlineBackend(ExecutionBackend):
     """The historical single-process path: one chunk, zero transport."""
@@ -114,11 +155,69 @@ class ProcessBackend(ExecutionBackend):
         self.transport = transport
 
     def new_stats(self) -> "ExecStats":
+        from repro.exec.config import protocol_name
         from repro.mpc.stats import ExecStats
 
         return ExecStats(
-            backend=self.name, workers=self.workers, transport=self.transport
+            backend=self.name, workers=self.workers, transport=self.transport,
+            protocol=protocol_name(),
         )
+
+    def _chunked(self, payloads: list[Any]) -> list[tuple[int, list[Any]]]:
+        return [
+            (index, payloads[start:stop])
+            for index, (start, stop) in enumerate(
+                chunk_bounds(len(payloads), self.workers)
+            )
+        ]
+
+    def _account(self, stats: "ExecStats | None", dispatch: Any) -> None:
+        if stats is None:
+            return
+        stats.shm_bytes_out += dispatch.shm_bytes_out
+        stats.shm_bytes_in += dispatch.shm_bytes_in
+        stats.pickle_bytes_out += dispatch.pickle_bytes_out
+        stats.pickle_bytes_in += dispatch.pickle_bytes_in
+        stats.worker_seconds += dispatch.worker_seconds
+        stats.queue_messages += dispatch.queue_messages
+        stats.snapshot_dispatches += dispatch.snapshot_dispatches
+        stats.resident_hits += dispatch.resident_hits
+        stats.resident_misses += dispatch.resident_misses
+        stats.resident_bytes_saved += dispatch.resident_bytes_saved
+        stats.fallback_dispatches += dispatch.fallback_encodes
+
+    @staticmethod
+    def _warn_hot_fallback(dispatch: Any, task_names: list[str]) -> None:
+        """Surface a dispatch whose pickle fallback crossed the hot bar."""
+        if dispatch.fallback_rows < _HOT_FALLBACK_ROWS:
+            return
+        label = "+".join(sorted(set(task_names)))
+        if label in _warned_hot_tasks:
+            return
+        _warned_hot_tasks.add(label)
+        warnings.warn(
+            f"dispatch of {label!r} moved {dispatch.fallback_rows} "
+            "pack-eligible rows through queue pickle (non-uniform or "
+            "non-integer tuples); the shm columnar transport is the "
+            "intended hot path — consider normalizing the rows or "
+            "accepting the counted ExecStats.fallback_dispatches cost",
+            FallbackHotPathWarning,
+            stacklevel=3,
+        )
+
+    def _merge_elementwise(
+        self, task: str, payloads: list[Any], chunk_results: list[list[Any]]
+    ) -> list[Any]:
+        merged: list[Any] = []
+        for chunk_result in chunk_results:
+            merged.extend(chunk_result)
+        if len(merged) != len(payloads):
+            raise RuntimeError(
+                f"task {task!r} returned {len(merged)} results for "
+                f"{len(payloads)} payloads; chunk results must be "
+                "same-length elementwise maps"
+            )
+        return merged
 
     def map_payloads(
         self,
@@ -134,17 +233,10 @@ class ProcessBackend(ExecutionBackend):
         from repro.exec.pool import UnpicklablePayloadError, get_pool
         from repro.kernels.config import kernels_enabled
 
-        chunks = [
-            (index, payloads[start:stop])
-            for index, (start, stop) in enumerate(
-                chunk_bounds(len(payloads), self.workers)
-            )
-        ]
+        chunks = self._chunked(payloads)
         pool = get_pool(self.workers, self.transport)
         try:
-            results, shm_out, shm_in, pickle_out, pickle_in, worker_seconds = (
-                pool.run(task, chunks, common, kernels_enabled())
-            )
+            results, dispatch = pool.run(task, chunks, common, kernels_enabled())
         except UnpicklablePayloadError:
             # Same pure function, same order — byte-identical, just local.
             if stats is not None:
@@ -154,21 +246,53 @@ class ProcessBackend(ExecutionBackend):
             stats.dispatches += 1
             stats.chunks += len(chunks)
             stats.items += len(payloads)
-            stats.shm_bytes_out += shm_out
-            stats.shm_bytes_in += shm_in
-            stats.pickle_bytes_out += pickle_out
-            stats.pickle_bytes_in += pickle_in
-            stats.worker_seconds += worker_seconds
-        merged: list[Any] = []
-        for chunk_result in results:
-            merged.extend(chunk_result)
-        if len(merged) != len(payloads):
-            raise RuntimeError(
-                f"task {task!r} returned {len(merged)} results for "
-                f"{len(payloads)} payloads; chunk results must be "
-                "same-length elementwise maps"
-            )
-        return merged
+            self._account(stats, dispatch)
+        self._warn_hot_fallback(dispatch, [task])
+        return self._merge_elementwise(task, payloads, results)
+
+    def map_payload_batch(
+        self,
+        calls: list[tuple[str, list[Any], Any]],
+        stats: ExecStats | None = None,
+    ) -> list[list[Any]]:
+        """Collapse k independent task maps into one round-trip per worker."""
+        calls = [(task, list(payloads), common) for task, payloads, common in calls]
+        live = [
+            (index, task, payloads, common)
+            for index, (task, payloads, common) in enumerate(calls)
+            if payloads
+        ]
+        out: list[list[Any]] = [[] for _ in calls]
+        if not live:
+            return out
+        from repro.exec.pool import UnpicklablePayloadError, get_pool
+        from repro.kernels.config import kernels_enabled
+
+        pool_calls = [
+            (task, self._chunked(payloads), common)
+            for _, task, payloads, common in live
+        ]
+        pool = get_pool(self.workers, self.transport)
+        try:
+            results, dispatch = pool.run_batch(pool_calls, kernels_enabled())
+        except UnpicklablePayloadError:
+            # One unpicklable payload degrades the whole batch to inline
+            # (the batch shares queue messages, so per-call retry would
+            # re-encode everything anyway); counted once per lost call.
+            if stats is not None:
+                stats.fallbacks += len(live)
+            for index, task, payloads, common in live:
+                out[index] = _inline.map_payloads(task, payloads, common, stats=stats)
+            return out
+        if stats is not None:
+            stats.dispatches += len(live)
+            stats.chunks += sum(len(chunks) for _, chunks, _ in pool_calls)
+            stats.items += sum(len(payloads) for _, _, payloads, _ in live)
+            self._account(stats, dispatch)
+        self._warn_hot_fallback(dispatch, [task for _, task, _, _ in live])
+        for (index, task, payloads, _), chunk_results in zip(live, results):
+            out[index] = self._merge_elementwise(task, payloads, chunk_results)
+        return out
 
 
 _inline = InlineBackend()

@@ -35,6 +35,13 @@ from contextvars import ContextVar
 
 BACKENDS = ("inline", "process")
 TRANSPORTS = ("shm", "pickle")
+PROTOCOLS = ("resident", "snapshot")
+
+# Default budget for per-worker resident block caches (coordinator
+# mirror + worker copy). Crossing it bumps the state epoch: the next
+# dispatch tells the worker to drop everything and the coordinator
+# re-ships blocks as they recur.
+_DEFAULT_RESIDENT_MB = 128
 
 _forced_backend: ContextVar[str | None] = ContextVar(
     "repro_backend_forced", default=None
@@ -115,6 +122,67 @@ def shm_rows_enabled() -> bool:
 _forced_shm_rows: ContextVar[bool | None] = ContextVar(
     "repro_shm_rows_forced", default=None
 )
+
+_forced_protocol: ContextVar[str | None] = ContextVar(
+    "repro_protocol_forced", default=None
+)
+
+
+def _validated_protocol(name: str) -> str:
+    name = name.strip().lower()
+    if name not in PROTOCOLS:
+        raise ValueError(f"unknown protocol {name!r}; have {PROTOCOLS}")
+    return name
+
+
+def protocol_name() -> str:
+    """Dispatch protocol of the process backend: ``resident`` or ``snapshot``.
+
+    ``resident`` (the default) keeps content-addressed payload blocks
+    cached inside each worker between dispatches: a block whose bytes the
+    worker already holds travels as a 16-byte token instead of being
+    re-shipped, and the coordinator mirrors what each worker caches so
+    the decision is made without any extra round-trip. ``snapshot``
+    restores the PR 5 behavior — every dispatch re-ships the full
+    payload — and is what the x9 benchmark measures against. Overridable
+    per-scope via :func:`use_protocol`, ambiently via ``REPRO_PROTOCOL``.
+    """
+    forced = _forced_protocol.get()
+    if forced is not None:
+        return forced
+    raw = os.environ.get("REPRO_PROTOCOL", "").strip().lower()
+    return _validated_protocol(raw) if raw else "resident"
+
+
+@contextmanager
+def use_protocol(name: str | None) -> Iterator[None]:
+    """Scoped override of :func:`protocol_name` (``None`` = no-op)."""
+    if name is None:
+        yield
+        return
+    token = _forced_protocol.set(_validated_protocol(name))
+    try:
+        yield
+    finally:
+        _forced_protocol.reset(token)
+
+
+def resident_cache_bytes() -> int:
+    """Per-worker resident-cache budget in bytes (``REPRO_RESIDENT_MB``).
+
+    When the coordinator's mirror of a worker's cache would exceed this
+    budget, the coordinator bumps the state epoch instead of evicting
+    piecemeal: the worker drops its whole cache on the next dispatch and
+    blocks are re-shipped as they recur. Coarse, but it keeps both sides
+    trivially in agreement — there is no distributed LRU to drift.
+    """
+    raw = os.environ.get("REPRO_RESIDENT_MB", "").strip()
+    if raw:
+        megabytes = int(raw)
+        if megabytes < 1:
+            raise ValueError(f"REPRO_RESIDENT_MB must be at least 1, got {megabytes}")
+        return megabytes * 1024 * 1024
+    return _DEFAULT_RESIDENT_MB * 1024 * 1024
 
 
 @contextmanager

@@ -23,18 +23,39 @@ unlink transfers to the peer; the *receiver* attaches without claiming
 tracker ownership (:func:`attach_segment`), decodes, and either unlinks
 after reading (worker side) or copies the arrays out and unlinks
 immediately (coordinator side).
+
+Resident protocol
+-----------------
+
+With the ``resident`` dispatch protocol (:func:`repro.exec.config
+.protocol_name`) packed blocks are *content-addressed*: each block's
+token is a 16-byte blake2b digest over its dtype, shape, and raw bytes.
+The coordinator keeps a :class:`MirrorCache` per worker — a
+deterministic mirror of what that worker's :class:`BlockCache` holds —
+and a block whose token is mirrored is encoded as a
+:class:`_CachedArrayRef`/:class:`_CachedRowsRef` marker carrying only
+the token; the worker resolves it from its cache. Blocks shipped fresh
+carry their token in :attr:`ShmEncoded.tokens` and are cached by the
+worker on receipt, which is what keeps both sides in lockstep without
+any extra round-trip. Invalidation is wholesale: the coordinator bumps
+a *state epoch* (over-budget mirror, explicit
+``invalidate_resident()``), ships it with the next dispatch, and the
+worker drops its entire cache when the epoch changes.
 """
 
 from __future__ import annotations
 
+import hashlib
 import inspect
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing import resource_tracker, shared_memory
 from typing import Any
 
 import numpy as np
 
 __all__ = [
+    "BlockCache",
+    "MirrorCache",
     "ShmEncoded",
     "attach_segment",
     "decode_for_read",
@@ -60,9 +81,137 @@ class _RowsRef:
     index: int
 
 
+@dataclass(frozen=True)
+class _CachedArrayRef:
+    """Marker for an array the receiving worker already holds resident."""
+
+    token: bytes
+
+
+@dataclass(frozen=True)
+class _CachedRowsRef:
+    """Marker for a resident tuple list (cached in rebuilt form)."""
+
+    token: bytes
+
+
 # Below this the fixed per-message segment cost outweighs the pickle
 # saving; the threshold only trades speed, never correctness.
 _MIN_ROW_BLOCK = 32
+
+# Blocks smaller than this are never content-addressed: hashing and
+# token bookkeeping would cost more than re-shipping them.
+_MIN_RESIDENT_BYTES = 1024
+
+
+def _block_token(block: np.ndarray) -> bytes:
+    """16-byte content address of a contiguous block (dtype+shape+bytes)."""
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(block.dtype.str.encode("ascii"))
+    digest.update(repr(block.shape).encode("ascii"))
+    try:
+        digest.update(memoryview(block).cast("B"))
+    except TypeError:  # pragma: no cover - non-contiguous defensive path
+        digest.update(block.tobytes())
+    return digest.digest()
+
+
+class MirrorCache:
+    """Coordinator-side mirror of one worker's resident :class:`BlockCache`.
+
+    The mirror is authoritative: a block is encoded as a cached ref iff
+    its token is mirrored, and every token the mirror holds was shipped
+    to the worker with a cache instruction in a message the worker must
+    fully process before any later one (per-worker FIFO queue). Staged
+    entries cover the current message batch and are committed only once
+    every blob of the batch was handed to the queue — an encode failure
+    aborts them, so the mirror never claims blocks the worker never saw.
+    """
+
+    def __init__(self, cap_bytes: int) -> None:
+        self.cap_bytes = cap_bytes
+        self.epoch = 0
+        self.bytes = 0
+        self._resident: dict[tuple[str, bytes], int] = {}
+        self._staged: dict[tuple[str, bytes], int] = {}
+        self._invalidated = False
+
+    def invalidate(self) -> None:
+        """Force an epoch bump on the next dispatch (explicit reset path)."""
+        self._invalidated = True
+
+    def begin_message(self) -> int:
+        """Epoch for the message about to be encoded; resets when due."""
+        if self._invalidated or self.bytes > self.cap_bytes:
+            self.epoch += 1
+            self.bytes = 0
+            self._resident.clear()
+            self._staged.clear()
+            self._invalidated = False
+        return self.epoch
+
+    def is_resident(self, kind: str, token: bytes) -> bool:
+        key = (kind, token)
+        return key in self._resident or key in self._staged
+
+    def stage(self, kind: str, token: bytes, nbytes: int) -> None:
+        key = (kind, token)
+        if key not in self._resident and key not in self._staged:
+            self._staged[key] = nbytes
+
+    def commit(self) -> None:
+        for key, nbytes in self._staged.items():
+            if key not in self._resident:
+                self._resident[key] = nbytes
+                self.bytes += nbytes
+        self._staged.clear()
+
+    def abort(self) -> None:
+        self._staged.clear()
+
+
+class BlockCache:
+    """Worker-side resident store of content-addressed payload blocks.
+
+    Arrays are cached as private copies (segment views die with the
+    message) and handed out as fresh copies on hit; rebuilt tuple lists
+    are cached once and handed out as shallow copies (tuples are
+    immutable, the list itself is the task's to mutate). Either way a
+    hit observes exactly the value a fresh ship would have produced, so
+    task behavior cannot depend on the protocol.
+    """
+
+    def __init__(self) -> None:
+        self.epoch: int | None = None
+        self._blocks: dict[tuple[str, bytes], Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def sync_epoch(self, epoch: int) -> None:
+        """Drop everything when the coordinator declared a new epoch."""
+        if epoch != self.epoch:
+            self._blocks.clear()
+            self.epoch = epoch
+
+    def store(self, kind: str, token: bytes, value: Any) -> None:
+        self._blocks[(kind, token)] = value
+
+    def array(self, token: bytes) -> np.ndarray:
+        cached = self._blocks.get(("a", token))
+        if cached is None:
+            raise KeyError(
+                f"resident array {token.hex()} missing from worker cache"
+            )
+        return cached.copy()
+
+    def rows(self, token: bytes) -> list[tuple]:
+        cached = self._blocks.get(("r", token))
+        if cached is None:
+            raise KeyError(
+                f"resident row block {token.hex()} missing from worker cache"
+            )
+        return list(cached)
 
 
 def _pack_rows(obj: list[Any]) -> np.ndarray | None:
@@ -100,6 +249,13 @@ class ShmEncoded:
     # (dtype string, shape, byte offset) per packed array, index-aligned.
     arrays: list[tuple[str, tuple[int, ...], int]]
     nbytes: int  # total array bytes carried via shared memory
+    # Resident-protocol side channel, index-aligned with ``arrays``:
+    # ``(kind, token)`` instructs the receiver to cache that block under
+    # the token ("a" = array, "r" = rebuilt tuple list); None = don't.
+    tokens: list[tuple[str, bytes] | None] = field(default_factory=list)
+    resident: int = 0  # blocks encoded as cached refs (bytes not shipped)
+    resident_bytes: int = 0  # bytes those refs would have shipped
+    fallback_rows: int = 0  # rows of pack-eligible lists that fell to pickle
 
 
 # Python 3.13 made attach-side tracking explicit (track=); before that,
@@ -131,45 +287,111 @@ def attach_segment(name: str) -> shared_memory.SharedMemory:
     return shared_memory.SharedMemory(name=name)
 
 
-def _walk_encode(obj: Any, sink: list[np.ndarray], pack_rows: bool) -> Any:
-    if isinstance(obj, np.ndarray):
-        sink.append(obj)
-        return _ArrayRef(len(sink) - 1)
-    if isinstance(obj, tuple):
-        return tuple(_walk_encode(item, sink, pack_rows) for item in obj)
-    if isinstance(obj, list):
-        if pack_rows:
-            block = _pack_rows(obj)
-            if block is not None:
-                sink.append(block)
-                return _RowsRef(len(sink) - 1)
-        return [_walk_encode(item, sink, pack_rows) for item in obj]
-    if isinstance(obj, dict):
-        return {
-            key: _walk_encode(value, sink, pack_rows)
-            for key, value in obj.items()
-        }
-    return obj
+class _Encoder:
+    """State of one message encode: packed blocks, tokens, counters."""
+
+    def __init__(self, pack_rows: bool, mirror: MirrorCache | None) -> None:
+        self.pack_rows = pack_rows
+        self.mirror = mirror
+        self.sink: list[np.ndarray] = []  # contiguous blocks to pack
+        self.tokens: list[tuple[str, bytes] | None] = []
+        self.resident = 0
+        self.resident_bytes = 0
+        self.fallback_rows = 0
+
+    def _emit_block(self, kind: str, block: np.ndarray) -> Any:
+        """Ship, cache-and-ship, or reference one contiguous block."""
+        token: tuple[str, bytes] | None = None
+        if self.mirror is not None and block.nbytes >= _MIN_RESIDENT_BYTES:
+            digest = _block_token(block)
+            if self.mirror.is_resident(kind, digest):
+                self.resident += 1
+                self.resident_bytes += block.nbytes
+                return (
+                    _CachedArrayRef(digest)
+                    if kind == "a"
+                    else _CachedRowsRef(digest)
+                )
+            self.mirror.stage(kind, digest, block.nbytes)
+            token = (kind, digest)
+        self.sink.append(block)
+        self.tokens.append(token)
+        index = len(self.sink) - 1
+        return _ArrayRef(index) if kind == "a" else _RowsRef(index)
+
+    def walk(self, obj: Any) -> Any:
+        if isinstance(obj, np.ndarray):
+            return self._emit_block("a", np.ascontiguousarray(obj))
+        if isinstance(obj, tuple):
+            return tuple(self.walk(item) for item in obj)
+        if isinstance(obj, list):
+            if self.pack_rows:
+                block = _pack_rows(obj)
+                if block is not None:
+                    return self._emit_block("r", np.ascontiguousarray(block))
+                if len(obj) >= _MIN_ROW_BLOCK and type(obj[0]) is tuple:
+                    # Pack-eligible by size and shape but not uniform
+                    # all-int: these rows ride the queue pickle — the
+                    # counted fallback the backend warns about when hot.
+                    self.fallback_rows += len(obj)
+            return [self.walk(item) for item in obj]
+        if isinstance(obj, dict):
+            return {key: self.walk(value) for key, value in obj.items()}
+        return obj
 
 
-def _walk_decode(obj: Any, arrays: list[np.ndarray]) -> Any:
+def _walk_decode(obj: Any, arrays: list[np.ndarray], cache: BlockCache | None) -> Any:
     if isinstance(obj, _ArrayRef):
         return arrays[obj.index]
     if isinstance(obj, _RowsRef):
         # .tolist() yields built-in ints, so the rebuilt tuples are
         # byte-identical to what the sender packed.
         return [tuple(row) for row in arrays[obj.index].tolist()]
+    if isinstance(obj, _CachedArrayRef):
+        if cache is None:
+            raise KeyError("cached array ref decoded without a block cache")
+        return cache.array(obj.token)
+    if isinstance(obj, _CachedRowsRef):
+        if cache is None:
+            raise KeyError("cached rows ref decoded without a block cache")
+        return cache.rows(obj.token)
     if isinstance(obj, tuple):
-        return tuple(_walk_decode(item, arrays) for item in obj)
+        return tuple(_walk_decode(item, arrays, cache) for item in obj)
     if isinstance(obj, list):
-        return [_walk_decode(item, arrays) for item in obj]
+        return [_walk_decode(item, arrays, cache) for item in obj]
     if isinstance(obj, dict):
-        return {key: _walk_decode(value, arrays) for key, value in obj.items()}
+        return {
+            key: _walk_decode(value, arrays, cache) for key, value in obj.items()
+        }
     return obj
 
 
+def _cache_shipped_blocks(
+    encoded: ShmEncoded, arrays: list[np.ndarray], cache: BlockCache | None
+) -> None:
+    """Store freshly shipped tokenized blocks before resolving the walk.
+
+    Runs first so refs within the same message (a block shipped at index
+    i and referenced again later) resolve, and so the cached value is
+    taken before the task had any chance to touch the handed-out views.
+    """
+    if cache is None or not encoded.tokens:
+        return
+    for token, array in zip(encoded.tokens, arrays):
+        if token is None:
+            continue
+        kind, digest = token
+        if kind == "a":
+            cache.store(kind, digest, array.copy())
+        else:
+            cache.store(kind, digest, [tuple(row) for row in array.tolist()])
+
+
 def encode_payload(
-    payload: Any, transport: str, pack_rows: bool | None = None
+    payload: Any,
+    transport: str,
+    pack_rows: bool | None = None,
+    mirror: MirrorCache | None = None,
 ) -> ShmEncoded:
     """Lift the array leaves of ``payload`` into one shared-memory segment.
 
@@ -180,6 +402,12 @@ def encode_payload(
     :func:`repro.exec.config.shm_rows_enabled` — workers receive the
     coordinator's resolved flag with the job instead, because a scoped
     ``use_shm_rows`` override never crosses the fork.
+
+    ``mirror`` (coordinator only) enables the resident protocol for this
+    message: blocks the target worker already caches become token refs,
+    fresh cacheable blocks are staged on the mirror — the caller commits
+    or aborts the staging depending on whether the message was actually
+    handed to the worker's queue.
     """
     if transport != "shm":
         return ShmEncoded(payload, None, [], 0)
@@ -187,19 +415,28 @@ def encode_payload(
         from repro.exec.config import shm_rows_enabled
 
         pack_rows = shm_rows_enabled()
-    arrays: list[np.ndarray] = []
-    structure = _walk_encode(payload, arrays, pack_rows)
+    encoder = _Encoder(pack_rows, mirror)
+    structure = encoder.walk(payload)
+    arrays = encoder.sink
     total = sum(a.nbytes for a in arrays)
     if total == 0:
         # Zero-length segments are invalid; metadata-only messages (and
         # all-empty columns) go through pickle regardless of transport.
-        return ShmEncoded(payload, None, [], 0)
+        # When resident refs replaced every block the walked structure
+        # must be kept — only a truly markerless message passes the
+        # original object through.
+        structure = payload if encoder.resident == 0 else structure
+        return ShmEncoded(
+            structure, None, [], 0,
+            resident=encoder.resident,
+            resident_bytes=encoder.resident_bytes,
+            fallback_rows=encoder.fallback_rows,
+        )
     segment = shared_memory.SharedMemory(create=True, size=total)
     disown_segment(segment)  # receiver copies/unlinks; see module doc
     meta: list[tuple[str, tuple[int, ...], int]] = []
     offset = 0
-    for array in arrays:
-        contiguous = np.ascontiguousarray(array)
+    for contiguous in arrays:
         view = np.ndarray(
             contiguous.shape, dtype=contiguous.dtype,
             buffer=segment.buf, offset=offset,
@@ -209,27 +446,38 @@ def encode_payload(
         offset += contiguous.nbytes
     name = segment.name
     segment.close()
-    return ShmEncoded(structure, name, meta, total)
+    return ShmEncoded(
+        structure, name, meta, total,
+        tokens=encoder.tokens,
+        resident=encoder.resident,
+        resident_bytes=encoder.resident_bytes,
+        fallback_rows=encoder.fallback_rows,
+    )
 
 
 def decode_for_read(
-    encoded: ShmEncoded,
+    encoded: ShmEncoded, cache: BlockCache | None = None
 ) -> tuple[Any, shared_memory.SharedMemory | None]:
     """Rebuild the payload with zero-copy views into the segment.
 
     The worker-side read path: the returned segment handle must stay
     alive while the views are in use and be passed to
     :func:`finish_read` afterwards (the worker is the message's final
-    consumer, so it also unlinks).
+    consumer, so it also unlinks). ``cache`` is the worker's resident
+    block store: freshly shipped tokenized blocks are copied into it
+    before the structure resolves, cached refs are served from it.
     """
     if encoded.segment_name is None:
+        if encoded.resident:
+            return _walk_decode(encoded.structure, [], cache), None
         return encoded.structure, None
     segment = attach_segment(encoded.segment_name)
     arrays = [
         np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf, offset=offset)
         for dtype, shape, offset in encoded.arrays
     ]
-    return _walk_decode(encoded.structure, arrays), segment
+    _cache_shipped_blocks(encoded, arrays, cache)
+    return _walk_decode(encoded.structure, arrays, cache), segment
 
 
 def finish_read(segment: shared_memory.SharedMemory | None) -> None:
@@ -270,7 +518,7 @@ def decode_owned(encoded: ShmEncoded) -> Any:
             ).copy()
             for dtype, shape, offset in encoded.arrays
         ]
-        return _walk_decode(encoded.structure, arrays)
+        return _walk_decode(encoded.structure, arrays, None)
     finally:
         segment.close()
         try:

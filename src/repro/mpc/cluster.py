@@ -306,6 +306,24 @@ class Cluster:
         """
         return self.backend.map_payloads(task, list(payloads), common, stats=self.stats.exec)
 
+    def map_servers_batch(
+        self, calls: Sequence[tuple[str, Sequence[object], object]]
+    ) -> list[list]:
+        """Run several *independent* task maps as one backend dispatch.
+
+        ``calls[k] = (task, payloads, common)``; the result is
+        call-aligned, each entry what :meth:`map_servers` would have
+        returned for that call alone. The calls must not read each
+        other's results — the process backend ships the whole batch as a
+        single queue message per worker, collapsing k round-trips into
+        one (visible as ``ExecStats.queue_messages`` growing by at most
+        the worker count instead of k × worker count).
+        """
+        return self.backend.map_payload_batch(
+            [(task, list(payloads), common) for task, payloads, common in calls],
+            stats=self.stats.exec,
+        )
+
     def owning_worker(self, sid: int) -> int:
         """The backend worker whose contiguous server range contains ``sid``.
 

@@ -91,7 +91,8 @@ class ExecStats:
     backend: str = "inline"
     workers: int = 1
     transport: str = "none"
-    dispatches: int = 0  # map_servers calls routed through the backend
+    protocol: str = "none"  # dispatch protocol label: resident | snapshot
+    dispatches: int = 0  # map_servers / batch calls routed through the backend
     chunks: int = 0  # worker jobs (== dispatches for inline)
     items: int = 0  # per-server payloads processed
     shm_bytes_out: int = 0  # array bytes shipped coordinator -> workers
@@ -100,6 +101,41 @@ class ExecStats:
     pickle_bytes_in: int = 0  # queue pickle bytes workers -> coordinator
     worker_seconds: float = 0.0
     fallbacks: int = 0  # process dispatches run inline (unpicklable payload)
+    queue_messages: int = 0  # queue round-trips (batching collapses these)
+    snapshot_dispatches: int = 0  # messages shipping a full payload snapshot
+    resident_hits: int = 0  # blocks that traveled as tokens, not bytes
+    resident_misses: int = 0  # cacheable blocks that had to ship
+    resident_bytes_saved: int = 0  # bytes the resident hits did not re-ship
+    fallback_dispatches: int = 0  # encodes where hot rows fell back to pickle
+
+    # Every additive counter, in declaration order; merged()/delta() walk
+    # this list so a new field cannot be silently dropped from either.
+    _COUNTERS = (
+        "dispatches", "chunks", "items",
+        "shm_bytes_out", "shm_bytes_in",
+        "pickle_bytes_out", "pickle_bytes_in",
+        "worker_seconds", "fallbacks",
+        "queue_messages", "snapshot_dispatches",
+        "resident_hits", "resident_misses", "resident_bytes_saved",
+        "fallback_dispatches",
+    )
+
+    @property
+    def dispatch_bytes_out(self) -> int:
+        """Total bytes a dispatch shipped coordinator -> workers."""
+        return self.shm_bytes_out + self.pickle_bytes_out
+
+    @property
+    def dispatch_bytes_in(self) -> int:
+        """Total bytes shipped workers -> coordinator."""
+        return self.shm_bytes_in + self.pickle_bytes_in
+
+    @property
+    def bytes_per_message(self) -> float:
+        """Mean outbound bytes per queue message (bytes-per-round proxy)."""
+        if not self.queue_messages:
+            return 0.0
+        return self.dispatch_bytes_out / self.queue_messages
 
     @classmethod
     def merged(cls, parts: "list[ExecStats]") -> "ExecStats | None":
@@ -111,18 +147,41 @@ class ExecStats:
             backend=parts[0].backend,
             workers=parts[0].workers,
             transport=parts[0].transport,
+            protocol=parts[0].protocol,
         )
         for part in parts:
-            total.dispatches += part.dispatches
-            total.chunks += part.chunks
-            total.items += part.items
-            total.shm_bytes_out += part.shm_bytes_out
-            total.shm_bytes_in += part.shm_bytes_in
-            total.pickle_bytes_out += part.pickle_bytes_out
-            total.pickle_bytes_in += part.pickle_bytes_in
-            total.worker_seconds += part.worker_seconds
-            total.fallbacks += part.fallbacks
+            for name in cls._COUNTERS:
+                setattr(total, name, getattr(total, name) + getattr(part, name))
         return total
+
+    def snapshot(self) -> "ExecStats":
+        """A frozen copy of the current counters (for later delta())."""
+        copied = ExecStats(
+            backend=self.backend,
+            workers=self.workers,
+            transport=self.transport,
+            protocol=self.protocol,
+        )
+        for name in self._COUNTERS:
+            setattr(copied, name, getattr(self, name))
+        return copied
+
+    def delta(self, since: "ExecStats") -> "ExecStats":
+        """Counters accumulated after ``since`` was snapshotted.
+
+        The per-query accounting primitive: a long-lived service takes a
+        snapshot before each query and reports the difference, so one
+        query's report never includes bytes another query moved.
+        """
+        diff = ExecStats(
+            backend=self.backend,
+            workers=self.workers,
+            transport=self.transport,
+            protocol=self.protocol,
+        )
+        for name in self._COUNTERS:
+            setattr(diff, name, getattr(self, name) - getattr(since, name))
+        return diff
 
 
 @dataclass

@@ -19,6 +19,7 @@ one-round algorithms on skew-free data (slide 36 for the triangle).
 from __future__ import annotations
 
 from collections.abc import Mapping
+from dataclasses import dataclass
 
 from repro.data.relation import Relation
 from repro.errors import QueryError
@@ -30,26 +31,60 @@ from repro.query.cq import ConjunctiveQuery
 from repro.query.shares import ShareAssignment, optimal_shares
 
 
-def hypercube_join(
+@dataclass
+class StagedHypercube:
+    """A HyperCube run routed but not yet evaluated (route/eval split).
+
+    :func:`hypercube_route` performs the scatter and the replication
+    round — everything that needs the coordinator — and parks the
+    per-server evaluation payloads here. The caller then either runs
+    :meth:`evaluate` (what :func:`hypercube_join` does) or, when holding
+    several independent staged runs, ships all their ``hypercube.eval``
+    dispatches as one batched backend call and hands each result list to
+    :meth:`finish`. SkewHC uses the latter: its residual jobs live on
+    disjoint server pools, so their eval rounds are coordinator-
+    independent and collapse into one queue round-trip per worker.
+    """
+
+    query: ConjunctiveQuery
+    cluster: Cluster
+    grid: Grid
+    payloads: list
+    common: tuple
+    shares: dict[str, int]
+    assignment: ShareAssignment | None
+
+    def evaluate(self, output_name: str = "OUT") -> MultiwayRun:
+        """Dispatch the eval round on this run's own cluster and finish."""
+        results = self.cluster.map_servers(
+            "hypercube.eval", self.payloads, self.common
+        )
+        return self.finish(results, output_name)
+
+    def finish(self, results: list, output_name: str = "OUT") -> MultiwayRun:
+        """Store per-server eval results and gather the output relation."""
+        for sid, rows in enumerate(results):
+            if rows is not None:
+                self.cluster.servers[sid].put("out", rows)
+        output = self.cluster.gather_relation(
+            "out", output_name, list(self.query.variables)
+        )
+        details: dict = {"shares": dict(self.shares)}
+        if self.assignment is not None:
+            details["assignment"] = self.assignment
+        return MultiwayRun(output, self.cluster.stats, details)
+
+
+def hypercube_route(
     query: ConjunctiveQuery,
     relations: Mapping[str, Relation],
     p: int,
     seed: int = 0,
     shares: dict[str, int] | None = None,
-    output_name: str = "OUT",
     local: str = "plan",
     audit: bool | None = None,
-) -> MultiwayRun:
-    """One-round HyperCube evaluation of a full conjunctive query.
-
-    ``relations`` maps atom names to relations whose attributes are the
-    atom's variables. ``shares`` overrides the optimized integral shares
-    (ablation hook); its product must not exceed ``p``. ``local`` picks
-    the per-server evaluation engine: ``"plan"`` (left-deep binary joins)
-    or ``"generic"`` (the worst-case optimal join of
-    :mod:`repro.multiway.wcoj`, as in BiGJoin-style systems — slide 97).
-    Communication costs are identical; only server-local work differs.
-    """
+) -> StagedHypercube:
+    """Scatter and route a HyperCube run, deferring the eval dispatch."""
     if local not in ("plan", "generic"):
         raise QueryError(f"unknown local evaluator {local!r}")
     sizes = {a.name: len(_relation_for(query, a.name, relations)) for a in query.atoms}
@@ -93,10 +128,8 @@ def hypercube_join(
                     for dest in grid.matching(partial):
                         rnd.send(dest, f"{atom.name}@hc", row)
 
-    # Local evaluation on each grid server, fanned out via the exec
-    # backend (with the process backend the grid servers of a worker's
-    # range evaluate concurrently; side-car columns ride shared memory).
-    out_attrs = list(query.variables)
+    # Build the per-server eval payloads now (fragments are consumed by
+    # take); the dispatch itself is the staged half.
     payloads = []
     for sid in range(grid.size):
         server = cluster.servers[sid]
@@ -106,15 +139,45 @@ def hypercube_join(
             rows, cols = server.take_with_columns(f"{atom.name}@hc", arity)
             per_atom.append((rows, cols))
         payloads.append(per_atom)
-    results = cluster.map_servers("hypercube.eval", payloads, (query, local))
-    for sid, rows in enumerate(results):
-        if rows is not None:
-            cluster.servers[sid].put("out", rows)
-    output = cluster.gather_relation("out", output_name, out_attrs)
-    details = {"shares": dict(shares)}
-    if assignment is not None:
-        details["assignment"] = assignment
-    return MultiwayRun(output, cluster.stats, details)
+    return StagedHypercube(
+        query=query,
+        cluster=cluster,
+        grid=grid,
+        payloads=payloads,
+        common=(query, local),
+        shares=dict(shares),
+        assignment=assignment,
+    )
+
+
+def hypercube_join(
+    query: ConjunctiveQuery,
+    relations: Mapping[str, Relation],
+    p: int,
+    seed: int = 0,
+    shares: dict[str, int] | None = None,
+    output_name: str = "OUT",
+    local: str = "plan",
+    audit: bool | None = None,
+) -> MultiwayRun:
+    """One-round HyperCube evaluation of a full conjunctive query.
+
+    ``relations`` maps atom names to relations whose attributes are the
+    atom's variables. ``shares`` overrides the optimized integral shares
+    (ablation hook); its product must not exceed ``p``. ``local`` picks
+    the per-server evaluation engine: ``"plan"`` (left-deep binary joins)
+    or ``"generic"`` (the worst-case optimal join of
+    :mod:`repro.multiway.wcoj`, as in BiGJoin-style systems — slide 97).
+    Communication costs are identical; only server-local work differs.
+
+    The local evaluation is fanned out via the exec backend (with the
+    process backend the grid servers of a worker's range evaluate
+    concurrently; side-car columns ride shared memory).
+    """
+    staged = hypercube_route(
+        query, relations, p, seed=seed, shares=shares, local=local, audit=audit
+    )
+    return staged.evaluate(output_name)
 
 
 def hypercube_eval_chunk(payloads: list, common) -> list:

@@ -29,7 +29,7 @@ from repro.errors import QueryError
 from repro.joins.heavy import allocate_servers
 from repro.mpc.cluster import combine_parallel
 from repro.multiway.base import MultiwayRun
-from repro.multiway.hypercube import hypercube_join
+from repro.multiway.hypercube import StagedHypercube, hypercube_route
 from repro.query.cq import ConjunctiveQuery
 
 Row = tuple[Any, ...]
@@ -84,14 +84,41 @@ def skewhc_join(
     weights = [max(job.input_size, 1) for job in jobs]
     allocation = allocate_servers(weights, p)
 
-    out_rows: list[Row] = []
-    runs = []
-    for job, p_job in zip(jobs, allocation):
-        rows, stats = job.execute(max(p_job, 1), seed)
-        out_rows.extend(rows)
-        if stats is not None:
-            runs.append(stats)
+    # Phase 1 — coordinator side: route every residual on its own
+    # cluster; fully-bound combinations produce their rows immediately.
+    rows_per_job: list[list[Row]] = [[] for _ in jobs]
+    staged: list[tuple[int, _ResidualJob, StagedHypercube]] = []
+    for index, (job, p_job) in enumerate(zip(jobs, allocation)):
+        prepared = job.stage(max(p_job, 1), seed)
+        if prepared is None:
+            rows_per_job[index] = job.bound_rows()
+        else:
+            staged.append((index, job, prepared))
 
+    # Phase 2 — one batched eval dispatch. The residual clusters live on
+    # disjoint server pools, so their hypercube.eval rounds have no
+    # coordinator dependency between them: all residuals ride a single
+    # queue message per worker instead of one round-trip per residual.
+    # The clusters share the ambient backend instance; the dispatch is
+    # accounted to the first staged cluster's ExecStats, which is
+    # faithful in aggregate because combine_parallel sums them.
+    runs = []
+    if staged:
+        backend = staged[0][2].cluster.backend
+        per_call = backend.map_payload_batch(
+            [
+                ("hypercube.eval", entry.payloads, entry.common)
+                for _, _, entry in staged
+            ],
+            stats=staged[0][2].cluster.stats.exec,
+        )
+        # Phase 3 — coordinator side again: gather and remap per residual.
+        for (index, job, entry), results in zip(staged, per_call):
+            run = entry.finish(results)
+            rows_per_job[index] = job.remap(run)
+            runs.append(run.stats)
+
+    out_rows: list[Row] = [row for rows in rows_per_job for row in rows]
     output = Relation(output_name, list(query.variables), out_rows)
     return MultiwayRun(
         output,
@@ -116,24 +143,40 @@ class _ResidualJob:
         self.multiplicity = multiplicity
         self.input_size = sum(len(r) for r in restricted.values())
 
-    def execute(self, p: int, seed: int) -> tuple[list[Row], Any]:
+    def stage(self, p: int, seed: int) -> StagedHypercube | None:
+        """Route the residual HyperCube run; ``None`` when fully bound."""
         free = [v for v in self.query.variables if v not in self.bound]
         if not free:
-            # Fully bound: the combination itself is the output (weighted
-            # by the vanished atoms' multiplicities).
-            row = tuple(self.bound[v] for v in self.query.variables)
-            return [row] * self.multiplicity, None
+            return None
         residual = self.query.residual(list(self.bound))
-        run = hypercube_join(residual, self.restricted, p, seed=seed)
+        return hypercube_route(residual, self.restricted, p, seed=seed)
+
+    def bound_rows(self) -> list[Row]:
+        """Fully bound: the combination itself is the output (weighted
+        by the vanished atoms' multiplicities)."""
+        row = tuple(self.bound[v] for v in self.query.variables)
+        return [row] * self.multiplicity
+
+    def remap(self, run: MultiwayRun) -> list[Row]:
+        """Re-expand residual output rows to the original variable order."""
+        residual_vars = list(run.output.schema.attributes)
+        res_pos = {v: i for i, v in enumerate(residual_vars)}
         rows = []
-        res_pos = {v: i for i, v in enumerate(residual.variables)}
         for out_row in run.output:
             full = tuple(
                 self.bound[v] if v in self.bound else out_row[res_pos[v]]
                 for v in self.query.variables
             )
             rows.extend([full] * self.multiplicity)
-        return rows, run.stats
+        return rows
+
+    def execute(self, p: int, seed: int) -> tuple[list[Row], Any]:
+        """Route, evaluate, and remap this residual on its own (unbatched)."""
+        staged = self.stage(p, seed)
+        if staged is None:
+            return self.bound_rows(), None
+        run = staged.evaluate()
+        return self.remap(run), run.stats
 
 
 def _residual_jobs(

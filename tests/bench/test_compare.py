@@ -247,3 +247,95 @@ class TestX7RatioDrift:
         assert "x7:zipf/skew" in table
         assert "1.500x" in table
         assert "1.200x" in table
+
+
+def x8_doc(throughputs, quick=False):
+    doc = bench_doc({"anchor": 1.0}, quick=quick)
+    doc["x8"] = [
+        {"name": name, "queries_per_second": qps}
+        for name, qps in throughputs.items()
+    ]
+    return doc
+
+
+def x9_doc(ratios, quick=False):
+    """ratios: {workload: (dispatch_ratio, pickle_ratio)}."""
+    doc = bench_doc({"anchor": 1.0}, quick=quick)
+    doc["x9"] = []
+    for name, (dispatch, pickle) in ratios.items():
+        for protocol in ("snapshot", "resident"):
+            doc["x9"].append({
+                "name": name, "protocol": protocol,
+                "dispatch_ratio": dispatch, "pickle_ratio": pickle,
+            })
+    return doc
+
+
+class TestHigherIsBetterSections:
+    """x8 throughput and x9 savings ratios: a *drop* is the regression."""
+
+    def test_x8_throughput_drop_regresses(self):
+        cmp = compare_bench(x8_doc({"clients4": 100.0}), x8_doc({"clients4": 50.0}))
+        assert statuses(cmp)["x8:clients4"] == "regressed"
+        assert not cmp.ok
+
+    def test_x8_throughput_gain_improves(self):
+        cmp = compare_bench(x8_doc({"clients4": 50.0}), x8_doc({"clients4": 100.0}))
+        assert statuses(cmp)["x8:clients4"] == "improved"
+        assert cmp.ok
+
+    def test_x8_within_threshold_ok(self):
+        cmp = compare_bench(x8_doc({"clients4": 100.0}), x8_doc({"clients4": 95.0}))
+        assert statuses(cmp)["x8:clients4"] == "ok"
+
+    def test_x9_savings_drop_regresses(self):
+        cmp = compare_bench(
+            x9_doc({"hash_join": (8.0, 400.0)}),
+            x9_doc({"hash_join": (8.0, 40.0)}),
+        )
+        assert statuses(cmp)["x9:hash_join/dispatch"] == "ok"
+        assert statuses(cmp)["x9:hash_join/pickle"] == "regressed"
+        assert not cmp.ok
+
+    def test_x9_savings_gain_improves(self):
+        cmp = compare_bench(
+            x9_doc({"hash_join": (8.0, 100.0)}),
+            x9_doc({"hash_join": (16.0, 500.0)}),
+        )
+        assert statuses(cmp)["x9:hash_join/dispatch"] == "improved"
+        assert statuses(cmp)["x9:hash_join/pickle"] == "improved"
+        assert cmp.ok
+
+    def test_x9_reads_each_ratio_once_from_the_resident_arm(self):
+        cmp = compare_bench(
+            x9_doc({"hash_join": (8.0, 100.0)}),
+            x9_doc({"hash_join": (8.0, 100.0)}),
+        )
+        x9_entries = [e for e in cmp.entries if e.name.startswith("x9:")]
+        assert sorted(e.name for e in x9_entries) == [
+            "x9:hash_join/dispatch", "x9:hash_join/pickle",
+        ]
+        assert all(e.unit == "x" for e in x9_entries)
+
+    def test_x9_missing_workload_fails(self):
+        base = x9_doc({"hash_join": (8.0, 100.0), "triangle": (16.0, 500.0)})
+        cmp = compare_bench(base, x9_doc({"hash_join": (8.0, 100.0)}))
+        assert statuses(cmp)["x9:triangle/dispatch"] == "missing"
+        assert statuses(cmp)["x9:triangle/pickle"] == "missing"
+        assert not cmp.ok
+
+    def test_x9_new_workload_is_informational(self):
+        cmp = compare_bench(
+            x9_doc({"hash_join": (8.0, 100.0)}),
+            x9_doc({"hash_join": (8.0, 100.0), "triangle": (16.0, 500.0)}),
+        )
+        assert statuses(cmp)["x9:triangle/dispatch"] == "new"
+        assert cmp.ok
+
+    def test_x9_zero_ratio_incomparable(self):
+        cmp = compare_bench(
+            x9_doc({"hash_join": (8.0, 100.0)}),
+            x9_doc({"hash_join": (0.0, 100.0)}),
+        )
+        assert statuses(cmp)["x9:hash_join/dispatch"] == "incomparable"
+        assert not cmp.ok

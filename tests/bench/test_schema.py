@@ -234,3 +234,92 @@ class TestCommittedX7Baseline:
             by_scenario.setdefault(record["name"], []).append(record["chosen"])
         for name, flags in by_scenario.items():
             assert sum(flags) == 1, (name, flags)
+
+
+class TestX9Section:
+    @staticmethod
+    def _x9_record(**overrides):
+        record = {
+            "name": "hash_join_uniform", "n": 1000, "p": 8, "workers": 2,
+            "queries": 8, "protocol": "resident", "seconds": 0.5,
+            "queue_messages": 16, "snapshot_dispatches": 2,
+            "shm_bytes_out": 4096, "pickle_bytes_out": 512,
+            "dispatch_bytes_out": 4608, "resident_hits": 14,
+            "resident_bytes_saved": 40_000, "fallback_dispatches": 0,
+            "dispatch_ratio": 8.0, "pickle_ratio": 120.0, "identical": True,
+        }
+        record.update(overrides)
+        return record
+
+    def test_valid_x9_section(self):
+        doc = minimal_document()
+        doc["x9"] = [
+            self._x9_record(),
+            self._x9_record(protocol="snapshot", snapshot_dispatches=16),
+        ]
+        assert validate_bench(doc) == []
+
+    def test_x9_must_be_a_list(self):
+        doc = minimal_document()
+        doc["x9"] = {"name": "oops"}
+        assert any("x9" in e for e in validate_bench(doc))
+
+    def test_x9_missing_field_rejected(self):
+        doc = minimal_document()
+        record = self._x9_record()
+        del record["queue_messages"]
+        doc["x9"] = [record]
+        assert any("queue_messages" in e for e in validate_bench(doc))
+
+    def test_x9_unknown_protocol_rejected(self):
+        doc = minimal_document()
+        doc["x9"] = [self._x9_record(protocol="telepathy")]
+        assert any("protocol" in e for e in validate_bench(doc))
+
+    def test_x9_duplicate_arm_rejected(self):
+        doc = minimal_document()
+        doc["x9"] = [self._x9_record(), self._x9_record()]
+        assert any("duplicate" in e for e in validate_bench(doc))
+
+    def test_x9_same_workload_both_protocols_allowed(self):
+        doc = minimal_document()
+        doc["x9"] = [
+            self._x9_record(),
+            self._x9_record(protocol="snapshot"),
+        ]
+        assert validate_bench(doc) == []
+
+
+class TestCommittedX9Baseline:
+    """BENCH_9.json is the dispatch-protocol PR's committed artifact."""
+
+    BASELINE_9 = REPO_ROOT / "BENCH_9.json"
+
+    def test_baseline_exists_and_validates(self):
+        document = json.loads(self.BASELINE_9.read_text())
+        assert validate_bench(document) == []
+        assert document["x9"], "x9 section must be non-empty"
+
+    def test_protocol_overhead_drops_at_least_5x(self):
+        # The PR's acceptance bar: resident dispatch cuts both the
+        # full-payload dispatch count and the pickled dispatch bytes by
+        # at least 5x against the snapshot protocol, byte-identically.
+        document = json.loads(self.BASELINE_9.read_text())
+        resident = [r for r in document["x9"] if r["protocol"] == "resident"]
+        assert resident, "no resident-arm records"
+        for record in document["x9"]:
+            assert record["identical"], record["name"]
+        offenders = [
+            (r["name"], r["dispatch_ratio"], r["pickle_ratio"])
+            for r in resident
+            if r["dispatch_ratio"] < 5.0 or r["pickle_ratio"] < 5.0
+        ]
+        assert not offenders, offenders
+
+    def test_both_arms_present_per_workload(self):
+        document = json.loads(self.BASELINE_9.read_text())
+        by_workload = {}
+        for record in document["x9"]:
+            by_workload.setdefault(record["name"], set()).add(record["protocol"])
+        for name, protocols in by_workload.items():
+            assert protocols == {"resident", "snapshot"}, (name, protocols)

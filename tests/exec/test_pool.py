@@ -45,13 +45,38 @@ def pool():
 
 def test_run_merges_in_chunk_order(pool):
     chunks = [(0, [1, 2, 3]), (1, [4, 5])]
-    results, shm_out, shm_in, pickle_out, pickle_in, seconds = pool.run(
-        "test.double", chunks, 10, False
-    )
+    results, dispatch = pool.run("test.double", chunks, 10, False)
     assert results == [[10, 20, 30], [40, 50]]
-    assert shm_out == 0 and shm_in == 0  # pickle transport
-    assert pickle_out > 0 and pickle_in > 0  # everything rode the queue
-    assert seconds >= 0.0
+    assert dispatch.shm_bytes_out == 0 and dispatch.shm_bytes_in == 0
+    assert dispatch.pickle_bytes_out > 0 and dispatch.pickle_bytes_in > 0
+    assert dispatch.worker_seconds >= 0.0
+    assert dispatch.queue_messages == 2  # one message per participating worker
+
+
+def test_run_batch_collapses_round_trips(pool):
+    calls = [
+        ("test.double", [(0, [1, 2]), (1, [3])], 10),
+        ("test.double", [(0, [4]), (1, [5, 6])], 100),
+    ]
+    per_call, dispatch = pool.run_batch(calls, False)
+    assert per_call == [
+        [[10, 20], [30]],
+        [[400], [500, 600]],
+    ]
+    # Two calls x two workers collapsed into one message per worker.
+    assert dispatch.queue_messages == 2
+
+
+def test_run_batch_reports_failure_of_any_subjob(pool):
+    calls = [
+        ("test.double", [(0, [1])], 2),
+        ("test.boom", [(1, [1])], None),
+    ]
+    with pytest.raises(WorkerError, match="task exploded on purpose"):
+        pool.run_batch(calls, False)
+    # Pool survives, same as a single-call task failure.
+    results, _ = pool.run("test.double", [(0, [7])], 2, False)
+    assert results == [[14]]
 
 
 def test_worker_error_carries_remote_traceback(pool):

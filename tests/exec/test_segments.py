@@ -1,0 +1,117 @@
+"""Shared-memory segment lifecycle under abnormal shutdown.
+
+Every outbound segment is registered on the pool's ledger until the
+worker's reply proves it was consumed; result segments are registered
+until decoded. These tests kill workers mid-dispatch, tear pools down
+on the exception path, and restart after a crash — asserting in each
+case that no ``psm_*`` segment outlives the pool and that coordinator
+state (fault replay included) is unaffected by the respawn.
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.exec import shm, tasks
+from repro.exec.config import use_backend
+from repro.exec.pool import WorkerError, WorkerPool, get_pool
+
+
+def _kill_self_chunk(payloads, common):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _sum_chunk(payloads, common):
+    return [int(np.asarray(block).sum()) for block in payloads]
+
+
+tasks.register("segments.kill", _kill_self_chunk)
+tasks.register("segments.sum", _sum_chunk)
+
+
+def _psm_segments() -> set[str]:
+    try:
+        return {n for n in os.listdir("/dev/shm") if n.startswith("psm_")}
+    except FileNotFoundError:  # pragma: no cover - non-Linux shm mount
+        return set()
+
+
+def _array_chunks():
+    return [
+        (0, [np.arange(2048, dtype=np.int64)]),
+        (1, [np.arange(2048, dtype=np.int64)]),
+    ]
+
+
+def test_worker_crash_mid_dispatch_leaks_no_segments():
+    before = _psm_segments()
+    pool = WorkerPool(2, "shm")
+    with pytest.raises(WorkerError, match="died while jobs were pending"):
+        pool.run("segments.kill", _array_chunks(), None, False)
+    assert pool._closed  # the pool is unusable after losing workers
+    assert _psm_segments() <= before  # nothing new left behind
+    with pytest.raises(RuntimeError, match="shut down"):
+        pool.run("segments.kill", _array_chunks(), None, False)
+
+
+def test_emergency_teardown_unlinks_registered_segments():
+    # The ledger path in isolation: a segment still registered as
+    # in-flight (the worker never consumed it) must be unlinked by an
+    # emergency teardown, whatever interrupted the collect loop.
+    pool = WorkerPool(1, "shm")
+    encoded = shm.encode_payload(
+        ([np.arange(4096, dtype=np.int64)], None), "shm", pack_rows=True
+    )
+    assert encoded.segment_name is not None
+    assert encoded.segment_name in _psm_segments()
+    pool._inflight[99] = [encoded.segment_name]
+    pool._emergency_teardown()
+    assert encoded.segment_name not in _psm_segments()
+
+
+def test_shutdown_after_real_work_leaves_no_segments():
+    before = _psm_segments()
+    pool = WorkerPool(2, "shm")
+    results, _ = pool.run("segments.sum", _array_chunks(), None, False)
+    assert results == [[int(np.arange(2048).sum())]] * 2
+    pool.shutdown()
+    assert _psm_segments() <= before
+
+
+def test_pool_recreated_after_crash_and_faults_replay_once():
+    from repro.data.generators import uniform_relation
+    from repro.joins.hash_join import parallel_hash_join
+    from repro.mpc.faults import CrashFault, FaultPlan, faulty
+
+    R = uniform_relation("R", ("a", "b"), 200, universe=30, seed=11)
+    S = uniform_relation("S", ("b", "c"), 200, universe=30, seed=12)
+    plan = FaultPlan(crashes=(CrashFault(0, 1), CrashFault(0, 3)))
+
+    with use_backend("inline"):
+        with faulty(plan):
+            reference = parallel_hash_join(R, S, 6)
+
+    before = _psm_segments()
+    with use_backend("process", workers=2, transport="shm"):
+        # Crash the shared pool mid-dispatch...
+        crashed = get_pool(2, "shm")
+        with pytest.raises(WorkerError):
+            crashed.run("segments.kill", _array_chunks(), None, False)
+        assert crashed._closed
+        # ...then run a faulty query: get_pool must hand out a fresh
+        # pool, and the coordinator-side fault replay must behave as if
+        # nothing happened — injected once, replayed once, same output.
+        with faulty(plan):
+            run = parallel_hash_join(R, S, 6)
+        assert get_pool(2, "shm") is not crashed
+    assert run.output == reference.output
+    assert run.stats.max_load == reference.stats.max_load
+    fi, fp = reference.stats.faults, run.stats.faults
+    assert fp is not None and fi is not None
+    assert fp.injected == fi.injected > 0
+    assert fp.rounds_replayed == fi.rounds_replayed
+    assert fp.recovery_load == fi.recovery_load
+    assert fp.clean
+    assert _psm_segments() <= before
