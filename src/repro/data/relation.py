@@ -56,6 +56,7 @@ from repro.data.schema import Schema
 from repro.errors import SchemaError
 from repro.kernels.columnar import key_columns
 from repro.kernels.config import kernels_enabled
+from repro.kernels.memo import memo_enabled
 from repro.kernels.join import (
     code_key_columns,
     join_indices,
@@ -94,8 +95,8 @@ class Relation:
     [(1,), (1,)]
     """
 
-    __slots__ = ("name", "schema", "_rows", "_cols", "_colcache", "_version",
-                 "_borrowed", "_lock")
+    __slots__ = ("name", "schema", "_rows", "_cols", "_chunks", "_colcache",
+                 "_version", "_borrowed", "_lock")
 
     def __init__(
         self,
@@ -105,8 +106,11 @@ class Relation:
     ) -> None:
         self.name = name
         self.schema = schema if isinstance(schema, Schema) else Schema(schema)
-        # Ground truth: _cols when not None (column-primary), else _rows.
+        # Ground truth: _cols when not None (column-primary), else _chunks
+        # (chunk-backed column-primary: per-column lists of blocks,
+        # concatenated lazily on first whole-column access), else _rows.
         self._cols: list[np.ndarray] | None = None
+        self._chunks: list[list[np.ndarray]] | None = None
         self._rows: list[Row] | None = []
         # (mutation token, extracted columns or None) — row-primary cache.
         self._colcache: tuple[int, list | None] | None = None
@@ -162,6 +166,45 @@ class Relation:
         return out
 
     @classmethod
+    def from_chunks(
+        cls,
+        name: str,
+        schema: Schema | Sequence[str],
+        chunk_lists: Sequence[Sequence[Any]],
+    ) -> "Relation":
+        """Build a *chunk-backed* column-primary relation in O(#blocks).
+
+        ``chunk_lists[i]`` is the ordered list of 1-D integer blocks that
+        make up column ``i``.  Nothing is concatenated here — a delivery
+        can append blocks in O(1) — and :meth:`__len__` answers from the
+        block lengths without copying; the first whole-column access
+        (:meth:`columns`, any operator) solidifies the chunks into
+        ordinary backing arrays.  Blocks of one column must share a
+        dtype so the deferred concatenation is value-exact.
+        """
+        out = cls(name, schema)
+        arity = out.schema.arity
+        if arity == 0:
+            raise SchemaError("from_chunks needs at least one attribute")
+        if len(chunk_lists) != arity:
+            raise SchemaError(
+                f"{len(chunk_lists)} chunk lists for schema {name} of arity {arity}"
+            )
+        chunks = [[_as_column(b) for b in blocks] for blocks in chunk_lists]
+        lengths = [sum(len(b) for b in blocks) for blocks in chunks]
+        if len(set(lengths)) > 1:
+            raise SchemaError(f"column lengths differ: {lengths}")
+        for blocks in chunks:
+            if len({b.dtype for b in blocks}) > 1:
+                raise SchemaError(
+                    "blocks of one column must share a dtype "
+                    f"({[str(b.dtype) for b in blocks]})"
+                )
+        out._chunks = chunks
+        out._rows = None
+        return out
+
+    @classmethod
     def wrap(
         cls, name: str, schema: Schema | Sequence[str], rows: list[Row]
     ) -> "Relation":
@@ -208,10 +251,35 @@ class Relation:
             setattr(self, slot, value)
         self._lock = threading.Lock()
 
+    def _solidify_locked(self) -> None:
+        """Concatenate a chunk-backed view into ordinary backing arrays.
+
+        Caller must hold :attr:`_lock` (or own the relation).  ``_cols``
+        is installed *before* ``_chunks`` is dropped so an unlocked
+        reader that saw ``_chunks is None`` always finds ``_cols`` set.
+        """
+        chunks = self._chunks
+        if chunks is None:
+            return
+        self._cols = [
+            np.empty(0, dtype=np.int64) if not blocks
+            else blocks[0] if len(blocks) == 1
+            else np.concatenate(blocks)
+            for blocks in chunks
+        ]
+        self._chunks = None
+
+    def _solidify(self) -> None:
+        if self._chunks is None:
+            return
+        with self._lock:
+            self._solidify_locked()
+
     def _derive_rows(self) -> list[Row]:
         """The tuple store (caller must hold :attr:`_lock` or own the relation)."""
         rows = self._rows
         if rows is None:
+            self._solidify_locked()
             assert self._cols is not None
             rows = list(zip(*(c.tolist() for c in self._cols)))
             self._rows = rows
@@ -283,8 +351,12 @@ class Relation:
 
     @property
     def is_columnar(self) -> bool:
-        """Whether numpy columns are currently the primary representation."""
-        return self._cols is not None
+        """Whether numpy columns are currently the primary representation.
+
+        True for both solid (``_cols``) and chunk-backed (``_chunks``)
+        column-primary relations.
+        """
+        return self._cols is not None or self._chunks is not None
 
     def columns(self) -> list | None:
         """The columnar view: one ``int64``/``uint64`` array per attribute.
@@ -305,6 +377,7 @@ class Relation:
         if cols is not None:
             return cols
         with self._lock:
+            self._solidify_locked()
             if self._cols is not None:
                 return self._cols
             cached = self._colcache
@@ -325,7 +398,7 @@ class Relation:
         installed view is still dropped on the next token bump.
         """
         with self._lock:
-            if self._cols is not None:
+            if self._cols is not None or self._chunks is not None:
                 return
             if cols is not None and (
                 len(cols) == self.schema.arity
@@ -347,10 +420,15 @@ class Relation:
         return [cached[1][i] for i in idx]
 
     def __len__(self) -> int:
+        # A chunk-backed relation answers from block lengths, no concat.
+        chunks = self._chunks
+        if chunks is not None:
+            return sum(len(block) for block in chunks[0])
         if self._rows is not None:
             return len(self._rows)
-        assert self._cols is not None
-        return len(self._cols[0])
+        cols = self._cols
+        assert cols is not None
+        return len(cols[0])
 
     def __iter__(self) -> Iterator[Row]:
         return iter(self._materialize())
@@ -409,6 +487,7 @@ class Relation:
 
     def project(self, attributes: Sequence[str], name: str | None = None) -> "Relation":
         """Projection (bag semantics: duplicates are kept)."""
+        self._solidify()
         idx = self.schema.indices(attributes)
         out = Relation(name or self.name, self.schema.project(attributes))
         if self._cols is not None:
@@ -430,6 +509,7 @@ class Relation:
 
     def select_eq(self, attribute: str, value: Any, name: str | None = None) -> "Relation":
         """Selection ``attribute == value``."""
+        self._solidify()
         i = self.schema.index(attribute)
         out = Relation(name or self.name, self.schema)
         if self._cols is not None and isinstance(value, (int, np.integer)) \
@@ -445,6 +525,7 @@ class Relation:
 
     def rename(self, mapping: dict[str, str], name: str | None = None) -> "Relation":
         """Rename attributes (the store is copied, tuples/arrays shared)."""
+        self._solidify()
         out = Relation(name or self.name, self.schema.rename(mapping))
         if self._cols is not None:
             return out._adopt_columns(list(self._cols))
@@ -453,6 +534,7 @@ class Relation:
 
     def key(self, attributes: Sequence[str]) -> list[Row]:
         """The key-tuple (projection) of every row, in row order."""
+        self._solidify()
         idx = self.schema.indices(attributes)
         if self._cols is not None:
             return list(zip(*(self._cols[i].tolist() for i in idx)))
@@ -460,6 +542,7 @@ class Relation:
 
     def column(self, attribute: str) -> list[Any]:
         """All values of one attribute, in row order."""
+        self._solidify()
         i = self.schema.index(attribute)
         if self._cols is not None:
             return self._cols[i].tolist()
@@ -488,6 +571,8 @@ class Relation:
         output's columns are all array operations, and no tuple is ever
         materialized.
         """
+        self._solidify()
+        other._solidify()
         shared = self.schema.common(other.schema)
         left_idx = self.schema.indices(shared)
         right_idx = other.schema.indices(shared)
@@ -541,6 +626,8 @@ class Relation:
 
     def semijoin(self, other: "Relation", name: str | None = None) -> "Relation":
         """Exact local semijoin ``self ⋉ other`` on the shared attributes."""
+        self._solidify()
+        other._solidify()
         shared = self.schema.common(other.schema)
         if not shared:
             out = Relation(name or self.name, self.schema)
@@ -579,6 +666,7 @@ class Relation:
 
     def sorted_by(self, attributes: Sequence[str], name: str | None = None) -> "Relation":
         """Copy sorted lexicographically by the given attributes."""
+        self._solidify()
         idx = self.schema.indices(attributes)
         out = Relation(name or self.name, self.schema)
         if self._cols is not None:
@@ -604,14 +692,38 @@ def union_all(name: str, relations: Sequence[Relation]) -> Relation:
             )
     out = Relation(name, schema)
     if schema.arity and all(r.is_columnar for r in relations):
-        per_position = [
-            [r._cols[i] for r in relations] for i in range(schema.arity)
-        ]
-        if all(
-            len({c.dtype for c in parts}) == 1 for parts in per_position
+        per_position: list[list[np.ndarray]] | None = []
+        for i in range(schema.arity):
+            blocks: list[np.ndarray] = []
+            for r in relations:
+                chunks = r._chunks
+                if chunks is not None:
+                    blocks.extend(chunks[i])
+                    continue
+                cols = r._cols
+                if cols is None:  # raced with a rows() demotion
+                    per_position = None
+                    break
+                blocks.append(cols[i])
+            if per_position is None:
+                break
+            per_position.append(blocks)
+        if per_position is not None and all(
+            len({b.dtype for b in blocks}) <= 1 for blocks in per_position
         ):
+            if memo_enabled():
+                # Zero-copy: adopt the blocks as a chunk-backed view;
+                # the concatenation happens only if a consumer asks for
+                # whole columns.
+                out._chunks = per_position
+                out._rows = None
+                return out
             return out._adopt_columns(
-                [np.concatenate(parts) for parts in per_position]
+                [
+                    np.empty(0, dtype=np.int64) if not blocks
+                    else np.concatenate(blocks)
+                    for blocks in per_position
+                ]
             )
     for r in relations:
         out._rows.extend(r.rows_readonly())

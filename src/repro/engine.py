@@ -83,6 +83,7 @@ class Engine:
         seed: int = 0,
         kernels: bool | None = None,
         backend: str | None = None,
+        align_with: "Engine | None" = None,
     ) -> None:
         if p <= 0:
             raise QueryError("the engine needs at least one server")
@@ -95,17 +96,29 @@ class Engine:
         # "process": force the execution backend for this engine's queries.
         self.backend = backend
         self._relations: dict[str, Relation] = {}
-        # (atom variables, relation name, relation identity, schema
-        # attributes) -> aligned relation; LRU, invalidated on register().
-        self._align_cache: dict[tuple, Relation] = {}
-        self._align_hits = 0
-        # Guards _align_cache and _align_hits: concurrent queries (the
-        # repro.service worker threads) share one engine, and an
-        # unsynchronized LRU races on the pop/re-insert recency bump
-        # (two threads can both observe a hit and the second pop raises
-        # KeyError) and on the eviction scan. The lock covers only the
-        # dict bookkeeping, never the projection work.
-        self._align_lock = threading.Lock()
+        # ``align_with`` shares another engine's alignment memo instead of
+        # creating a private one. The service's split path spins up one
+        # throwaway engine per branch; without sharing, every branch
+        # re-derives and separately stores a detached copy of each
+        # *unsplit* input's alignment (k overlapping copies per split=k
+        # query) and the hits land in counters nobody reads. Shared keys
+        # stay safe because they carry relation identity + mutation token.
+        self._align_owner: Engine = (
+            align_with._align_owner if align_with is not None else self
+        )
+        if self._align_owner is self:
+            # (atom variables, relation name, relation identity, schema
+            # attributes, mutation token) -> aligned relation; LRU,
+            # invalidated on the owner's register().
+            self._align_cache: dict[tuple, Relation] = {}
+            self._align_hits = 0
+            # Guards _align_cache and _align_hits: concurrent queries (the
+            # repro.service worker threads) share one engine, and an
+            # unsynchronized LRU races on the pop/re-insert recency bump
+            # (two threads can both observe a hit and the second pop raises
+            # KeyError) and on the eviction scan. The lock covers only the
+            # dict bookkeeping, never the projection work.
+            self._align_lock = threading.Lock()
 
     # --------------------------------------------------------------- catalog
 
@@ -113,8 +126,13 @@ class Engine:
         """Add (or replace) a relation under ``name`` (default: its own)."""
         self._relations[name or relation.name] = relation
         # Cached alignments may reference the replaced relation's data.
-        with self._align_lock:
-            self._align_cache.clear()
+        # Only the owning engine clears: a borrower (a service branch
+        # engine registering its fragment bindings) must not wipe the
+        # shared memo — identity+token keys already make stale hits
+        # impossible, the clear is purely the owner's memory hygiene.
+        if self._align_owner is self:
+            with self._align_lock:
+                self._align_cache.clear()
 
     def relation(self, name: str) -> Relation:
         try:
@@ -192,7 +210,8 @@ class Engine:
                 f"or one of {', '.join(STRATEGIES)})"
             )
 
-        hits_before = self._align_hits
+        owner = self._align_owner
+        hits_before = owner._align_hits
         with use_kernels(self.kernels), use_backend(self.backend):
             aligned = {
                 atom.name: self._align(cq, index, bindings[atom.name])
@@ -207,7 +226,7 @@ class Engine:
             )
             plan = self._wrap_plan(cq, aligned, explain, executed)
             return QueryResult(
-                output, plan, stats, self._align_hits - hits_before, explain
+                output, plan, stats, owner._align_hits - hits_before, explain
             )
 
     def _wrap_plan(self, cq: ConjunctiveQuery, aligned: dict[str, Relation],
@@ -238,7 +257,8 @@ class Engine:
                        bindings: dict[str, Relation],
                        out_estimate: int | None = None) -> QueryResult:
         """The pre-optimizer planning path (two_way/multiway heuristics)."""
-        hits_before = self._align_hits
+        owner = self._align_owner
+        hits_before = owner._align_hits
         with use_kernels(self.kernels), use_backend(self.backend):
             if len(cq.atoms) == 2:
                 left, right = (bindings[a.name] for a in cq.atoms)
@@ -246,7 +266,7 @@ class Engine:
                 plan, run = execute_two_way_join(left, right, self.p, seed=self.seed)
                 output = run.output.project(list(cq.variables), name="OUT")
                 return QueryResult(
-                    output, plan, run.stats, self._align_hits - hits_before
+                    output, plan, run.stats, owner._align_hits - hits_before
                 )
 
             if len(cq.atoms) == 1:
@@ -261,7 +281,7 @@ class Engine:
                     rel.project(list(cq.variables), name="OUT"),
                     plan,
                     RunStats(self.p),
-                    self._align_hits - hits_before,
+                    owner._align_hits - hits_before,
                 )
 
             plan, run = execute_multiway_join(
@@ -300,21 +320,22 @@ class Engine:
             tuple(rel.schema.attributes),
             rel.mutation_token(),
         )
-        with self._align_lock:
-            cached = self._align_cache.get(key)
+        owner = self._align_owner
+        with owner._align_lock:
+            cached = owner._align_cache.get(key)
             if cached is not None:
-                self._align_hits += 1
+                owner._align_hits += 1
                 # Refresh LRU recency.
-                self._align_cache.pop(key)
-                self._align_cache[key] = cached
+                owner._align_cache.pop(key)
+                owner._align_cache[key] = cached
                 return cached
         cacheable = not rel.is_borrowed
         if rel.schema.attributes != atom.variables:
             rel = rel.project(list(atom.variables))
         if not cacheable:
             return rel
-        with self._align_lock:
-            if len(self._align_cache) >= self._ALIGN_CACHE_SIZE:
-                self._align_cache.pop(next(iter(self._align_cache)))
-            self._align_cache[key] = rel
+        with owner._align_lock:
+            if len(owner._align_cache) >= self._ALIGN_CACHE_SIZE:
+                owner._align_cache.pop(next(iter(owner._align_cache)))
+            owner._align_cache[key] = rel
         return rel

@@ -21,6 +21,7 @@ import numpy as np
 from repro.kernels.columnar import key_columns
 from repro.kernels.config import kernels_enabled
 from repro.kernels.hashing import bucket_tuple_columns, bucket_value_column
+from repro.kernels.memo import count_hash_ops
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.mpc.cluster import RoundContext
@@ -89,6 +90,7 @@ def try_route(
         cols = key_columns(rows, key_idx)
     if cols is None:
         return False
+    count_hash_ops(rnd, len(rows))
     destinations = _shrink(bucket_tuple_columns(cols, h.salt, h.buckets), h.buckets)
     order = np.argsort(destinations, kind="stable")
     counts = np.bincount(destinations, minlength=h.buckets)
@@ -141,6 +143,7 @@ def try_route_grid(
     dim_buckets: dict[int, np.ndarray] = {}
     for column, dim in zip(cols, column_dims):
         dim_buckets[dim] = bucket_value_column(column, salts[dim], extents[dim])
+    count_hash_ops(rnd, len(rows) * len(dim_buckets))
 
     base = np.zeros(len(rows), dtype=np.int64)
     for dim, buckets in dim_buckets.items():

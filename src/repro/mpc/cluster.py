@@ -59,6 +59,7 @@ from repro.data.relation import Relation
 from repro.errors import ClusterError, LoadExceededError
 from repro.exec.base import ExecutionBackend, chunk_bounds, get_backend
 from repro.kernels.config import kernels_enabled
+from repro.kernels.memo import MemoStats, memo_enabled
 from repro.mpc.audit import AuditReport, ClusterAuditor, audit_enabled_by_default
 from repro.mpc.faults import (
     FaultController,
@@ -180,10 +181,15 @@ class RoundContext:
     def _deliver_buffers(self) -> None:
         """Move every buffered tuple into its destination fragment."""
         servers = self._cluster.servers
+        origins = self._cluster._scatter_origin
+        lazy = memo_enabled()
         for dest, fragments in enumerate(self._buffers):
             server = servers[dest]
             side_cars = self._column_buffers[dest]
             for fragment, rows in fragments.items():
+                # Delivered rows supersede any scatter provenance for the
+                # fragment: a cached routing plan may no longer replay it.
+                origins.pop(fragment, None)
                 target = server.fragment(fragment)
                 had_rows = bool(target)
                 target.extend(rows)
@@ -194,14 +200,20 @@ class RoundContext:
                 entry = side_cars.get(fragment)
                 if entry is not None and not had_rows and entry[2] == len(rows):
                     key_idx, per_column, _covered = entry
-                    server.put_columns(
-                        fragment,
-                        key_idx,
-                        [
-                            chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
-                            for chunks in per_column
-                        ],
-                    )
+                    if lazy and any(len(chunks) > 1 for chunks in per_column):
+                        # Zero-copy chunked delivery: hand the blocks over
+                        # as-is; the concat happens only if a consumer asks
+                        # for whole columns (Server.take_with_columns).
+                        server.put_column_chunks(fragment, key_idx, per_column)
+                    else:
+                        server.put_columns(
+                            fragment,
+                            key_idx,
+                            [
+                                chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+                                for chunks in per_column
+                            ],
+                        )
 
     def __enter__(self) -> "RoundContext":
         return self
@@ -269,6 +281,12 @@ class Cluster:
         self.p = p
         self.servers = [Server(sid) for sid in range(p)]
         self.stats = RunStats(p)
+        # fragment name -> (relation, mutation token at scatter time).
+        # Proof that a fragment still holds exactly rel[s::p], letting the
+        # memo layer replay a cached routing plan (repro.kernels.memo).
+        # Any delivery to, raw re-scatter of, or drop of the fragment
+        # invalidates the claim; a mutated relation is caught by its token.
+        self._scatter_origin: dict[str, tuple[Relation, int]] = {}
         self.backend = get_backend(backend)
         self.stats.exec = self.backend.new_stats()
         self.load_cap = load_cap
@@ -426,9 +444,10 @@ class Cluster:
         """
         fragment = name if name is not None else relation.name
         columns = relation.columns() if kernels_enabled() else None
-        return self.scatter_rows(
-            relation.rows_readonly(), fragment, columns=columns
-        )
+        self.scatter_rows(relation.rows_readonly(), fragment, columns=columns)
+        if not relation.is_borrowed:
+            self._scatter_origin[fragment] = (relation, relation.mutation_token())
+        return fragment
 
     def scatter_rows(
         self,
@@ -445,6 +464,7 @@ class Cluster:
         (only on servers whose fragment was empty, so the side-car always
         covers the full stored row list).
         """
+        self._scatter_origin.pop(name, None)
         for s in range(self.p):
             chunk = rows[s :: self.p]
             if chunk:
@@ -490,6 +510,7 @@ class Cluster:
 
     def drop(self, fragment: str) -> None:
         """Delete a fragment on every server."""
+        self._scatter_origin.pop(fragment, None)
         for server in self.servers:
             server.drop(fragment)
 
@@ -522,6 +543,7 @@ def combine_sequential(
         run.faults for run in runs if run.faults is not None
     )
     combined.exec = ExecStats.merged([run.exec for run in runs])
+    combined.memo = MemoStats.merged([run.memo for run in runs])
     if audit:
         from repro.mpc.audit import verify_combined
 
@@ -569,6 +591,7 @@ def combine_parallel(
         run.faults for run in runs if run.faults is not None
     )
     combined.exec = ExecStats.merged([run.exec for run in runs])
+    combined.memo = MemoStats.merged([run.memo for run in runs])
     if audit:
         from repro.mpc.audit import verify_combined
 

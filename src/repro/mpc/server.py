@@ -14,6 +14,31 @@ from typing import Any
 Row = tuple[Any, ...]
 
 
+class ChunkedColumns:
+    """A column side-car kept as the delivered per-send blocks.
+
+    Delivery appends blocks in O(1); the concatenation the eager path
+    would have done at the barrier is deferred to the first consumer
+    that actually asks for whole columns (:meth:`arrays`).  ``length``
+    reads block lengths without copying, so side-car validation stays
+    zero-copy too.
+    """
+
+    __slots__ = ("chunks", "length")
+
+    def __init__(self, chunks: list[list]) -> None:
+        self.chunks = chunks  # chunks[i] = list of blocks of column i
+        self.length = sum(len(block) for block in chunks[0]) if chunks else 0
+
+    def arrays(self) -> list:
+        import numpy as np
+
+        return [
+            blocks[0] if len(blocks) == 1 else np.concatenate(blocks)
+            for blocks in self.chunks
+        ]
+
+
 class Server:
     """One MPC server: an id and a private fragment store.
 
@@ -66,6 +91,17 @@ class Server:
         """
         self.column_cache[name] = (key_idx, columns)
 
+    def put_column_chunks(
+        self, name: str, key_idx: tuple[int, ...], chunk_lists: list[list]
+    ) -> None:
+        """Attach a *chunked* side-car (delivered blocks, not whole arrays).
+
+        ``chunk_lists[i]`` is the ordered list of blocks making up column
+        ``key_idx[i]``; concatenation is deferred until a consumer asks
+        (:meth:`take_with_columns` materializes on demand).
+        """
+        self.column_cache[name] = (key_idx, ChunkedColumns(chunk_lists))
+
     def take_with_columns(
         self, name: str, key_idx: tuple[int, ...]
     ) -> tuple[list[Row], list | None]:
@@ -81,6 +117,10 @@ class Server:
         if cached is None:
             return rows, None
         stored_idx, columns = cached
+        if isinstance(columns, ChunkedColumns):
+            if columns.length != len(rows):
+                return rows, None
+            columns = columns.arrays()
         try:
             selected = [columns[stored_idx.index(i)] for i in key_idx]
         except ValueError:

@@ -30,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.kernels.memo import MemoStats
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.mpc.audit import AuditReport
     from repro.mpc.faults import FaultStats
@@ -131,10 +133,16 @@ class ExecStats:
         return self.shm_bytes_in + self.pickle_bytes_in
 
     @property
-    def bytes_per_message(self) -> float:
-        """Mean outbound bytes per queue message (bytes-per-round proxy)."""
+    def bytes_per_message(self) -> "float | None":
+        """Mean outbound bytes per queue message (bytes-per-round proxy).
+
+        ``None`` when no queue message was ever sent (the inline backend,
+        or a process run that never dispatched): a mean over zero
+        messages is undefined, and the former ``0.0`` read as "messages
+        were free" in traces and reports.
+        """
         if not self.queue_messages:
-            return 0.0
+            return None
         return self.dispatch_bytes_out / self.queue_messages
 
     @classmethod
@@ -194,6 +202,7 @@ class RunStats:
     audit: "AuditReport | None" = None
     faults: "FaultStats | None" = None
     exec: "ExecStats | None" = None
+    memo: MemoStats = field(default_factory=MemoStats)
 
     @property
     def num_rounds(self) -> int:
@@ -244,6 +253,14 @@ class RunStats:
                 f" backend={self.exec.backend}x{self.exec.workers}"
                 f" chunks={self.exec.chunks}"
             )
+            # None (no queue message ever sent) is reported as n/a, never
+            # as a free-looking 0.
+            bpm = self.exec.bytes_per_message
+            text += f" bytes/msg={'n/a' if bpm is None else format(bpm, '.0f')}"
+        if self.memo is not None:
+            hits = self.memo.partition_hits + self.memo.view_hits
+            if hits:
+                text += f" memo_hits={hits}"
         return text
 
     def __repr__(self) -> str:

@@ -99,6 +99,16 @@ def trace(stats: RunStats, histograms: bool = False) -> str:
         parts.append(stats.audit.summary())
     if stats.faults is not None:
         parts.append(stats.faults.summary())
+    if stats.exec is not None and stats.exec.backend != "inline":
+        bpm = stats.exec.bytes_per_message
+        parts.append(
+            f"exec: backend={stats.exec.backend}x{stats.exec.workers} "
+            f"chunks={stats.exec.chunks} "
+            f"queue_messages={stats.exec.queue_messages} "
+            f"bytes/msg={'n/a' if bpm is None else format(bpm, '.0f')}"
+        )
+    if stats.memo is not None and stats.memo.any_activity:
+        parts.append(stats.memo.summary())
     return "\n\n".join(parts)
 
 

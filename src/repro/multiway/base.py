@@ -30,6 +30,7 @@ from repro.errors import QueryError
 from repro.joins.base import distributed_local_join
 from repro.kernels.config import kernels_enabled
 from repro.kernels.join import semijoin_mask
+from repro.kernels.memo import distinct_project, key_degrees, route_scattered
 from repro.kernels.partition import try_route
 from repro.mpc.cluster import Cluster
 from repro.mpc.stats import RunStats
@@ -77,15 +78,17 @@ def shuffle_join(
     r_idx = r.schema.indices(shared)
     s_idx = s.schema.indices(shared)
     with cluster.round(label) as rnd:
-        for server in cluster.servers:
-            rows, cols = server.take_with_columns(r_frag, tuple(r_idx))
-            if not try_route(rnd, rows, r_idx, h, "L@j", columns=cols):
-                for row in rows:
-                    rnd.send(h(tuple(row[i] for i in r_idx)), "L@j", row)
-            rows, cols = server.take_with_columns(s_frag, tuple(s_idx))
-            if not try_route(rnd, rows, s_idx, h, "R@j", columns=cols):
-                for row in rows:
-                    rnd.send(h(tuple(row[i] for i in s_idx)), "R@j", row)
+        for rel, frag, idx, out in (
+            (r, r_frag, r_idx, "L@j"),
+            (s, s_frag, s_idx, "R@j"),
+        ):
+            if route_scattered(cluster, rnd, rel, frag, idx, h, out):
+                continue
+            for server in cluster.servers:
+                rows, cols = server.take_with_columns(frag, tuple(idx))
+                if not try_route(rnd, rows, idx, h, out, columns=cols):
+                    for row in rows:
+                        rnd.send(h(tuple(row[i] for i in idx)), out, row)
     distributed_local_join(cluster, "L@j", "R@j", r, s, "out")
     attrs = list(r.schema.attributes) + [
         a for a in s.schema.attributes if a not in r.schema
@@ -140,24 +143,32 @@ def shuffle_multi_semijoin(
         )
     shared = keys[0]
     t_idx = target.schema.indices(shared)
+    cluster = Cluster(p, seed=seed, audit=audit)
 
     # Heavy keys by target degree (statistics assumed known, as in the
-    # tutorial's skew algorithms; a real engine samples them).
-    from collections import Counter
-
-    degrees = Counter(tuple(row[i] for i in t_idx) for row in target)
+    # tutorial's skew algorithms; a real engine samples them). The degree
+    # map is memoized per mutation token — GYM recomputes it every round
+    # on the same relations.
+    degrees = key_degrees(target, t_idx, stats=cluster.stats.memo)
     in_size = len(target) + sum(len(r) for r in reducers)
     threshold = max(in_size / p, 2.0)
     heavy = {k for k, c in degrees.items() if c >= threshold}
 
-    cluster = Cluster(p, seed=seed, audit=audit)
     t_frag = cluster.scatter(target, "T@in")
     reducer_frags = []
+    reducer_lights: list[Relation] = []
     reducer_key_sets: list[set[Row]] = []
     for i, red in enumerate(reducers):
-        distinct_keys = red.project(list(shared)).distinct()
+        distinct_keys = distinct_project(red, shared, stats=cluster.stats.memo)
         reducer_key_sets.append(set(distinct_keys.rows_readonly()))
-        light_keys = distinct_keys.select(lambda row: row not in heavy)
+        # Without heavy keys the memoized distinct relation is scattered
+        # directly, keeping a stable identity for the partition cache.
+        light_keys = (
+            distinct_keys
+            if not heavy
+            else distinct_keys.select(lambda row: row not in heavy)
+        )
+        reducer_lights.append(light_keys)
         reducer_frags.append(cluster.scatter(light_keys, f"K{i}@in"))
 
     # Heavy keys surviving every reducer get their verdict broadcast.
@@ -166,13 +177,27 @@ def shuffle_multi_semijoin(
     )
 
     h = cluster.hash_function(0)
+    key_arity = tuple(range(len(shared)))
     with cluster.round(label) as rnd:
-        for server in cluster.servers:
-            taken = server.take(t_frag)
-            stay = _route_light(rnd, taken, t_idx, heavy, h)
-            server.put("T@stay", stay)
-            key_arity = range(len(shared))
-            for i, frag in enumerate(reducer_frags):
+        # Per-(destination, fragment) arrival order is source-server
+        # ascending on both the replayed and the per-server path, so the
+        # fragment-at-a-time restructure delivers byte-identical state.
+        if not heavy and route_scattered(
+            cluster, rnd, target, t_frag, t_idx, h, "T@j"
+        ):
+            for server in cluster.servers:
+                server.put("T@stay", [])
+        else:
+            for server in cluster.servers:
+                taken = server.take(t_frag)
+                stay = _route_light(rnd, taken, t_idx, heavy, h)
+                server.put("T@stay", stay)
+        for i, frag in enumerate(reducer_frags):
+            if route_scattered(
+                cluster, rnd, reducer_lights[i], frag, key_arity, h, f"K{i}@j"
+            ):
+                continue
+            for server in cluster.servers:
                 rows = server.take(frag)
                 if not try_route(rnd, rows, key_arity, h, f"K{i}@j"):
                     for row in rows:

@@ -23,6 +23,13 @@ from dataclasses import dataclass
 
 from repro.data.relation import Relation
 from repro.errors import QueryError
+from repro.kernels.config import kernels_enabled
+from repro.kernels.memo import (
+    count_fused,
+    memo_enabled,
+    project_view,
+    route_scattered_grid,
+)
 from repro.kernels.partition import try_route_grid
 from repro.mpc.cluster import Cluster
 from repro.mpc.topology import Grid
@@ -87,7 +94,8 @@ def hypercube_route(
     """Scatter and route a HyperCube run, deferring the eval dispatch."""
     if local not in ("plan", "generic"):
         raise QueryError(f"unknown local evaluator {local!r}")
-    sizes = {a.name: len(_relation_for(query, a.name, relations)) for a in query.atoms}
+    rels = {a.name: _relation_for(query, a.name, relations) for a in query.atoms}
+    sizes = {name: len(rel) for name, rel in rels.items()}
     assignment: ShareAssignment | None = None
     if shares is None:
         assignment = optimal_shares(query, sizes, p)
@@ -106,13 +114,17 @@ def hypercube_route(
     # Scatter inputs (free), then the single replication round.
     fragments = {}
     for atom in query.atoms:
-        rel = _relation_for(query, atom.name, relations)
-        fragments[atom.name] = cluster.scatter(rel, f"{atom.name}@in")
+        fragments[atom.name] = cluster.scatter(rels[atom.name], f"{atom.name}@in")
 
     salts = [hash_functions[v].salt for v in query.variables]
     with cluster.round("hypercube") as rnd:
         for atom in query.atoms:
             column_dims = [var_position[v] for v in atom.variables]
+            if route_scattered_grid(
+                cluster, rnd, rels[atom.name], fragments[atom.name],
+                column_dims, salts, extents, grid.strides, f"{atom.name}@hc",
+            ):
+                continue
             arity = tuple(range(len(atom.variables)))
             for server in cluster.servers:
                 rows, cols = server.take_with_columns(fragments[atom.name], arity)
@@ -129,7 +141,11 @@ def hypercube_route(
                         rnd.send(dest, f"{atom.name}@hc", row)
 
     # Build the per-server eval payloads now (fragments are consumed by
-    # take); the dispatch itself is the staged half.
+    # take); the dispatch itself is the staged half. With memo on, a
+    # payload whose full-arity side-car survived delivery is *fused*: the
+    # eval chunk builds the local relation straight from the column
+    # blocks instead of re-wrapping the row list.
+    fused = memo_enabled() and kernels_enabled()
     payloads = []
     for sid in range(grid.size):
         server = cluster.servers[sid]
@@ -137,6 +153,8 @@ def hypercube_route(
         for atom in query.atoms:
             arity = tuple(range(len(atom.variables)))
             rows, cols = server.take_with_columns(f"{atom.name}@hc", arity)
+            if fused and cols is not None and rows:
+                count_fused(cluster.stats.memo)
             per_atom.append((rows, cols))
         payloads.append(per_atom)
     return StagedHypercube(
@@ -144,7 +162,7 @@ def hypercube_route(
         cluster=cluster,
         grid=grid,
         payloads=payloads,
-        common=(query, local),
+        common=(query, local, fused),
         shares=dict(shares),
         assignment=assignment,
     )
@@ -188,14 +206,25 @@ def hypercube_eval_chunk(payloads: list, common) -> list:
     simulator, so they are adopted without re-validating arity, and each
     relation's columnar cache is seeded from the delivered side-car. A
     server with an empty fragment produces ``None`` (no output stored).
+
+    When the coordinator flagged the run as *fused* (memo + kernels on),
+    a payload carrying a full-arity side-car is turned into a
+    column-primary relation directly — the delivered row list is never
+    re-wrapped, and local evaluation reads the routed column blocks.
+    The eval itself is column-driven either way, so fused and unfused
+    payloads produce byte-identical output rows.
     """
-    query, local = common
+    query, local, *rest = common
+    fused = bool(rest and rest[0])
     out = []
     for per_atom in payloads:
         local_fragments = {}
         for atom, (rows, cols) in zip(query.atoms, per_atom):
-            rel = Relation.wrap(atom.name, list(atom.variables), rows)
-            rel.prime_columns(cols)
+            if fused and cols is not None and rows:
+                rel = Relation.from_columns(atom.name, list(atom.variables), cols)
+            else:
+                rel = Relation.wrap(atom.name, list(atom.variables), rows)
+                rel.prime_columns(cols)
             local_fragments[atom.name] = rel
         if all(len(rel) for rel in local_fragments.values()):
             if local == "generic":
@@ -224,7 +253,9 @@ def _relation_for(
             f"atom {atom}"
         )
     if rel.schema.attributes != atom.variables:
-        rel = rel.project(list(atom.variables))
+        # Memoized: repeated runs over an unchanged relation get the same
+        # reordered projection object, keeping the grid partition cache hot.
+        rel = project_view(rel, atom.variables)
     return rel
 
 

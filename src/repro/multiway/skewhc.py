@@ -27,6 +27,7 @@ from typing import Any
 from repro.data.relation import Relation
 from repro.errors import QueryError
 from repro.joins.heavy import allocate_servers
+from repro.kernels.memo import cached_view, project_view, value_degrees
 from repro.mpc.cluster import combine_parallel
 from repro.multiway.base import MultiwayRun
 from repro.multiway.hypercube import StagedHypercube, hypercube_route
@@ -45,7 +46,9 @@ def find_heavy_values(
     for atom in query.atoms:
         rel = relations[atom.name]
         for variable in atom.variables:
-            for value, count in rel.degrees(variable).items():
+            # Degree maps are memoized per mutation token — every residual
+            # stage of a repeated SkewHC run reuses them.
+            for value, count in value_degrees(rel, variable).items():
                 if count >= threshold:
                     heavy[variable].add(value)
     return heavy
@@ -215,35 +218,69 @@ def _build_job(
     multiplicity = 1
     for atom in query.atoms:
         rel = relations[atom.name]
-        positions = [(i, v) for i, v in enumerate(atom.variables)]
-
-        def keep(row: Row) -> bool:
-            for i, v in positions:
-                if v in bound:
-                    if row[i] != bound[v]:
-                        return False
-                elif row[i] in heavy[v]:
-                    return False
-            return True
-
-        kept = [row for row in rel if keep(row)]
-        free_positions = [i for i, v in positions if v not in bound]
-        if not free_positions:
+        # The restriction depends only on the relation's contents, the
+        # bound values of the atom's variables, and the heavy sets of its
+        # free variables — memoize it per mutation token so repeated
+        # SkewHC runs (and self-joined atoms sharing a relation) reuse
+        # the scan. The cached residual relation keeps a stable identity,
+        # which is what lets the residual HyperCube's partition cache hit.
+        bound_key = tuple((v, bound[v]) for v in atom.variables if v in bound)
+        heavy_key = tuple(
+            (v, tuple(sorted(heavy[v])))
+            for v in atom.variables
+            if v not in bound and heavy[v]
+        )
+        kind, value = cached_view(
+            rel,
+            ("restrict", atom.variables, bound_key, heavy_key),
+            lambda rel=rel, atom=atom: _restrict_atom(rel, atom, bound, heavy),
+        )
+        if kind == "count":
             # The atom vanishes in the residual; it acts as a filter whose
             # match count multiplies output multiplicities (bag semantics).
-            if not kept:
+            if not value:
                 return None
-            multiplicity *= len(kept)
+            multiplicity *= value
         else:
-            free_vars = [atom.variables[i] for i in free_positions]
-            restricted[atom.name] = Relation(
-                atom.name,
-                free_vars,
-                [tuple(row[i] for i in free_positions) for row in kept],
-            )
-            if not kept:
+            if not len(value):
                 return None
+            restricted[atom.name] = value
     return _ResidualJob(query, bound, restricted, multiplicity)
+
+
+def _restrict_atom(
+    rel: Relation,
+    atom: Any,
+    bound: dict[str, Any],
+    heavy: dict[str, set[Any]],
+) -> tuple[str, Any]:
+    """One atom's heavy/light restriction: ``("count", n)`` when the atom
+    is fully bound (vanishes), else ``("rel", Relation)`` over the free
+    positions."""
+    positions = [(i, v) for i, v in enumerate(atom.variables)]
+
+    def keep(row: Row) -> bool:
+        for i, v in positions:
+            if v in bound:
+                if row[i] != bound[v]:
+                    return False
+            elif row[i] in heavy[v]:
+                return False
+        return True
+
+    kept = [row for row in rel if keep(row)]
+    free_positions = [i for i, v in positions if v not in bound]
+    if not free_positions:
+        return ("count", len(kept))
+    free_vars = [atom.variables[i] for i in free_positions]
+    return (
+        "rel",
+        Relation(
+            atom.name,
+            free_vars,
+            [tuple(row[i] for i in free_positions) for row in kept],
+        ),
+    )
 
 
 def _aligned(
@@ -260,5 +297,5 @@ def _aligned(
             f"atom {atom}"
         )
     if rel.schema.attributes != atom.variables:
-        rel = rel.project(list(atom.variables))
+        rel = project_view(rel, atom.variables)
     return rel

@@ -126,14 +126,24 @@ def _round_shares(query: ConjunctiveQuery, sizes: dict[str, int], p: int,
     combos = math.prod(len(c) for c in candidate_lists)
     if combos <= max_enumeration:
         best: dict[str, int] | None = None
-        best_load = math.inf
+        best_rank: tuple | None = None
         for combo in itertools.product(*candidate_lists):
             if math.prod(combo) > p:
                 continue
             shares = dict(zip(variables, combo))
             load = _max_atom_load(query, sizes, shares)
-            if load < best_load:
-                best_load = load
+            # Rank ties canonically so the result does not depend on the
+            # order atoms/variables appear in the query text: among grids
+            # with the same worst atom load, prefer the lower *total*
+            # replication (what every server sums over its atoms), then
+            # the name-lexicographic share vector.
+            total = sum(
+                sizes[a.name] / math.prod(shares[v] for v in a.variables)
+                for a in query.atoms
+            )
+            rank = (load, total, tuple(shares[v] for v in sorted(variables)))
+            if best_rank is None or rank < best_rank:
+                best_rank = rank
                 best = shares
         if best is not None:
             return best
@@ -141,8 +151,12 @@ def _round_shares(query: ConjunctiveQuery, sizes: dict[str, int], p: int,
     # Fallback: floor everything (guaranteed feasible), no repair needed.
     floored = {v: max(1, math.floor(fractional[v])) for v in variables}
     while math.prod(floored.values()) > p:
-        # Shrink the variable whose share exceeds its fractional value most.
-        victim = max(floored, key=lambda v: floored[v] / max(fractional[v], 1e-12))
+        # Shrink the variable whose share exceeds its fractional value
+        # most (name order breaks exact ratio ties deterministically).
+        victim = max(
+            sorted(floored),
+            key=lambda v: floored[v] / max(fractional[v], 1e-12),
+        )
         floored[victim] = max(1, floored[victim] - 1)
     return floored
 

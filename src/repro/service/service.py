@@ -473,11 +473,17 @@ class QueryService:
                     # Each branch is an independent Engine call: a fresh
                     # engine over the branch's bindings, same p and seed,
                     # so a branch is byte-identical to running that
-                    # fragment query on its own.
+                    # fragment query on its own. ``align_with`` shares the
+                    # service engine's alignment memo, so the *unsplit*
+                    # inputs (identical relation objects in every branch)
+                    # are aligned and stored once — not re-derived as k
+                    # detached copies — and branch hits land in the one
+                    # counter :meth:`stats` reports.
                     engine = Engine(
                         self.p, seed=self.seed,
                         kernels=self._engine.kernels,
                         backend=self._engine.backend,
+                        align_with=self._engine,
                     )
                     for name, rel in branch.items():
                         engine.register(rel, name=name)

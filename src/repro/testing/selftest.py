@@ -89,6 +89,7 @@ def run_selftest(
     kernels: bool | None = None,
     faults: bool = False,
     backend: str | None = None,
+    memo: bool | None = None,
 ) -> SelftestReport:
     """Run the whole harness under one instance budget.
 
@@ -97,8 +98,9 @@ def run_selftest(
     ``monotonic_every``-th the (4-run) load-monotonicity ladder, keeping
     the total execution count proportional to the budget. ``kernels``
     forces the columnar kernels on or off for the whole run (``None``
-    keeps the ambient ``REPRO_KERNELS`` setting) and ``backend`` does
-    the same for the execution backend (``REPRO_BACKEND``).
+    keeps the ambient ``REPRO_KERNELS`` setting); ``backend`` does the
+    same for the execution backend (``REPRO_BACKEND``) and ``memo`` for
+    the intra-query memoization layer (``REPRO_MEMO``).
     ``faults=True`` runs every differential execution under a
     reproducible randomized :class:`~repro.mpc.faults.FaultPlan` with
     recovery enabled and demands the same outputs, loads, and clean
@@ -108,8 +110,9 @@ def run_selftest(
     """
     from repro.exec.config import use_backend
     from repro.kernels.config import use_kernels
+    from repro.kernels.memo import use_memo
 
-    with use_kernels(kernels), use_backend(backend):
+    with use_kernels(kernels), use_backend(backend), use_memo(memo):
         return _run_selftest(
             instances, seed, kinds, algorithms,
             0 if faults else metamorphic_every,
@@ -193,6 +196,11 @@ def main(argv: list[str] | None = None) -> int:
                              "under both backends and cross-check outputs, "
                              "loads, and rounds (default: ambient "
                              "REPRO_BACKEND setting)")
+    parser.add_argument("--memo", choices=("on", "off", "both"), default=None,
+                        help="force intra-query memoization on/off, or run "
+                             "the sweep under both and cross-check outputs, "
+                             "loads, and rounds (default: ambient REPRO_MEMO "
+                             "setting)")
     parser.add_argument("--service", action="store_true",
                         help="validate every entry point under concurrent "
                              "execution instead: the full sweep runs once "
@@ -218,10 +226,15 @@ def main(argv: list[str] | None = None) -> int:
             args.kernels
         ]
         backend_mode = None if args.backend == "both" else args.backend
+        memo_mode = {"on": True, "off": False, "both": None, None: None}[
+            args.memo
+        ]
         from repro.exec.config import use_backend
         from repro.kernels.config import use_kernels
+        from repro.kernels.memo import use_memo
 
-        with use_kernels(kernels_mode), use_backend(backend_mode):
+        with use_kernels(kernels_mode), use_backend(backend_mode), \
+                use_memo(memo_mode):
             report = run_service_selftest(
                 instances=args.instances if args.instances != 120 else 24,
                 threads=args.threads, seed=args.seed, kinds=args.kinds,
@@ -236,8 +249,12 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.planner:
+        from repro.kernels.memo import use_memo
         from repro.testing.planner import run_planner_selftest
 
+        memo_mode = {"on": True, "off": False, "both": None, None: None}[
+            args.memo
+        ]
         if args.kernels == "both" or args.backend == "both":
             status = 0
             modes = (
@@ -250,11 +267,12 @@ def main(argv: list[str] | None = None) -> int:
                     if backend_mode is None else f"backend {backend_mode}"
                 )
                 print(f"=== planner / {label} ===")
-                report = run_planner_selftest(
-                    instances=args.instances, seed=args.seed, kinds=args.kinds,
-                    verbose=args.verbose, kernels=kernels_mode,
-                    backend=backend_mode,
-                )
+                with use_memo(memo_mode):
+                    report = run_planner_selftest(
+                        instances=args.instances, seed=args.seed,
+                        kinds=args.kinds, verbose=args.verbose,
+                        kernels=kernels_mode, backend=backend_mode,
+                    )
                 print(report.summary_table())
                 if not report.ok:
                     for record in report.failures:
@@ -262,10 +280,12 @@ def main(argv: list[str] | None = None) -> int:
                     status = 1
             return status
         kernels_mode = {"on": True, "off": False, None: None}[args.kernels]
-        report = run_planner_selftest(
-            instances=args.instances, seed=args.seed, kinds=args.kinds,
-            verbose=args.verbose, kernels=kernels_mode, backend=args.backend,
-        )
+        with use_memo(memo_mode):
+            report = run_planner_selftest(
+                instances=args.instances, seed=args.seed, kinds=args.kinds,
+                verbose=args.verbose, kernels=kernels_mode,
+                backend=args.backend,
+            )
         print(report.summary_table())
         if not report.ok:
             print("\nfailures:", file=sys.stderr)
@@ -274,7 +294,9 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         return 0
 
-    def run(kernels: bool | None, backend: str | None = None) -> SelftestReport:
+    def run(
+        kernels: bool | None, backend: str | None, memo: bool | None
+    ) -> SelftestReport:
         return run_selftest(
             instances=args.instances,
             seed=args.seed,
@@ -287,6 +309,7 @@ def main(argv: list[str] | None = None) -> int:
             kernels=kernels,
             faults=args.faults,
             backend=backend,
+            memo=memo,
         )
 
     def report_failures(report: SelftestReport) -> None:
@@ -294,99 +317,130 @@ def main(argv: list[str] | None = None) -> int:
         for line in report.failures:
             print(f"  {line}", file=sys.stderr)
 
-    fixed_backend = None if args.backend == "both" else args.backend
+    # The sweep is the cell product of every axis given as "both": up to
+    # the full kernels x backend x memo 2x2x2 grid. Every cell must pass
+    # on its own, then cells differing in exactly one axis are compared
+    # pairwise: the kernels axis must preserve model costs (loads), the
+    # backend and memo axes full observational identity (outputs, loads,
+    # and rounds).
+    kernels_cells: list[bool | None] = (
+        [True, False] if args.kernels == "both"
+        else [{"on": True, "off": False, None: None}[args.kernels]]
+    )
+    backend_cells: list[str | None] = (
+        ["inline", "process"] if args.backend == "both" else [args.backend]
+    )
+    memo_cells: list[bool | None] = (
+        [True, False] if args.memo == "both"
+        else [{"on": True, "off": False, None: None}[args.memo]]
+    )
+    cells = [
+        (kernels, backend, memo)
+        for kernels in kernels_cells
+        for backend in backend_cells
+        for memo in memo_cells
+    ]
 
-    if args.kernels == "both" and args.backend == "both":
-        # The full 2x2 sweep: every (kernels, backend) cell must pass on
-        # its own, loads must match across kernel modes within each
-        # backend, and outputs/loads/rounds must match across backends
-        # within each kernel mode.
-        status = 0
-        reports: dict[tuple[bool, str], SelftestReport] = {}
-        for backend_name in ("inline", "process"):
-            for mode in (True, False):
-                label = f"kernels {'on' if mode else 'off'} / {backend_name}"
-                print(f"=== {label} ===")
-                report = run(mode, backend_name)
-                reports[(mode, backend_name)] = report
-                print(report.summary_table())
-                if not report.ok:
-                    report_failures(report)
-                    status = 1
-        for backend_name in ("inline", "process"):
-            drift = cross_mode_drift(
-                reports[(True, backend_name)], reports[(False, backend_name)]
-            )
-            if drift:
-                print(f"\nkernels on/off drift ({backend_name} backend):",
-                      file=sys.stderr)
-                for line in drift:
-                    print(f"  {line}", file=sys.stderr)
-                status = 1
-        for mode in (True, False):
-            drift = cross_backend_drift(
-                reports[(mode, "inline")], reports[(mode, "process")]
-            )
-            if drift:
-                print(f"\ninline/process drift (kernels "
-                      f"{'on' if mode else 'off'}):", file=sys.stderr)
-                for line in drift:
-                    print(f"  {line}", file=sys.stderr)
-                status = 1
-        if status == 0:
-            print("outputs, loads, and rounds identical across the full "
-                  "kernels x backend sweep")
-        return status
+    if len(cells) == 1:
+        report = run(*cells[0])
+        print(report.summary_table())
+        if not report.ok:
+            report_failures(report)
+            return 1
+        return 0
+
+    def cell_label(kernels: bool | None, backend: str | None,
+                   memo: bool | None) -> str:
+        parts = []
+        if args.kernels == "both":
+            parts.append(f"kernels {'on' if kernels else 'off'}")
+        if args.backend == "both":
+            parts.append(str(backend))
+        if args.memo == "both":
+            parts.append(f"memo {'on' if memo else 'off'}")
+        return " / ".join(parts)
+
+    status = 0
+    reports: dict[tuple, SelftestReport] = {}
+    for cell in cells:
+        print(f"=== {cell_label(*cell)} ===")
+        report = run(*cell)
+        reports[cell] = report
+        print(report.summary_table())
+        if not report.ok:
+            report_failures(report)
+            status = 1
+
+    def check(drift: list[str], title: str) -> None:
+        nonlocal status
+        if drift:
+            print(f"\n{title}:", file=sys.stderr)
+            for line in drift:
+                print(f"  {line}", file=sys.stderr)
+            status = 1
+
+    def held(*parts: str | None) -> str:
+        kept = [part for part in parts if part]
+        return f" ({', '.join(kept)})" if kept else ""
+
+    def backend_held(backend: str | None) -> str | None:
+        return backend if args.backend == "both" else None
+
+    def memo_held(memo: bool | None) -> str | None:
+        if args.memo != "both":
+            return None
+        return f"memo {'on' if memo else 'off'}"
+
+    def kernels_held(kernels: bool | None) -> str | None:
+        if args.kernels != "both":
+            return None
+        return f"kernels {'on' if kernels else 'off'}"
 
     if args.kernels == "both":
-        status = 0
-        reports = {}
-        for mode in (True, False):
-            print(f"=== kernels {'on' if mode else 'off'} ===")
-            reports[mode] = run(mode, fixed_backend)
-            print(reports[mode].summary_table())
-            if not reports[mode].ok:
-                report_failures(reports[mode])
-                status = 1
-        drift = cross_mode_drift(reports[True], reports[False])
-        if drift:
-            print("\nkernels on/off drift:", file=sys.stderr)
-            for line in drift:
-                print(f"  {line}", file=sys.stderr)
-            status = 1
-        else:
-            print("kernels on/off loads identical across all executions")
-        return status
-
-    fixed_kernels = {"on": True, "off": False, None: None}[args.kernels]
-
+        for backend in backend_cells:
+            for memo in memo_cells:
+                check(
+                    cross_mode_drift(
+                        reports[(True, backend, memo)],
+                        reports[(False, backend, memo)],
+                    ),
+                    "kernels on/off drift"
+                    + held(backend_held(backend), memo_held(memo)),
+                )
     if args.backend == "both":
-        status = 0
-        reports = {}
-        for name in ("inline", "process"):
-            print(f"=== backend {name} ===")
-            reports[name] = run(fixed_kernels, name)
-            print(reports[name].summary_table())
-            if not reports[name].ok:
-                report_failures(reports[name])
-                status = 1
-        drift = cross_backend_drift(reports["inline"], reports["process"])
-        if drift:
-            print("\ninline/process backend drift:", file=sys.stderr)
-            for line in drift:
-                print(f"  {line}", file=sys.stderr)
-            status = 1
-        else:
-            print("inline/process outputs, loads, and rounds identical "
-                  "across all executions")
-        return status
+        for kernels in kernels_cells:
+            for memo in memo_cells:
+                check(
+                    cross_backend_drift(
+                        reports[(kernels, "inline", memo)],
+                        reports[(kernels, "process", memo)],
+                    ),
+                    "inline/process drift"
+                    + held(kernels_held(kernels), memo_held(memo)),
+                )
+    if args.memo == "both":
+        for kernels in kernels_cells:
+            for backend in backend_cells:
+                check(
+                    cross_memo_drift(
+                        reports[(kernels, backend, True)],
+                        reports[(kernels, backend, False)],
+                    ),
+                    "memo on/off drift"
+                    + held(kernels_held(kernels), backend_held(backend)),
+                )
 
-    report = run(fixed_kernels, fixed_backend)
-    print(report.summary_table())
-    if not report.ok:
-        report_failures(report)
-        return 1
-    return 0
+    if status == 0:
+        swept = [
+            name for name, flag in (
+                ("kernels", args.kernels == "both"),
+                ("backend", args.backend == "both"),
+                ("memo", args.memo == "both"),
+            ) if flag
+        ]
+        print("no cross-mode drift across the full "
+              + " x ".join(swept) + " sweep")
+    return status
 
 
 def cross_mode_drift(
@@ -423,28 +477,47 @@ def cross_backend_drift(
     the oracle inside each sweep, so equal sizes + both oracle-exact
     means equal multisets).
     """
-    a_records = inline.differential.records
-    b_records = process.differential.records
+    return observational_drift(inline, process, "inline", "process")
+
+
+def cross_memo_drift(on: SelftestReport, off: SelftestReport) -> list[str]:
+    """Differences between memo-enabled and memo-disabled sweeps.
+
+    Memoized replay only changes *how* a round's messages are produced,
+    never what they contain: the partition cache must be byte-identical
+    to rebuilding from scratch, so outputs, loads, and round counts are
+    compared in full — the same contract as the backend axis.
+    """
+    return observational_drift(on, off, "memo on", "memo off")
+
+
+def observational_drift(
+    a_report: SelftestReport, b_report: SelftestReport,
+    a_label: str, b_label: str,
+) -> list[str]:
+    """Full per-execution (out_size, max_load, rounds) comparison."""
+    a_records = a_report.differential.records
+    b_records = b_report.differential.records
     if len(a_records) != len(b_records):
         return [
-            f"execution counts differ: {len(a_records)} inline, "
-            f"{len(b_records)} process"
+            f"execution counts differ: {len(a_records)} {a_label}, "
+            f"{len(b_records)} {b_label}"
         ]
     drift = []
     for a, b in zip(a_records, b_records):
         if a.algorithm != b.algorithm or a.instance != b.instance:
             drift.append(
-                f"sweep order diverged: {a.algorithm}/{a.instance} inline "
-                f"vs {b.algorithm}/{b.instance} process"
+                f"sweep order diverged: {a.algorithm}/{a.instance} {a_label} "
+                f"vs {b.algorithm}/{b.instance} {b_label}"
             )
         elif (a.out_size, a.max_load, a.rounds) != (
             b.out_size, b.max_load, b.rounds
         ):
             drift.append(
                 f"{a.algorithm} on {a.instance}: "
-                f"(out={a.out_size}, L={a.max_load}, rounds={a.rounds}) inline"
-                f" vs (out={b.out_size}, L={b.max_load}, rounds={b.rounds}) "
-                "process"
+                f"(out={a.out_size}, L={a.max_load}, rounds={a.rounds}) "
+                f"{a_label} vs (out={b.out_size}, L={b.max_load}, "
+                f"rounds={b.rounds}) {b_label}"
             )
     return drift
 

@@ -191,3 +191,32 @@ def test_exec_stats_merge():
     assert merged.worker_seconds == pytest.approx(0.75)
     assert merged.fallbacks == 1
     assert ExecStats.merged([None, None]) is None
+
+
+def test_bytes_per_message_none_when_no_messages():
+    # A mean over zero messages is undefined; the former 0.0 read as
+    # "messages were free" in traces and x9 reports.
+    stats = ExecStats(backend="process", workers=2)
+    assert stats.queue_messages == 0
+    assert stats.bytes_per_message is None
+
+
+def test_bytes_per_message_mean_of_outbound_bytes():
+    stats = ExecStats(backend="process", workers=2, queue_messages=4,
+                      shm_bytes_out=1000, pickle_bytes_out=200)
+    assert stats.bytes_per_message == pytest.approx(300.0)
+
+
+def test_summary_and_trace_report_na_not_zero():
+    from repro.mpc.stats import RoundStats, RunStats
+    from repro.mpc.trace import trace
+
+    run = RunStats(2)
+    run.rounds.append(RoundStats("r", [1, 1]))
+    run.exec = ExecStats(backend="process", workers=2)
+    assert "bytes/msg=n/a" in run.summary()
+    assert "bytes/msg=n/a" in trace(run)
+    run.exec.queue_messages = 2
+    run.exec.pickle_bytes_out = 512
+    assert "bytes/msg=256" in run.summary()
+    assert "bytes/msg=256" in trace(run)

@@ -1,0 +1,126 @@
+"""Zero-copy chunked delivery must be observationally invisible.
+
+When memoization is on, a round whose batched sends carried column
+side-cars delivers the blocks as-is (``Server.put_column_chunks``)
+instead of eagerly concatenating them; the concat is deferred to the
+first whole-column consumer. These tests prove the deferral changes
+nothing an observer can see: delivered rows, materialized columns,
+``load_of()`` per round, and the conservation audit are byte-identical
+to the eager path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.relation import Relation
+from repro.kernels.memo import use_memo
+from repro.mpc.audit import audited
+from repro.mpc.cluster import Cluster
+from repro.mpc.server import ChunkedColumns
+
+
+def _multi_chunk_round(memo: bool, audit: bool = False):
+    """Route two batches per destination so every side-car is multi-block.
+
+    Returns (cluster, fragment loads) after the round delivered.
+    """
+    with use_memo(memo):
+        cluster = Cluster(2, audit=audit)
+        cols_a = [np.array([1, 3, 5], dtype=np.int64)]
+        cols_b = [np.array([7, 9], dtype=np.int64)]
+        with cluster.round("route") as rnd:
+            rnd.send_rows(0, "out", [(1, 0), (3, 0), (5, 0)], (0,), cols_a)
+            rnd.send_rows(0, "out", [(7, 1), (9, 1)], (0,), cols_b)
+            rnd.send_rows(1, "out", [(2, 0), (4, 0)], (0,),
+                          [np.array([2, 4], dtype=np.int64)])
+            rnd.send_rows(1, "out", [(6, 1)], (0,),
+                          [np.array([6], dtype=np.int64)])
+        return cluster
+
+
+class TestChunkedEqualsEager:
+    def test_rows_columns_and_load_identical(self):
+        lazy = _multi_chunk_round(memo=True)
+        eager = _multi_chunk_round(memo=False)
+        assert lazy.stats.load_of("route") == eager.stats.load_of("route")
+        for lazy_server, eager_server in zip(lazy.servers, eager.servers):
+            lazy_rows, lazy_cols = lazy_server.take_with_columns("out", (0,))
+            eager_rows, eager_cols = eager_server.take_with_columns("out", (0,))
+            assert lazy_rows == eager_rows
+            assert lazy_cols is not None and eager_cols is not None
+            for a, b in zip(lazy_cols, eager_cols):
+                assert a.dtype == b.dtype
+                assert np.array_equal(a, b)
+
+    def test_lazy_path_actually_defers_the_concat(self):
+        # Server 0 received two blocks; with memo on the side-car must
+        # still be chunked until a consumer asks for whole columns.
+        lazy = _multi_chunk_round(memo=True)
+        cached = lazy.servers[0].column_cache["out"]
+        assert isinstance(cached[1], ChunkedColumns)
+        eager = _multi_chunk_round(memo=False)
+        cached = eager.servers[0].column_cache["out"]
+        assert not isinstance(cached[1], ChunkedColumns)
+
+    def test_round_stats_identical(self):
+        lazy = _multi_chunk_round(memo=True)
+        eager = _multi_chunk_round(memo=False)
+        assert [
+            (r.label, r.received, r.delivered) for r in lazy.stats.rounds
+        ] == [
+            (r.label, r.received, r.delivered) for r in eager.stats.rounds
+        ]
+
+
+class TestChunkedUnderAudit:
+    def test_audit_passes_and_matches_eager(self):
+        lazy = _multi_chunk_round(memo=True, audit=True)
+        eager = _multi_chunk_round(memo=False, audit=True)
+        for cluster in (lazy, eager):
+            report = cluster.stats.audit
+            assert report is not None and report.ok
+            assert report.rounds_audited == 1
+        assert lazy.stats.audit.checks_run == eager.stats.audit.checks_run
+
+    def test_join_end_to_end_audited(self):
+        # A real multi-send workload: the shuffle of a hash join delivers
+        # multi-block side-cars. Output, per-round loads, and the audit
+        # must be identical with and without the lazy delivery.
+        from repro.joins.hash_join import parallel_hash_join
+
+        r = Relation("R", ["x", "y"], [(i % 11, i) for i in range(300)])
+        s = Relation("S", ["x", "z"], [(i % 11, -i) for i in range(300)])
+        runs = {}
+        for memo in (True, False):
+            with use_memo(memo), audited():
+                runs[memo] = parallel_hash_join(r, s, p=4, seed=0)
+        lazy, eager = runs[True], runs[False]
+        assert lazy.output.rows_readonly() == eager.output.rows_readonly()
+        assert [
+            (rd.label, rd.received) for rd in lazy.stats.rounds
+        ] == [
+            (rd.label, rd.received) for rd in eager.stats.rounds
+        ]
+        for run in (lazy, eager):
+            assert run.stats.audit is not None and run.stats.audit.ok
+
+
+class TestChunkedColumnsUnit:
+    def test_length_without_concat(self):
+        blocks = [[np.array([1, 2]), np.array([3])]]
+        cc = ChunkedColumns(blocks)
+        assert cc.length == 3
+        assert np.array_equal(cc.arrays()[0], np.array([1, 2, 3]))
+
+    def test_empty(self):
+        assert ChunkedColumns([]).length == 0
+
+    def test_stale_chunked_sidecar_rejected(self):
+        # take_with_columns must refuse a chunked side-car whose length no
+        # longer matches the (externally grown) row list.
+        cluster = _multi_chunk_round(memo=True)
+        server = cluster.servers[0]
+        server.fragment("out").append((99, 99))
+        rows, cols = server.take_with_columns("out", (0,))
+        assert rows[-1] == (99, 99)
+        assert cols is None

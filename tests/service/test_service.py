@@ -285,6 +285,37 @@ def test_split_verify_against_oracle():
         assert result.total_load >= result.max_load
 
 
+def test_split_branches_share_one_alignment_memo():
+    # Branch engines borrow the service engine's alignment memo
+    # (``align_with``): the unsplit inputs — identical relation objects
+    # in every branch — are aligned and stored once, and every branch
+    # hit lands in the one counter ``stats()`` reports. cache_size=0
+    # keeps the result cache out of the measurement.
+    with QueryService(relations(), p=4, cache_size=0) as service:
+        service.query(QUERY)  # warms the alignments of R and S
+        entries_before = len(service._engine._align_cache)
+        hits_before = service.stats().align_cache_hits
+        service.query(QUERY, split=3)
+        # At least the unsplit input hit in each of the three branches;
+        # nothing was double-stored for it.
+        assert service.stats().align_cache_hits - hits_before >= 3
+        assert len(service._engine._align_cache) <= entries_before + 3
+
+
+def test_split_branch_registration_keeps_the_shared_memo():
+    # A branch engine registers its bindings on construction; the
+    # borrower's register() must not wipe the owner's memo, so a repeat
+    # split query hits instead of re-deriving.
+    with QueryService(relations(), p=4, cache_size=0) as service:
+        service.query(QUERY, split=2)
+        hits_before = service.stats().align_cache_hits
+        repeat = service.query(QUERY, split=2)
+        assert service.stats().align_cache_hits > hits_before
+        whole = service.query(QUERY)
+        assert repeat.output.rows_readonly() == \
+            canonical(whole.output).rows_readonly()
+
+
 # ------------------------------------------------------------------ stats
 
 

@@ -228,3 +228,70 @@ class TestAlignCache:
         fresh = engine.query("T(u,v)")
         assert fresh.align_cache_hits == 0
         assert sorted(fresh.output.rows()) == [(8, 9)]
+
+
+class TestSharedAlignCache:
+    """``align_with`` engines borrow one alignment memo (service split fix).
+
+    The service's split path spins up a throwaway engine per branch;
+    without sharing, each branch stored its own detached copy of every
+    unsplit input's alignment and the hits landed in counters nobody
+    read. Sharing must dedupe the storage and single-count the hits —
+    without ever letting a borrower wipe the owner's memo.
+    """
+
+    def _owner(self):
+        owner = Engine(p=4)
+        owner.register(uniform_relation("R", ["b", "a"], 60, 20, seed=1))
+        owner.register(uniform_relation("S", ["b", "z"], 60, 20, seed=2))
+        return owner
+
+    def _borrower(self, owner, bindings=None):
+        branch = Engine(p=4, align_with=owner)
+        for name, rel in (bindings or owner._relations).items():
+            branch.register(rel, name=name)
+        return branch
+
+    def test_borrower_stores_into_the_owner_memo(self):
+        owner = self._owner()
+        branch = self._borrower(owner)
+        first = branch.query("R(a,b), S(b,z)")
+        assert first.align_cache_hits == 0
+        assert len(owner._align_cache) == 2  # stored once, in the owner
+        assert not hasattr(branch, "_align_cache")  # no private copy
+
+    def test_hits_cross_engines_and_single_count(self):
+        owner = self._owner()
+        owner.query("R(a,b), S(b,z)")  # owner warms both alignments
+        hits_before = owner._align_hits
+        branches = [self._borrower(owner) for _ in range(3)]
+        for branch in branches:
+            result = branch.query("R(a,b), S(b,z)")
+            assert result.align_cache_hits == 2  # both atoms from the memo
+        # All six hits landed in the one counter the service reports.
+        assert owner._align_hits - hits_before == 6
+        assert len(owner._align_cache) == 2  # still stored exactly once
+
+    def test_borrower_register_does_not_wipe_the_owner(self):
+        owner = self._owner()
+        owner.query("R(a,b), S(b,z)")
+        assert len(owner._align_cache) == 2
+        # Branch engines register their (partly shared) bindings on
+        # construction; that must not clear the shared memo.
+        branch = self._borrower(owner)
+        assert len(owner._align_cache) == 2
+        assert branch.query("R(a,b), S(b,z)").align_cache_hits == 2
+
+    def test_chained_align_with_resolves_to_the_root_owner(self):
+        owner = self._owner()
+        middle = self._borrower(owner)
+        leaf = Engine(p=4, align_with=middle)
+        assert leaf._align_owner is owner
+
+    def test_owner_register_still_invalidates_for_borrowers(self):
+        owner = self._owner()
+        branch = self._borrower(owner)
+        branch.query("R(a,b), S(b,z)")
+        owner.register(uniform_relation("R", ["b", "a"], 80, 20, seed=9))
+        fresh = self._borrower(owner)
+        assert fresh.query("R(a,b), S(b,z)").align_cache_hits == 0
